@@ -1,0 +1,258 @@
+// Package mpidetect's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper. Each benchmark regenerates its table/figure on
+// a deterministic scaled-down corpus (subsampling + reduced folds) so the
+// full suite is runnable in CI; `cmd/experiments` produces the full-scale
+// numbers. The benches report the headline metric via b.ReportMetric so the
+// shape of the result is visible in benchmark output.
+package mpidetect
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/eval"
+	"mpidetect/internal/gnn"
+	"mpidetect/internal/ir2vec"
+	"mpidetect/internal/metrics"
+	"mpidetect/internal/passes"
+	"mpidetect/internal/verify"
+)
+
+// subsample keeps every k-th code, preserving label mix.
+func subsample(d *dataset.Dataset, k int) *dataset.Dataset {
+	out := &dataset.Dataset{Name: d.Name}
+	perLabel := map[dataset.Label]int{}
+	for _, c := range d.Codes {
+		perLabel[c.Label]++
+		if perLabel[c.Label]%k == 0 {
+			out.Codes = append(out.Codes, c)
+		}
+	}
+	return out
+}
+
+func benchEnv() (*dataset.Dataset, *dataset.Dataset, *eval.Extractor, eval.PipelineConfig) {
+	mbi := subsample(dataset.GenerateMBI(1), 4)
+	corr := dataset.GenerateCorrBench(1, false)
+	ex := eval.NewExtractor(64)
+	p := eval.DefaultPipeline()
+	p.Folds = 3
+	return mbi, corr, ex, p
+}
+
+func BenchmarkFig1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := dataset.GenerateCorrBench(int64(i)+1, false)
+		s := dataset.ComputeStats(d, true)
+		if s.Correct == 0 {
+			b.Fatal("no correct codes")
+		}
+	}
+}
+
+func BenchmarkFig2CodeSize(b *testing.B) {
+	d := dataset.GenerateCorrBench(1, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dataset.ComputeStats(d, false)
+		b.ReportMetric(float64(s.LoCQuantiles[dataset.Correct][0]), "minCorrectLoC")
+	}
+}
+
+func BenchmarkTable2_IR2vecIntraMBI(b *testing.B) {
+	mbi, _, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.IR2VecIntra(ex, mbi, p)
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func BenchmarkTable2_IR2vecIntraCorr(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.IR2VecIntra(ex, corr, p)
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func BenchmarkTable2_IR2vecCross(b *testing.B) {
+	mbi, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.IR2VecCross(ex, mbi, corr, p)
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func BenchmarkTable2_IR2vecMix(b *testing.B) {
+	mbi, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.IR2VecMix(ex, mbi, corr, p)
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func gnnBenchCfg() eval.GNNScenarioConfig {
+	cfg := gnn.Default()
+	cfg.Epochs = 2
+	return eval.GNNScenarioConfig{Model: cfg, Folds: 2}
+}
+
+func BenchmarkTable2_GNNIntraCorr(b *testing.B) {
+	_, corr, ex, _ := benchEnv()
+	small := subsample(corr, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.GNNIntra(ex, small, gnnBenchCfg())
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func BenchmarkTable2_GNNCross(b *testing.B) {
+	mbi, corr, ex, _ := benchEnv()
+	small := subsample(mbi, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.GNNCross(ex, small, subsample(corr, 2), gnnBenchCfg())
+		b.ReportMetric(c.Accuracy(), "accuracy")
+	}
+}
+
+func BenchmarkTable3Tools(b *testing.B) {
+	mbi, _, _, _ := benchEnv()
+	small := subsample(mbi, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		itac := verify.Evaluate(verify.ITAC{}, small)
+		parcoach := verify.Evaluate(verify.PARCOACH{}, small)
+		b.ReportMetric(itac.OverallAccuracy(), "itacOa")
+		b.ReportMetric(parcoach.Specificity(), "parcoachSpec")
+	}
+}
+
+func BenchmarkTable4Sweep(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
+			for _, norm := range []ir2vec.Norm{ir2vec.NormNone, ir2vec.NormVector, ir2vec.NormIndex} {
+				p.Opt, p.Norm = lvl, norm
+				c := eval.IR2VecIntra(ex, corr, p)
+				if c.Total() == 0 {
+					b.Fatal("empty sweep cell")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable5GA(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	for i := 0; i < b.N; i++ {
+		p.UseGA = false
+		off := eval.IR2VecIntra(ex, corr, p)
+		p.UseGA = true
+		on := eval.IR2VecIntra(ex, corr, p)
+		b.ReportMetric(off.Accuracy(), "accOff")
+		b.ReportMetric(on.Accuracy(), "accOn")
+	}
+}
+
+func BenchmarkFig6PerLabel(b *testing.B) {
+	mbi, _, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := eval.PerLabelAccuracy(ex, mbi, p)
+		b.ReportMetric(acc[dataset.CallOrdering], "callOrderingAcc")
+	}
+}
+
+func BenchmarkFig7Bars(b *testing.B) {
+	_, corr, _, _ := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows []struct {
+			Name string
+			C    metrics.Confusion
+		}
+		for _, t := range []verify.Tool{verify.MUST{}, verify.ITAC{}, verify.PARCOACH{}, verify.MPIChecker{}} {
+			rows = append(rows, struct {
+				Name string
+				C    metrics.Confusion
+			}{t.Name(), verify.Evaluate(t, corr)})
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing tool")
+		}
+	}
+}
+
+func BenchmarkFig8Ablation(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := eval.Ablation(ex, corr, p, []dataset.Label{dataset.MissingCall})
+		b.ReportMetric(acc[dataset.MissingCall], "missingCallAcc")
+	}
+}
+
+func BenchmarkFig9AblationPairs(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := eval.Ablation(ex, corr, p,
+			[]dataset.Label{dataset.MissingCall, dataset.ArgError})
+		b.ReportMetric(acc[dataset.MissingCall], "missingCallAcc")
+	}
+}
+
+func BenchmarkSeedsStudy(b *testing.B) {
+	_, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orig, changed := eval.SeedStudy(ex, corr, p, 123)
+		b.ReportMetric(orig.Accuracy(), "origAcc")
+		b.ReportMetric(changed.Accuracy(), "newSeedAcc")
+	}
+}
+
+func BenchmarkTable6Hypre(b *testing.B) {
+	mbi, corr, ex, p := benchEnv()
+	p.UseGA = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := eval.HypreStudy(ex, mbi, corr, p, 1)
+		right := 0
+		for _, c := range cells {
+			if c.Right {
+				right++
+			}
+		}
+		b.ReportMetric(float64(right)/float64(len(cells)), "cellsRight")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (codes/sec on
+// the dynamic-tool path), the substrate cost underlying Table III.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	d := subsample(dataset.GenerateCorrBench(1, false), 8)
+	tool := verify.ITAC{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range d.Codes {
+			tool.Check(c)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command benchgen emits the synthetic benchmark suites: the C source of
+// every generated code, its label, and the corpus statistics of Fig. 1-3.
+//
+// Usage:
+//
+//	benchgen -suite mbi -out ./mbi_codes      # write all C files
+//	benchgen -suite corrbench -stats          # just print statistics
+//	benchgen -suite mbi -show MBI_0001        # print one code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+var (
+	suite  = flag.String("suite", "mbi", "mbi | corrbench | mix")
+	out    = flag.String("out", "", "directory to write .c files into")
+	stats  = flag.Bool("stats", false, "print Fig. 1-3 statistics")
+	seed   = flag.Int64("seed", 1, "generation seed")
+	bias   = flag.Bool("bias", false, "keep the mpitest.h bias on CorrBench correct codes")
+	show   = flag.String("show", "", "print the C source (and IR) of codes whose name contains this substring")
+	emitIR = flag.Bool("ir", false, "with -show: also print the IR at -O0 and -Os")
+)
+
+func main() {
+	flag.Parse()
+	var d *dataset.Dataset
+	switch *suite {
+	case "mbi":
+		d = dataset.GenerateMBI(*seed)
+	case "corrbench":
+		d = dataset.GenerateCorrBench(*seed, *bias)
+	case "mix":
+		d = dataset.Merge("Mix", dataset.GenerateMBI(*seed), dataset.GenerateCorrBench(*seed, *bias))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Print(dataset.ComputeStats(d, !*bias).Format())
+		return
+	}
+	if *show != "" {
+		for _, c := range d.Codes {
+			if !strings.Contains(c.Name, *show) {
+				continue
+			}
+			fmt.Printf("// %s  label=%s  ranks=%d\n", c.Name, c.Label, c.Ranks)
+			for k, v := range c.Header {
+				fmt.Printf("// %s: %s\n", k, v)
+			}
+			fmt.Println(ast.RenderC(c.Prog))
+			if *emitIR {
+				for _, lvl := range []passes.OptLevel{passes.O0, passes.Os} {
+					m := irgen.MustLower(c.Prog)
+					passes.Optimize(m, lvl)
+					fmt.Printf("\n;; ---- IR at %s ----\n%s\n", lvl, ir.Print(m))
+				}
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "no code matching %q\n", *show)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -out, -stats or -show")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range d.Codes {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "/* %s\n", c.Name)
+		fmt.Fprintf(&sb, "   LABEL: %s\n", c.Label)
+		for k, v := range c.Header {
+			fmt.Fprintf(&sb, "   %s: %s\n", k, v)
+		}
+		sb.WriteString("*/\n")
+		sb.WriteString(ast.RenderC(c.Prog))
+		path := filepath.Join(*out, c.Name+".c")
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d codes to %s\n", len(d.Codes), *out)
+}

@@ -1,0 +1,318 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) from the synthetic benchmark suites. Each experiment
+// prints the text equivalent of the corresponding table/figure.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (slow: full 10-fold CV)
+//	experiments -exp table2 -quick  # one experiment, reduced folds
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/eval"
+	"mpidetect/internal/gnn"
+	"mpidetect/internal/ir2vec"
+	"mpidetect/internal/metrics"
+	"mpidetect/internal/passes"
+	"mpidetect/internal/verify"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment id (fig1, fig2, table2, table3, table4, table5, fig6, fig7, fig8, fig9, seeds, table6, all)")
+	quick    = flag.Bool("quick", false, "reduced folds/population for a fast pass")
+	seed     = flag.Int64("seed", 1, "dataset generation seed")
+	dim      = flag.Int("dim", 256, "IR2Vec dimension per encoding (paper: 256)")
+	listFlag = flag.Bool("list", false, "list experiments")
+	gnnPaper = flag.Bool("gnn-paper", false, "use the paper-faithful GNN sizes (128/64/32; slow)")
+)
+
+type env struct {
+	mbi, corr *dataset.Dataset
+	ex        *eval.Extractor
+	pipe      eval.PipelineConfig
+	gnnCfg    eval.GNNScenarioConfig
+}
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(*env)
+}
+
+var experiments []experiment
+
+func main() {
+	flag.Parse()
+	if *listFlag {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	e := &env{
+		mbi:  dataset.GenerateMBI(*seed),
+		corr: dataset.GenerateCorrBench(*seed, false),
+		ex:   eval.NewExtractor(*dim),
+		pipe: eval.DefaultPipeline(),
+	}
+	gcfg := gnn.Default()
+	if *gnnPaper {
+		gcfg = gnn.Paper()
+	}
+	e.gnnCfg = eval.GNNScenarioConfig{Model: gcfg}
+	if *quick {
+		e.pipe.Folds = 3
+		e.gnnCfg.Folds = 3
+	}
+	want := strings.Split(*expFlag, ",")
+	ran := 0
+	for _, ex := range experiments {
+		for _, w := range want {
+			if w == "all" || w == ex.id {
+				t0 := time.Now()
+				fmt.Printf("\n===== %s — %s =====\n", ex.id, ex.desc)
+				ex.run(e)
+				fmt.Printf("----- %s done in %s -----\n", ex.id, time.Since(t0).Round(time.Millisecond))
+				ran++
+				break
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expFlag)
+		os.Exit(1)
+	}
+}
+
+func init() {
+	experiments = []experiment{
+		{"fig1", "codes per error type + correct/incorrect counts (Fig. 1 & 3)", runFig1},
+		{"fig2", "code-size distributions incl. the mpitest.h bias (Fig. 2)", runFig2},
+		{"table2", "main results: IR2vec/GNN x Intra/Cross/Mix (Table II)", runTable2},
+		{"table3", "detailed MBI tool comparison (Table III)", runTable3},
+		{"table4", "compilation x normalisation sweep (Table IV)", runTable4},
+		{"table5", "GA feature selection on/off (Table V)", runTable5},
+		{"fig6", "per-label prediction accuracy on MBI (Fig. 6)", runFig6},
+		{"fig7", "tool metric comparison on both suites (Fig. 7)", runFig7},
+		{"fig8", "single-label ablation (Fig. 8)", runFig8},
+		{"fig9", "pair-label ablation on MPI-CorrBench (Fig. 9)", runFig9},
+		{"seeds", "embedding-seed sensitivity (§V-A Seeds)", runSeeds},
+		{"table6", "Hypre real-case study (Table VI)", runTable6},
+		{"encabl", "design ablation: symbolic vs flow-aware vs concat encodings", runEncAblation},
+		{"depthabl", "design ablation: decision-tree depth limit sweep", runDepthAblation},
+	}
+}
+
+func runEncAblation(e *env) {
+	for _, d := range []*dataset.Dataset{e.corr, e.mbi} {
+		res := eval.EncodingAblation(e.ex, d, e.pipe)
+		for _, mode := range []string{"symbolic", "flow-aware", "concat"} {
+			c := res[mode]
+			fmt.Printf("%-14s %-10s %s\n", d.Name, mode, c.Row())
+		}
+	}
+}
+
+func runDepthAblation(e *env) {
+	res := eval.DepthAblation(e.ex, e.corr, e.pipe, []int{2, 4, 8, 0})
+	for _, depth := range []int{2, 4, 8, 0} {
+		name := fmt.Sprint(depth)
+		if depth == 0 {
+			name = "unlimited (sklearn default)"
+		}
+		fmt.Printf("max depth %-26s %s\n", name, res[depth].Row())
+	}
+}
+
+func runFig1(e *env) {
+	for _, d := range []*dataset.Dataset{e.mbi, e.corr} {
+		s := dataset.ComputeStats(d, true)
+		fmt.Print(s.Format())
+	}
+}
+
+func runFig2(e *env) {
+	biased := dataset.GenerateCorrBench(*seed, true)
+	fmt.Println("MPI-CorrBench with the mpitest.h bias (correct codes >= 103 lines):")
+	fmt.Print(dataset.ComputeStats(biased, false).Format())
+	fmt.Println("\nAfter removing the header (the corpus every experiment uses):")
+	fmt.Print(dataset.ComputeStats(e.corr, true).Format())
+}
+
+func runTable2(e *env) {
+	rows := []struct {
+		Name string
+		C    metrics.Confusion
+	}{
+		{"IR2vec Intra  MBI->MBI", eval.IR2VecIntra(e.ex, e.mbi, e.pipe)},
+		{"IR2vec Intra  CORR->CORR", eval.IR2VecIntra(e.ex, e.corr, e.pipe)},
+		{"IR2vec Cross  MBI->CORR", eval.IR2VecCross(e.ex, e.mbi, e.corr, e.pipe)},
+		{"IR2vec Cross  CORR->MBI", eval.IR2VecCross(e.ex, e.corr, e.mbi, e.pipe)},
+		{"IR2vec Mix", eval.IR2VecMix(e.ex, e.mbi, e.corr, e.pipe)},
+		{"GNN    Intra  MBI->MBI", eval.GNNIntra(e.ex, e.mbi, e.gnnCfg)},
+		{"GNN    Intra  CORR->CORR", eval.GNNIntra(e.ex, e.corr, e.gnnCfg)},
+		{"GNN    Cross  MBI->CORR", eval.GNNCross(e.ex, e.mbi, e.corr, e.gnnCfg)},
+		{"GNN    Cross  CORR->MBI", eval.GNNCross(e.ex, e.corr, e.mbi, e.gnnCfg)},
+		{"GNN    Mix", eval.GNNMix(e.ex, e.mbi, e.corr, e.gnnCfg)},
+	}
+	fmt.Print(metrics.Table(rows))
+}
+
+func runTable3(e *env) {
+	tools := []verify.Tool{verify.ITAC{}, verify.PARCOACH{}}
+	for _, t := range tools {
+		c := verify.Evaluate(t, e.mbi)
+		fmt.Printf("%-26s %s\n", t.Name(), c.FullRow())
+	}
+	ml := []struct {
+		Name string
+		C    metrics.Confusion
+	}{
+		{"IR2vec Intra", eval.IR2VecIntra(e.ex, e.mbi, e.pipe)},
+		{"IR2vec Cross (CORR->MBI)", eval.IR2VecCross(e.ex, e.corr, e.mbi, e.pipe)},
+		{"GNN Intra", eval.GNNIntra(e.ex, e.mbi, e.gnnCfg)},
+		{"GNN Cross (CORR->MBI)", eval.GNNCross(e.ex, e.corr, e.mbi, e.gnnCfg)},
+	}
+	for _, r := range ml {
+		fmt.Printf("%-26s %s\n", r.Name, r.C.FullRow())
+	}
+	_, incorrect := e.mbi.CountCorrect()
+	correct := len(e.mbi.Codes) - incorrect
+	ideal := metrics.Confusion{TP: incorrect, TN: correct}
+	fmt.Printf("%-26s %s\n", "Ideal tool", ideal.FullRow())
+}
+
+func runTable4(e *env) {
+	p := e.pipe
+	p.UseGA = false // the sweep isolates compilation & normalisation
+	for _, norm := range []ir2vec.Norm{ir2vec.NormNone, ir2vec.NormVector, ir2vec.NormIndex} {
+		for _, d := range []*dataset.Dataset{e.mbi, e.corr} {
+			for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
+				p.Norm = norm
+				p.Opt = lvl
+				c := eval.IR2VecIntra(e.ex, d, p)
+				fmt.Printf("%-4s %-7s %-14s %s\n", lvl, norm, d.Name, c.Row())
+			}
+		}
+	}
+}
+
+func runTable5(e *env) {
+	for _, useGA := range []bool{false, true} {
+		p := e.pipe
+		p.UseGA = useGA
+		tag := "OFF"
+		if useGA {
+			tag = "ON"
+		}
+		fmt.Printf("GA %-3s Intra MBI       %s\n", tag, eval.IR2VecIntra(e.ex, e.mbi, p).Row())
+		fmt.Printf("GA %-3s Intra CORR      %s\n", tag, eval.IR2VecIntra(e.ex, e.corr, p).Row())
+		fmt.Printf("GA %-3s Cross MBI->CORR %s\n", tag, eval.IR2VecCross(e.ex, e.mbi, e.corr, p).Row())
+		fmt.Printf("GA %-3s Cross CORR->MBI %s\n", tag, eval.IR2VecCross(e.ex, e.corr, e.mbi, p).Row())
+	}
+}
+
+func runFig6(e *env) {
+	acc := eval.PerLabelAccuracy(e.ex, e.mbi, e.pipe)
+	printLabelBars(acc)
+}
+
+func printLabelBars(acc map[dataset.Label]float64) {
+	type row struct {
+		l dataset.Label
+		a float64
+	}
+	var rows []row
+	for l, a := range acc {
+		rows = append(rows, row{l, a})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].a < rows[j].a })
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.a*40))
+		fmt.Printf("%-20s %5.1f%% %s\n", r.l, r.a*100, bar)
+	}
+}
+
+func runFig7(e *env) {
+	fmt.Println("-- MPI-CorrBench --")
+	for _, t := range []verify.Tool{verify.MUST{}, verify.ITAC{}, verify.PARCOACH{}, verify.MPIChecker{}} {
+		c := verify.Evaluate(t, e.corr)
+		fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", t.Name(),
+			c.Recall(), c.Precision(), c.F1(), c.Accuracy())
+	}
+	ci := eval.IR2VecIntra(e.ex, e.corr, e.pipe)
+	cx := eval.IR2VecCross(e.ex, e.mbi, e.corr, e.pipe)
+	gi := eval.GNNIntra(e.ex, e.corr, e.gnnCfg)
+	gx := eval.GNNCross(e.ex, e.mbi, e.corr, e.gnnCfg)
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "IR2vec Intra", ci.Recall(), ci.Precision(), ci.F1(), ci.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "IR2vec Cross", cx.Recall(), cx.Precision(), cx.F1(), cx.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "GNN Intra", gi.Recall(), gi.Precision(), gi.F1(), gi.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "GNN Cross", gx.Recall(), gx.Precision(), gx.F1(), gx.Accuracy())
+
+	fmt.Println("-- MBI --")
+	for _, t := range []verify.Tool{verify.ITAC{}, verify.PARCOACH{}} {
+		c := verify.Evaluate(t, e.mbi)
+		fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", t.Name(),
+			c.Recall(), c.Precision(), c.F1(), c.Accuracy())
+	}
+	mi := eval.IR2VecIntra(e.ex, e.mbi, e.pipe)
+	mx := eval.IR2VecCross(e.ex, e.corr, e.mbi, e.pipe)
+	ggi := eval.GNNIntra(e.ex, e.mbi, e.gnnCfg)
+	ggx := eval.GNNCross(e.ex, e.corr, e.mbi, e.gnnCfg)
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "IR2vec Intra", mi.Recall(), mi.Precision(), mi.F1(), mi.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "IR2vec Cross", mx.Recall(), mx.Precision(), mx.F1(), mx.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "GNN Intra", ggi.Recall(), ggi.Precision(), ggi.F1(), ggi.Accuracy())
+	fmt.Printf("%-26s R=%.3f P=%.3f F1=%.3f A=%.3f\n", "GNN Cross", ggx.Recall(), ggx.Precision(), ggx.F1(), ggx.Accuracy())
+}
+
+func runFig8(e *env) {
+	fmt.Println("-- MPI-CorrBench (leave one error class out of training) --")
+	for _, l := range dataset.CorrBenchLabels() {
+		acc := eval.Ablation(e.ex, e.corr, e.pipe, []dataset.Label{l})
+		fmt.Printf("%-20s %5.1f%%\n", l, acc[l]*100)
+	}
+	fmt.Println("-- MBI --")
+	for _, l := range dataset.MBILabels() {
+		acc := eval.Ablation(e.ex, e.mbi, e.pipe, []dataset.Label{l})
+		fmt.Printf("%-20s %5.1f%%\n", l, acc[l]*100)
+	}
+}
+
+func runFig9(e *env) {
+	labels := dataset.CorrBenchLabels()
+	for i, a := range labels {
+		for j, b := range labels {
+			if j <= i {
+				continue
+			}
+			acc := eval.Ablation(e.ex, e.corr, e.pipe, []dataset.Label{a, b})
+			fmt.Printf("excl %-14s + %-14s -> %-14s %5.1f%%   %-14s %5.1f%%\n",
+				a, b, a, acc[a]*100, b, acc[b]*100)
+		}
+	}
+}
+
+func runSeeds(e *env) {
+	for _, d := range []*dataset.Dataset{e.mbi, e.corr} {
+		orig, changed := eval.SeedStudy(e.ex, d, e.pipe, e.pipe.Seed+41)
+		fmt.Printf("%-14s original seed: A=%.4f   regenerated seed: A=%.4f   delta=%+.2f%%\n",
+			d.Name, orig.Accuracy(), changed.Accuracy(),
+			100*(changed.Accuracy()-orig.Accuracy()))
+	}
+}
+
+func runTable6(e *env) {
+	cells := eval.HypreStudy(e.ex, e.mbi, e.corr, e.pipe, *seed)
+	for _, c := range cells {
+		fmt.Println(c)
+	}
+}

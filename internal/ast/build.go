@@ -1,0 +1,129 @@
+package ast
+
+// This file provides a compact construction DSL used by the dataset
+// generators and tests. The helpers are deliberately terse: generator code
+// reads almost like the C it produces.
+
+// Id returns an identifier expression.
+func Id(name string) *Ident { return &Ident{Name: name} }
+
+// I returns an int literal.
+func I(v int64) *IntLit { return &IntLit{V: v} }
+
+// F returns a float literal.
+func F(v float64) *FloatLit { return &FloatLit{V: v} }
+
+// S returns a string literal.
+func S(s string) *StrLit { return &StrLit{S: s} }
+
+// Bin returns a binary expression.
+func Bin(op string, x, y Expr) *BinExpr { return &BinExpr{Op: op, X: x, Y: y} }
+
+// Eq returns x == y.
+func Eq(x, y Expr) *BinExpr { return Bin("==", x, y) }
+
+// Ne returns x != y.
+func Ne(x, y Expr) *BinExpr { return Bin("!=", x, y) }
+
+// Lt returns x < y.
+func Lt(x, y Expr) *BinExpr { return Bin("<", x, y) }
+
+// Add returns x + y.
+func Add(x, y Expr) *BinExpr { return Bin("+", x, y) }
+
+// Sub returns x - y.
+func Sub(x, y Expr) *BinExpr { return Bin("-", x, y) }
+
+// Mul returns x * y.
+func Mul(x, y Expr) *BinExpr { return Bin("*", x, y) }
+
+// Mod returns x % y.
+func Mod(x, y Expr) *BinExpr { return Bin("%", x, y) }
+
+// Idx returns x[i].
+func Idx(x, i Expr) *IndexExpr { return &IndexExpr{X: x, I: i} }
+
+// Addr returns &x.
+func Addr(x Expr) *AddrExpr { return &AddrExpr{X: x} }
+
+// Call returns a call expression.
+func Call(name string, args ...Expr) *CallExpr { return &CallExpr{Name: name, Args: args} }
+
+// X wraps an expression as a statement.
+func X(e Expr) *ExprStmt { return &ExprStmt{X: e} }
+
+// CallS returns a call statement.
+func CallS(name string, args ...Expr) *ExprStmt { return X(Call(name, args...)) }
+
+// Decl declares a variable.
+func Decl(name string, t *Type, init Expr) *DeclStmt {
+	return &DeclStmt{Name: name, Type: t, Init: init}
+}
+
+// DeclArr declares an array variable.
+func DeclArr(name string, n int, elem *Type) *DeclStmt {
+	return &DeclStmt{Name: name, Type: ArrayOf(n, elem)}
+}
+
+// Assign returns an assignment statement.
+func Assign(lhs, rhs Expr) *AssignStmt { return &AssignStmt{LHS: lhs, RHS: rhs} }
+
+// Block builds a block statement.
+func Block(stmts ...Stmt) *BlockStmt { return &BlockStmt{Stmts: stmts} }
+
+// If returns a one-armed conditional.
+func If(cond Expr, then ...Stmt) *IfStmt { return &IfStmt{Cond: cond, Then: Block(then...)} }
+
+// IfElse returns a two-armed conditional.
+func IfElse(cond Expr, then, els []Stmt) *IfStmt {
+	return &IfStmt{Cond: cond, Then: Block(then...), Else: Block(els...)}
+}
+
+// ForUp returns `for (v = from; v < to; v = v + 1) body`, declaring v.
+func ForUp(v string, from, to int64, body ...Stmt) *ForStmt {
+	return &ForStmt{
+		Init: Decl(v, Int, I(from)),
+		Cond: Lt(Id(v), I(to)),
+		Post: Assign(Id(v), Add(Id(v), I(1))),
+		Body: Block(body...),
+	}
+}
+
+// While returns a while loop.
+func While(cond Expr, body ...Stmt) *WhileStmt { return &WhileStmt{Cond: cond, Body: Block(body...)} }
+
+// Ret returns a return statement.
+func Ret(e Expr) *ReturnStmt { return &ReturnStmt{X: e} }
+
+// Fn builds a function declaration.
+func Fn(name string, ret *Type, params []*ParamDecl, body ...Stmt) *FuncDecl {
+	return &FuncDecl{Name: name, Ret: ret, Params: params, Body: Block(body...)}
+}
+
+// P builds a parameter declaration.
+func P(name string, t *Type) *ParamDecl { return &ParamDecl{Name: name, Type: t} }
+
+// MainProgram wraps statements into `int main(void)` with the standard MPI
+// prologue/epilogue left to the caller.
+func MainProgram(name string, stmts ...Stmt) *Program {
+	return &Program{
+		Name:     name,
+		Includes: []string{"<mpi.h>", "<stdio.h>"},
+		Funcs:    []*FuncDecl{Fn("main", Int, nil, append(stmts, Ret(I(0)))...)},
+	}
+}
+
+// MPIBoilerplate returns the standard opening statements: declarations of
+// rank/size and the Init/Comm_rank/Comm_size calls.
+func MPIBoilerplate() []Stmt {
+	return []Stmt{
+		Decl("rank", Int, nil),
+		Decl("size", Int, nil),
+		CallS("MPI_Init", Id("NULL"), Id("NULL")),
+		CallS("MPI_Comm_rank", Id("MPI_COMM_WORLD"), Addr(Id("rank"))),
+		CallS("MPI_Comm_size", Id("MPI_COMM_WORLD"), Addr(Id("size"))),
+	}
+}
+
+// Finalize returns the MPI_Finalize statement.
+func Finalize() Stmt { return CallS("MPI_Finalize") }

@@ -1,0 +1,198 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RenderC prints the program as C source. The output is what the line-count
+// studies (Fig. 2) measure; it is also handy for inspecting generated
+// benchmark codes.
+func RenderC(p *Program) string {
+	r := &renderer{}
+	for _, inc := range p.Includes {
+		r.linef("#include %s", inc)
+	}
+	if len(p.Includes) > 0 {
+		r.line("")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			r.line("")
+		}
+		r.renderFunc(f)
+	}
+	return r.sb.String()
+}
+
+// LineCount returns the number of source lines of the rendered program,
+// after simulating C pre-processing of the include directives: each include
+// named in headerSizes is expanded to its line count (this reproduces the
+// "mpitest.h" size bias of MPI-CorrBench correct codes).
+func LineCount(p *Program, headerSizes map[string]int) int {
+	body := strings.Count(RenderC(p), "\n")
+	for _, inc := range p.Includes {
+		name := strings.Trim(inc, "<>\"")
+		if n, ok := headerSizes[name]; ok {
+			body += n - 1 // the directive line is replaced by the expansion
+		}
+	}
+	return body
+}
+
+type renderer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (r *renderer) line(s string) {
+	for i := 0; i < r.indent; i++ {
+		r.sb.WriteString("  ")
+	}
+	r.sb.WriteString(s)
+	r.sb.WriteByte('\n')
+}
+
+func (r *renderer) linef(format string, args ...any) {
+	r.line(fmt.Sprintf(format, args...))
+}
+
+func (r *renderer) renderFunc(f *FuncDecl) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = declarator(p.Type, p.Name)
+	}
+	if len(params) == 0 {
+		params = []string{"void"}
+	}
+	r.linef("%s %s(%s) {", f.Ret.CName(), f.Name, strings.Join(params, ", "))
+	r.indent++
+	for _, s := range f.Body.Stmts {
+		r.renderStmt(s)
+	}
+	r.indent--
+	r.line("}")
+}
+
+// declarator renders "T name" handling array suffixes.
+func declarator(t *Type, name string) string {
+	if t.Kind == TArray {
+		return fmt.Sprintf("%s %s[%d]", t.Elem.CName(), name, t.Len)
+	}
+	return t.CName() + " " + name
+}
+
+func (r *renderer) renderStmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		r.line("{")
+		r.indent++
+		for _, inner := range st.Stmts {
+			r.renderStmt(inner)
+		}
+		r.indent--
+		r.line("}")
+	case *DeclStmt:
+		if st.Init != nil {
+			r.linef("%s = %s;", declarator(st.Type, st.Name), RenderExpr(st.Init))
+		} else {
+			r.linef("%s;", declarator(st.Type, st.Name))
+		}
+	case *AssignStmt:
+		r.linef("%s = %s;", RenderExpr(st.LHS), RenderExpr(st.RHS))
+	case *ExprStmt:
+		r.linef("%s;", RenderExpr(st.X))
+	case *IfStmt:
+		r.linef("if (%s) {", RenderExpr(st.Cond))
+		r.indent++
+		for _, inner := range st.Then.Stmts {
+			r.renderStmt(inner)
+		}
+		r.indent--
+		if st.Else != nil {
+			r.line("} else {")
+			r.indent++
+			for _, inner := range st.Else.Stmts {
+				r.renderStmt(inner)
+			}
+			r.indent--
+		}
+		r.line("}")
+	case *ForStmt:
+		init, post := "", ""
+		if st.Init != nil {
+			init = strings.TrimSuffix(stmtInline(st.Init), ";")
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(stmtInline(st.Post), ";")
+		}
+		r.linef("for (%s; %s; %s) {", init, RenderExpr(st.Cond), post)
+		r.indent++
+		for _, inner := range st.Body.Stmts {
+			r.renderStmt(inner)
+		}
+		r.indent--
+		r.line("}")
+	case *WhileStmt:
+		r.linef("while (%s) {", RenderExpr(st.Cond))
+		r.indent++
+		for _, inner := range st.Body.Stmts {
+			r.renderStmt(inner)
+		}
+		r.indent--
+		r.line("}")
+	case *ReturnStmt:
+		if st.X != nil {
+			r.linef("return %s;", RenderExpr(st.X))
+		} else {
+			r.line("return;")
+		}
+	}
+}
+
+func stmtInline(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			return fmt.Sprintf("%s = %s;", declarator(st.Type, st.Name), RenderExpr(st.Init))
+		}
+		return declarator(st.Type, st.Name) + ";"
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s;", RenderExpr(st.LHS), RenderExpr(st.RHS))
+	case *ExprStmt:
+		return RenderExpr(st.X) + ";"
+	}
+	return ";"
+}
+
+// RenderExpr prints an expression in C syntax.
+func RenderExpr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.V, 10)
+	case *FloatLit:
+		return strconv.FormatFloat(x.V, 'g', -1, 64)
+	case *StrLit:
+		return strconv.Quote(x.S)
+	case *Ident:
+		return x.Name
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", RenderExpr(x.X), x.Op, RenderExpr(x.Y))
+	case *UnExpr:
+		return fmt.Sprintf("%s(%s)", x.Op, RenderExpr(x.X))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", RenderExpr(x.X), RenderExpr(x.I))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RenderExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *AddrExpr:
+		return "&" + RenderExpr(x.X)
+	case *DerefExpr:
+		return "*" + RenderExpr(x.X)
+	}
+	return "?"
+}

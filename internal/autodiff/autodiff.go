@@ -1,0 +1,403 @@
+// Package autodiff implements a tape-based reverse-mode automatic
+// differentiation engine over dense matrices, with the gather/segment
+// operations graph neural networks need (edge gathers, per-destination
+// softmax, segment sums, max pooling). The GNN of the paper (§IV-B) is
+// built entirely from these primitives, and the gradients are
+// property-tested against numerical differentiation.
+package autodiff
+
+import (
+	"math"
+
+	"mpidetect/internal/tensor"
+)
+
+// Node is one value in the computation graph.
+type Node struct {
+	Val  *tensor.Mat
+	Grad *tensor.Mat
+	back func()
+	tape *Tape
+}
+
+// Tape records operations so Backward can replay them in reverse.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+func (t *Tape) node(val *tensor.Mat, back func()) *Node {
+	n := &Node{Val: val, Grad: tensor.New(val.R, val.C), back: back, tape: t}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Input registers a leaf value (input or parameter).
+func (t *Tape) Input(val *tensor.Mat) *Node {
+	return t.node(val, nil)
+}
+
+// Backward seeds d(loss)=1 and propagates gradients to every node.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Val.R != 1 || loss.Val.C != 1 {
+		panic("autodiff: Backward needs a scalar loss")
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].back != nil {
+			t.nodes[i].back()
+		}
+	}
+}
+
+// MatMul returns a @ b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	val := tensor.MatMul(a.Val, b.Val)
+	var out *Node
+	out = t.node(val, func() {
+		tensor.AddInPlace(a.Grad, tensor.MatMulABT(out.Grad, b.Val))
+		tensor.AddInPlace(b.Grad, tensor.MatMulATB(a.Val, out.Grad))
+	})
+	return out
+}
+
+// Add returns a + b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	val := a.Val.Clone()
+	tensor.AddInPlace(val, b.Val)
+	var out *Node
+	out = t.node(val, func() {
+		tensor.AddInPlace(a.Grad, out.Grad)
+		tensor.AddInPlace(b.Grad, out.Grad)
+	})
+	return out
+}
+
+// AddRow broadcasts a 1×C row b over the R×C matrix a.
+func (t *Tape) AddRow(a, b *Node) *Node {
+	if b.Val.R != 1 || b.Val.C != a.Val.C {
+		panic("autodiff: AddRow shape mismatch")
+	}
+	val := a.Val.Clone()
+	for i := 0; i < val.R; i++ {
+		row := val.Row(i)
+		for j, v := range b.Val.Data {
+			row[j] += v
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		tensor.AddInPlace(a.Grad, out.Grad)
+		for i := 0; i < out.Grad.R; i++ {
+			row := out.Grad.Row(i)
+			for j, v := range row {
+				b.Grad.Data[j] += v
+			}
+		}
+	})
+	return out
+}
+
+// Scale returns s * a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	val := a.Val.Clone()
+	tensor.ScaleInPlace(val, s)
+	var out *Node
+	out = t.node(val, func() {
+		for i, g := range out.Grad.Data {
+			a.Grad.Data[i] += s * g
+		}
+	})
+	return out
+}
+
+// LeakyReLU applies max(x, alpha*x) elementwise.
+func (t *Tape) LeakyReLU(a *Node, alpha float64) *Node {
+	val := a.Val.Clone()
+	for i, v := range val.Data {
+		if v < 0 {
+			val.Data[i] = alpha * v
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i, g := range out.Grad.Data {
+			if a.Val.Data[i] < 0 {
+				a.Grad.Data[i] += alpha * g
+			} else {
+				a.Grad.Data[i] += g
+			}
+		}
+	})
+	return out
+}
+
+// ReLU applies max(x, 0) elementwise.
+func (t *Tape) ReLU(a *Node) *Node { return t.LeakyReLU(a, 0) }
+
+// ELU applies x>=0 ? x : exp(x)-1 elementwise.
+func (t *Tape) ELU(a *Node) *Node {
+	val := a.Val.Clone()
+	for i, v := range val.Data {
+		if v < 0 {
+			val.Data[i] = math.Exp(v) - 1
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i, g := range out.Grad.Data {
+			if a.Val.Data[i] < 0 {
+				a.Grad.Data[i] += g * (out.Val.Data[i] + 1) // d/dx (e^x - 1) = e^x
+			} else {
+				a.Grad.Data[i] += g
+			}
+		}
+	})
+	return out
+}
+
+// Gather selects rows of a by index (duplicates allowed).
+func (t *Tape) Gather(a *Node, idx []int) *Node {
+	val := tensor.New(len(idx), a.Val.C)
+	for i, r := range idx {
+		copy(val.Row(i), a.Val.Row(r))
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i, r := range idx {
+			dst := a.Grad.Row(r)
+			src := out.Grad.Row(i)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	})
+	return out
+}
+
+// SegmentSum sums rows of a into nSeg buckets chosen by seg.
+func (t *Tape) SegmentSum(a *Node, seg []int, nSeg int) *Node {
+	val := tensor.New(nSeg, a.Val.C)
+	for i, s := range seg {
+		dst := val.Row(s)
+		src := a.Val.Row(i)
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i, s := range seg {
+			dst := a.Grad.Row(i)
+			src := out.Grad.Row(s)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	})
+	return out
+}
+
+// SegmentSoftmax normalises the E×1 column a with a softmax within each
+// segment (the attention normalisation of GAT).
+func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
+	if a.Val.C != 1 {
+		panic("autodiff: SegmentSoftmax needs an E×1 column")
+	}
+	maxs := make([]float64, nSeg)
+	for i := range maxs {
+		maxs[i] = math.Inf(-1)
+	}
+	for i, s := range seg {
+		if v := a.Val.Data[i]; v > maxs[s] {
+			maxs[s] = v
+		}
+	}
+	sums := make([]float64, nSeg)
+	val := tensor.New(a.Val.R, 1)
+	for i, s := range seg {
+		e := math.Exp(a.Val.Data[i] - maxs[s])
+		val.Data[i] = e
+		sums[s] += e
+	}
+	for i, s := range seg {
+		if sums[s] > 0 {
+			val.Data[i] /= sums[s]
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		// dL/dx_i = y_i * (g_i - sum_j in seg y_j g_j)
+		dots := make([]float64, nSeg)
+		for i, s := range seg {
+			dots[s] += out.Val.Data[i] * out.Grad.Data[i]
+		}
+		for i, s := range seg {
+			a.Grad.Data[i] += out.Val.Data[i] * (out.Grad.Data[i] - dots[s])
+		}
+	})
+	return out
+}
+
+// MulCol multiplies each row i of a (R×C) by the scalar col.Data[i] (R×1).
+func (t *Tape) MulCol(a, col *Node) *Node {
+	if col.Val.C != 1 || col.Val.R != a.Val.R {
+		panic("autodiff: MulCol shape mismatch")
+	}
+	val := a.Val.Clone()
+	for i := 0; i < val.R; i++ {
+		s := col.Val.Data[i]
+		row := val.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i := 0; i < a.Val.R; i++ {
+			s := col.Val.Data[i]
+			gRow := out.Grad.Row(i)
+			aRow := a.Val.Row(i)
+			aG := a.Grad.Row(i)
+			dot := 0.0
+			for j, g := range gRow {
+				aG[j] += s * g
+				dot += aRow[j] * g
+			}
+			col.Grad.Data[i] += dot
+		}
+	})
+	return out
+}
+
+// MaxRows pools an R×C matrix to 1×C by taking the columnwise maximum
+// (adaptive max pooling over all nodes of a graph).
+func (t *Tape) MaxRows(a *Node) *Node {
+	val := tensor.New(1, a.Val.C)
+	arg := make([]int, a.Val.C)
+	for j := 0; j < a.Val.C; j++ {
+		best := math.Inf(-1)
+		bi := 0
+		for i := 0; i < a.Val.R; i++ {
+			if v := a.Val.At(i, j); v > best {
+				best = v
+				bi = i
+			}
+		}
+		val.Data[j] = best
+		arg[j] = bi
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for j, i := range arg {
+			a.Grad.Set(i, j, a.Grad.At(i, j)+out.Grad.Data[j])
+		}
+	})
+	return out
+}
+
+// MeanRows pools an R×C matrix to 1×C by the columnwise mean.
+func (t *Tape) MeanRows(a *Node) *Node {
+	val := tensor.New(1, a.Val.C)
+	inv := 1.0 / float64(a.Val.R)
+	for i := 0; i < a.Val.R; i++ {
+		row := a.Val.Row(i)
+		for j, v := range row {
+			val.Data[j] += v * inv
+		}
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i := 0; i < a.Val.R; i++ {
+			row := a.Grad.Row(i)
+			for j := range row {
+				row[j] += out.Grad.Data[j] * inv
+			}
+		}
+	})
+	return out
+}
+
+// Concat stacks two matrices horizontally (same R).
+func (t *Tape) Concat(a, b *Node) *Node {
+	if a.Val.R != b.Val.R {
+		panic("autodiff: Concat row mismatch")
+	}
+	val := tensor.New(a.Val.R, a.Val.C+b.Val.C)
+	for i := 0; i < val.R; i++ {
+		copy(val.Row(i)[:a.Val.C], a.Val.Row(i))
+		copy(val.Row(i)[a.Val.C:], b.Val.Row(i))
+	}
+	var out *Node
+	out = t.node(val, func() {
+		for i := 0; i < val.R; i++ {
+			g := out.Grad.Row(i)
+			ag := a.Grad.Row(i)
+			bg := b.Grad.Row(i)
+			for j := range ag {
+				ag[j] += g[j]
+			}
+			for j := range bg {
+				bg[j] += g[a.Val.C+j]
+			}
+		}
+	})
+	return out
+}
+
+// CrossEntropyLogits computes softmax cross-entropy of a 1×C logits row
+// against an integer label, returning a scalar node.
+func (t *Tape) CrossEntropyLogits(logits *Node, label int) *Node {
+	c := logits.Val.C
+	maxv := math.Inf(-1)
+	for _, v := range logits.Val.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, c)
+	for i, v := range logits.Val.Data {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	val := tensor.FromSlice(1, 1, []float64{loss})
+	var out *Node
+	out = t.node(val, func() {
+		g := out.Grad.Data[0]
+		for i := 0; i < c; i++ {
+			d := probs[i]
+			if i == label {
+				d -= 1
+			}
+			logits.Grad.Data[i] += g * d
+		}
+	})
+	return out
+}
+
+// Softmax returns the softmax of a 1×C row (inference helper).
+func Softmax(row []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(row))
+	sum := 0.0
+	for i, v := range row {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

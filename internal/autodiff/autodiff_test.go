@@ -1,0 +1,220 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpidetect/internal/tensor"
+)
+
+// numGrad estimates d(loss)/d(x[i]) by central differences for a scalar
+// loss produced by f from the current contents of x.
+func numGrad(x *tensor.Mat, f func() float64) *tensor.Mat {
+	const h = 1e-6
+	out := tensor.New(x.R, x.C)
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		up := f()
+		x.Data[i] = orig - h
+		down := f()
+		x.Data[i] = orig
+		out.Data[i] = (up - down) / (2 * h)
+	}
+	return out
+}
+
+// checkGrad builds the graph via build (returning the scalar loss node and
+// the input node), runs Backward, and compares the analytic input gradient
+// with numerical differentiation.
+func checkGrad(t *testing.T, name string, x *tensor.Mat, build func(tp *Tape, in *Node) *Node) {
+	t.Helper()
+	f := func() float64 {
+		tp := NewTape()
+		in := tp.Input(x)
+		return build(tp, in).Val.Data[0]
+	}
+	want := numGrad(x, f)
+	tp := NewTape()
+	in := tp.Input(x)
+	loss := build(tp, in)
+	tp.Backward(loss)
+	if !tensor.Equalish(in.Grad, want, 1e-4) {
+		t.Errorf("%s: analytic grad %v != numeric %v", name, in.Grad.Data, want.Data)
+	}
+}
+
+// sumAll reduces any node to a scalar via fixed random weights (so the
+// gradient is non-trivial).
+func sumAll(tp *Tape, n *Node) *Node {
+	w := tensor.New(n.Val.C, 1)
+	for i := range w.Data {
+		w.Data[i] = float64(i%5) - 2.1
+	}
+	col := tp.MatMul(n, tp.Input(w))
+	ones := tensor.New(1, col.Val.R)
+	for i := range ones.Data {
+		ones.Data[i] = float64(i%3) + 0.5
+	}
+	return tp.MatMul(tp.Input(ones), col)
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Mat {
+	return tensor.Randn(rng, r, c, 1)
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMat(rng, 3, 4)
+	other := randMat(rng, 4, 2)
+	checkGrad(t, "matmul", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MatMul(in, tp.Input(other)))
+	})
+}
+
+func TestGradAddAndAddRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randMat(rng, 3, 4)
+	b := randMat(rng, 3, 4)
+	checkGrad(t, "add", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.Add(in, tp.Input(b)))
+	})
+	row := randMat(rng, 1, 4)
+	checkGrad(t, "addrow", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.AddRow(in, tp.Input(row)))
+	})
+	// gradient also flows into the broadcast row
+	checkGrad(t, "addrow-row", row, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.AddRow(tp.Input(x), in))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMat(rng, 4, 3)
+	checkGrad(t, "leakyrelu", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.LeakyReLU(in, 0.2))
+	})
+	checkGrad(t, "elu", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.ELU(in))
+	})
+}
+
+func TestGradGatherSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, 4, 3)
+	idx := []int{0, 2, 2, 3, 1, 0}
+	seg := []int{0, 0, 1, 2, 2, 2}
+	checkGrad(t, "gather", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.Gather(in, idx))
+	})
+	checkGrad(t, "segsum", x, func(tp *Tape, in *Node) *Node {
+		g := tp.Gather(in, idx)
+		return sumAll(tp, tp.SegmentSum(g, seg, 3))
+	})
+}
+
+func TestGradSegmentSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randMat(rng, 6, 1)
+	seg := []int{0, 0, 1, 1, 1, 2}
+	checkGrad(t, "segsoftmax", x, func(tp *Tape, in *Node) *Node {
+		sm := tp.SegmentSoftmax(in, seg, 3)
+		w := tensor.New(1, 6)
+		for i := range w.Data {
+			w.Data[i] = float64(i) - 2.5
+		}
+		return tp.MatMul(tp.Input(w), sm)
+	})
+}
+
+func TestSegmentSoftmaxNormalises(t *testing.T) {
+	tp := NewTape()
+	x := tp.Input(tensor.FromSlice(5, 1, []float64{1, 2, 3, -1, 0}))
+	seg := []int{0, 0, 0, 1, 1}
+	sm := tp.SegmentSoftmax(x, seg, 2)
+	s0 := sm.Val.Data[0] + sm.Val.Data[1] + sm.Val.Data[2]
+	s1 := sm.Val.Data[3] + sm.Val.Data[4]
+	if math.Abs(s0-1) > 1e-12 || math.Abs(s1-1) > 1e-12 {
+		t.Errorf("segment sums = %g, %g; want 1", s0, s1)
+	}
+}
+
+func TestGradMulCol(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randMat(rng, 4, 3)
+	col := randMat(rng, 4, 1)
+	checkGrad(t, "mulcol-a", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MulCol(in, tp.Input(col)))
+	})
+	checkGrad(t, "mulcol-col", col, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MulCol(tp.Input(x), in))
+	})
+}
+
+func TestGradPooling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randMat(rng, 5, 3)
+	checkGrad(t, "maxrows", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MaxRows(in))
+	})
+	checkGrad(t, "meanrows", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MeanRows(in))
+	})
+}
+
+func TestGradConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 3, 2)
+	b := randMat(rng, 3, 4)
+	checkGrad(t, "concat-a", a, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.Concat(in, tp.Input(b)))
+	})
+	checkGrad(t, "concat-b", b, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.Concat(tp.Input(a), in))
+	})
+}
+
+func TestGradCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	logits := randMat(rng, 1, 5)
+	checkGrad(t, "ce", logits, func(tp *Tape, in *Node) *Node {
+		return tp.CrossEntropyLogits(in, 2)
+	})
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	p := Softmax([]float64{2, -1, 0.5, 3})
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("softmax sums to %g", s)
+	}
+	if p[3] <= p[0] {
+		t.Error("softmax ordering wrong")
+	}
+}
+
+func TestGradChain(t *testing.T) {
+	// Composite check: a miniature GATv2-shaped computation end to end.
+	rng := rand.New(rand.NewSource(10))
+	h := randMat(rng, 4, 3)
+	w := randMat(rng, 3, 2)
+	att := randMat(rng, 2, 1)
+	src := []int{0, 1, 2, 3, 1}
+	dst := []int{1, 0, 0, 2, 2}
+	checkGrad(t, "gat-chain", h, func(tp *Tape, in *Node) *Node {
+		hw := tp.MatMul(in, tp.Input(w))
+		es := tp.Gather(hw, src)
+		ed := tp.Gather(hw, dst)
+		s := tp.LeakyReLU(tp.Add(es, ed), 0.2)
+		e := tp.MatMul(s, tp.Input(att))
+		al := tp.SegmentSoftmax(e, dst, 4)
+		msg := tp.MulCol(es, al)
+		out := tp.SegmentSum(msg, dst, 4)
+		return sumAll(tp, out)
+	})
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/gnn"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+func trainingSlice(seed int64, per int) *dataset.Dataset {
+	d := dataset.GenerateCorrBench(seed, false)
+	out := &dataset.Dataset{Name: d.Name}
+	counts := map[dataset.Label]int{}
+	for _, c := range d.Codes {
+		if counts[c.Label] < per {
+			counts[c.Label]++
+			out.Codes = append(out.Codes, c)
+		}
+	}
+	return out
+}
+
+func TestIR2VecDetectorEndToEnd(t *testing.T) {
+	train := trainingSlice(1, 40)
+	cfg := DefaultIR2VecConfig()
+	cfg.Dim = 64
+	det, err := TrainIR2Vec(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on held-out codes of the same generator family.
+	test := trainingSlice(2, 20)
+	correct := 0
+	for _, c := range test.Codes {
+		v, err := det.CheckProgram(c.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if v.Incorrect == c.Incorrect() {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test.Codes))
+	if acc < 0.7 {
+		t.Errorf("detector accuracy %.2f < 0.7", acc)
+	}
+}
+
+func TestIR2VecMultiClass(t *testing.T) {
+	train := trainingSlice(3, 40)
+	cfg := DefaultIR2VecConfig()
+	cfg.Dim = 64
+	cfg.MultiClass = true
+	det, err := TrainIR2Vec(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := det.CheckProgram(train.Codes[0].Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != train.Codes[0].Label {
+		// Training-set prediction should usually be right for a tree grown
+		// to purity; tolerate mismatch only if labels are at least valid.
+		t.Logf("multi-class label %v vs truth %v", v.Label, train.Codes[0].Label)
+	}
+}
+
+func TestGNNDetectorEndToEnd(t *testing.T) {
+	train := trainingSlice(4, 24)
+	cfg := DefaultGNNConfig()
+	cfg.Model = gnn.Config{EmbedDim: 8, Hidden: []int{12, 8}, LR: 3e-3,
+		Epochs: 3, BatchSize: 8, Seed: 1, Workers: 1}
+	det, err := TrainGNN(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := det.CheckProgram(train.Codes[0].Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Confidence < 0.5 || v.Confidence > 1 {
+		t.Errorf("confidence %f out of range", v.Confidence)
+	}
+}
+
+func TestCheckModuleDirect(t *testing.T) {
+	train := trainingSlice(5, 30)
+	cfg := DefaultIR2VecConfig()
+	cfg.Dim = 48
+	det, err := TrainIR2Vec(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := irgen.MustLower(train.Codes[0].Prog)
+	passes.Optimize(m, passes.Os)
+	if _, err := det.CheckModule(m); err != nil {
+		t.Fatal(err)
+	}
+}

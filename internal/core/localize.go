@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sort"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/ir"
+)
+
+// FunctionSuspicion scores one function of a program.
+type FunctionSuspicion struct {
+	Function  string
+	Incorrect bool
+	// Score orders functions by how confidently the detector flags the
+	// compilation unit containing only this function (plus main's context).
+	Score float64
+}
+
+// LocalizeError implements the paper's §VI direction: "applying our models
+// at different code granularities by extracting the code into different
+// compilation units — whether or not an error is detected across the
+// different compilation units can serve as a guideline for the exact error
+// location". The program is re-sliced into one compilation unit per
+// non-main function (each unit = that function plus a synthetic main
+// calling it); the detector classifies every unit, and functions whose
+// units are flagged are returned first.
+func LocalizeError(d Detector, p *ast.Program) ([]FunctionSuspicion, error) {
+	var out []FunctionSuspicion
+	for _, f := range p.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		unit := sliceUnit(p, f)
+		v, err := d.CheckProgram(unit)
+		if err != nil {
+			// Units that fail to compile in isolation are skipped (the
+			// paper's granularity study tolerates partial units).
+			continue
+		}
+		score := v.Confidence
+		if !v.Incorrect {
+			score = -v.Confidence
+		}
+		out = append(out, FunctionSuspicion{Function: f.Name, Incorrect: v.Incorrect, Score: score})
+	}
+	// Whole-program verdict for main itself.
+	if v, err := d.CheckProgram(p); err == nil {
+		out = append(out, FunctionSuspicion{Function: "main", Incorrect: v.Incorrect,
+			Score: condScore(v)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+func condScore(v Verdict) float64 {
+	if v.Incorrect {
+		return v.Confidence
+	}
+	return -v.Confidence
+}
+
+// sliceUnit builds a compilation unit holding one function wrapped in a
+// synthetic main that performs the MPI prologue/epilogue and invokes it
+// with simple arguments.
+func sliceUnit(p *ast.Program, f *ast.FuncDecl) *ast.Program {
+	stmts := ast.MPIBoilerplate()
+	args := make([]ast.Expr, len(f.Params))
+	for i, prm := range f.Params {
+		switch prm.Name {
+		case "rank":
+			args[i] = ast.Id("rank")
+		case "size":
+			args[i] = ast.Id("size")
+		default:
+			args[i] = argFor(prm.Type)
+		}
+	}
+	call := &ast.CallExpr{Name: f.Name, Args: args}
+	if f.Ret.Kind == ast.TVoid {
+		stmts = append(stmts, ast.X(call))
+	} else {
+		stmts = append(stmts, ast.Decl("unit_result", f.Ret, call))
+	}
+	stmts = append(stmts, ast.Finalize())
+	return &ast.Program{
+		Name:     p.Name + "." + f.Name,
+		Includes: p.Includes,
+		Funcs: []*ast.FuncDecl{f,
+			ast.Fn("main", ast.Int, nil, append(stmts, ast.Ret(ast.I(0)))...)},
+	}
+}
+
+func argFor(t *ast.Type) ast.Expr {
+	switch t.Kind {
+	case ast.TDouble:
+		return ast.F(1.0)
+	default:
+		return ast.I(1)
+	}
+}
+
+// IRFunctions splits a compiled module into per-function instruction
+// counts, a cheap structural profile used by callers that want to report
+// the suspicious unit's size alongside the suspicion score.
+func IRFunctions(m *ir.Module) map[string]int {
+	out := map[string]int{}
+	for _, f := range m.Defined() {
+		out[f.Name] = f.NumInstrs()
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+func TestLocalizeErrorRuns(t *testing.T) {
+	train := trainingSlice(7, 30)
+	cfg := DefaultIR2VecConfig()
+	cfg.Dim = 48
+	det, err := TrainIR2Vec(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy, _ := dataset.HypreCase(1)
+	sus, err := LocalizeError(det, buggy.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sus) < 5 {
+		t.Fatalf("localization returned %d units, want >= 5 (one per function + main)", len(sus))
+	}
+	names := map[string]bool{}
+	for _, s := range sus {
+		names[s.Function] = true
+	}
+	for _, want := range []string{"hypre_ExchangeBoundary", "hypre_SMGRelax", "main"} {
+		if !names[want] {
+			t.Errorf("localization missing unit %q", want)
+		}
+	}
+	// Scores must be sorted descending.
+	for i := 1; i < len(sus); i++ {
+		if sus[i].Score > sus[i-1].Score {
+			t.Fatal("suspicions not sorted by score")
+		}
+	}
+}
+
+func TestIRFunctions(t *testing.T) {
+	buggy, _ := dataset.HypreCase(1)
+	m := irgen.MustLower(buggy.Prog)
+	passes.Optimize(m, passes.O0)
+	counts := IRFunctions(m)
+	if counts["hypre_ExchangeBoundary"] == 0 || counts["main"] == 0 {
+		t.Errorf("IRFunctions missing entries: %v", counts)
+	}
+}

@@ -1,0 +1,394 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	. "mpidetect/internal/ast"
+)
+
+// genCtx carries the random stream and style of one generated code.
+type genCtx struct {
+	r     *rand.Rand
+	suite Suite
+	seq   int
+}
+
+func (g *genCtx) intn(n int) int { return g.r.Intn(n) }
+
+func (g *genCtx) pick(vals ...int64) int64 { return vals[g.r.Intn(len(vals))] }
+
+// tag returns a plausible message tag.
+func (g *genCtx) tag() int64 { return int64(g.r.Intn(30)) }
+
+// count returns a small element count that stays under the eager limit.
+func (g *genCtx) count() int64 { return g.pick(1, 2, 4, 8) }
+
+// bigCount returns a count large enough to force rendezvous semantics.
+func (g *genCtx) bigCount() int64 { return g.pick(32, 64, 128) }
+
+// dtype returns a datatype identifier name.
+func (g *genCtx) dtype() string {
+	return []string{"MPI_INT", "MPI_INT", "MPI_INT", "MPI_DOUBLE"}[g.r.Intn(4)]
+}
+
+func world() Expr { return Id("MPI_COMM_WORLD") }
+
+// elemType maps a datatype spelling to the AST element type.
+func elemType(dt string) *Type {
+	if dt == "MPI_DOUBLE" {
+		return Double
+	}
+	return Int
+}
+
+// buffer declares a named buffer large enough for count elements of dt.
+func buffer(name string, count int64, dt string) Stmt {
+	n := int(count)
+	if n < 1 {
+		n = 1
+	}
+	return DeclArr(name, n, elemType(dt))
+}
+
+// fillBuffer writes deterministic values into buf[0..count).
+func (g *genCtx) fillBuffer(name string, count int64) Stmt {
+	v := fmt.Sprintf("fi%d", g.seq)
+	g.seq++
+	return ForUp(v, 0, count,
+		Assign(Idx(Id(name), Id(v)), Add(Mul(Id("rank"), I(int64(1+g.intn(5)))), Id(v))))
+}
+
+// filler emits n statements of local computation noise: loops, arithmetic,
+// conditionals and prints that have nothing to do with MPI. This is what
+// gives the corpus its code-size spread (Fig. 2) and makes classification
+// non-trivial.
+func (g *genCtx) filler(n int) []Stmt {
+	var out []Stmt
+	for k := 0; k < n; k++ {
+		id := g.seq
+		g.seq++
+		arr := fmt.Sprintf("w%d", id)
+		iv := fmt.Sprintf("k%d", id)
+		acc := fmt.Sprintf("acc%d", id)
+		size := int64(4 + g.intn(12))
+		switch g.intn(4) {
+		case 0:
+			out = append(out,
+				DeclArr(arr, int(size), Int),
+				Decl(acc, Int, I(0)),
+				ForUp(iv, 0, size,
+					Assign(Idx(Id(arr), Id(iv)), Mul(Id(iv), I(int64(1+g.intn(7))))),
+					Assign(Id(acc), Add(Id(acc), Idx(Id(arr), Id(iv))))),
+			)
+		case 1:
+			out = append(out,
+				Decl(acc, Double, F(float64(g.intn(10))+0.5)),
+				ForUp(iv, 0, size,
+					Assign(Id(acc), Bin("*", Id(acc), F(1.0+float64(g.intn(3))/10)))),
+			)
+		case 2:
+			out = append(out,
+				Decl(acc, Int, I(int64(g.intn(100)))),
+				If(Bin(">", Id(acc), I(int64(g.intn(50)))),
+					Assign(Id(acc), Sub(Id(acc), I(int64(1+g.intn(9)))))),
+			)
+		default:
+			out = append(out,
+				DeclArr(arr, int(size), Double),
+				ForUp(iv, 0, size,
+					Assign(Idx(Id(arr), Id(iv)), Bin("+", F(0.25), Bin("*", F(0.5), Id(iv))))),
+			)
+		}
+	}
+	return out
+}
+
+// helperFuncs generates auxiliary compute functions plus the call
+// statements invoking them, populating the call graph like real codes.
+func (g *genCtx) helperFuncs(n int) ([]*FuncDecl, []Stmt) {
+	var fns []*FuncDecl
+	var calls []Stmt
+	for k := 0; k < n; k++ {
+		id := g.seq
+		g.seq++
+		name := fmt.Sprintf("compute_%d", id)
+		iters := int64(3 + g.intn(13))
+		fns = append(fns, Fn(name, Int, []*ParamDecl{P("x", Int)},
+			Decl("s", Int, I(0)),
+			ForUp("i", 0, iters,
+				Assign(Id("s"), Add(Id("s"), Mul(Id("x"), Id("i"))))),
+			Ret(Id("s")),
+		))
+		calls = append(calls, Decl(fmt.Sprintf("h%d", id), Int,
+			Call(name, I(int64(1+g.intn(20))))))
+	}
+	return fns, calls
+}
+
+// program assembles a full code: boilerplate + body + finalize + filler,
+// with MBI codes getting more filler/helpers than CorrBench level-zero
+// micro-codes.
+func (g *genCtx) program(name string, body []Stmt, opts progOpts) *Program {
+	var stmts []Stmt
+	if !opts.skipInit {
+		stmts = append(stmts, MPIBoilerplate()...)
+	} else {
+		stmts = append(stmts, Decl("rank", Int, I(0)), Decl("size", Int, I(2)))
+	}
+	pre, mid := 0, 0
+	if g.suite == SuiteMBI {
+		pre, mid = 1+g.intn(3), 1+g.intn(4)
+	} else if g.intn(3) == 0 {
+		pre = 1
+	}
+	stmts = append(stmts, g.filler(pre)...)
+	stmts = append(stmts, body...)
+	stmts = append(stmts, g.filler(mid)...)
+	if !opts.skipFinalize {
+		stmts = append(stmts, Finalize())
+	}
+	prog := MainProgram(name, stmts...)
+	nHelpers := 0
+	if g.suite == SuiteMBI {
+		nHelpers = g.intn(3)
+	}
+	if nHelpers > 0 {
+		fns, calls := g.helperFuncs(nHelpers)
+		prog.Funcs = append(fns, prog.Funcs...)
+		main := prog.Funcs[len(prog.Funcs)-1]
+		main.Body.Stmts = append(calls, main.Body.Stmts...)
+	}
+	return prog
+}
+
+type progOpts struct {
+	skipInit     bool
+	skipFinalize bool
+}
+
+// ---------------------------------------------------------------------------
+// Correct communication templates. Each returns the body statements between
+// the boilerplate and MPI_Finalize, and is correct for any size >= 2.
+// ---------------------------------------------------------------------------
+
+type template func(g *genCtx) []Stmt
+
+// tplPingPong: rank 0 sends, rank 1 receives (optionally replies).
+func tplPingPong(g *genCtx) []Stmt {
+	dt := g.dtype()
+	count := g.count()
+	tag := g.tag()
+	reply := g.intn(2) == 0
+	thenArm := []Stmt{
+		g.fillBuffer("buf", count),
+		CallS("MPI_Send", Id("buf"), I(count), Id(dt), I(1), I(tag), world()),
+	}
+	elseArm := []Stmt{
+		CallS("MPI_Recv", Id("buf"), I(count), Id(dt), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")),
+	}
+	if reply {
+		thenArm = append(thenArm,
+			CallS("MPI_Recv", Id("buf"), I(count), Id(dt), I(1), I(tag+1), world(), Id("MPI_STATUS_IGNORE")))
+		elseArm = append(elseArm,
+			CallS("MPI_Send", Id("buf"), I(count), Id(dt), I(0), I(tag+1), world()))
+	}
+	return []Stmt{
+		buffer("buf", count, dt),
+		IfElse(Eq(Id("rank"), I(0)), thenArm, []Stmt{If(Eq(Id("rank"), I(1)), elseArm...)}),
+	}
+}
+
+// tplRing: neighbour exchange with MPI_Sendrecv (deadlock-free for any size).
+func tplRing(g *genCtx) []Stmt {
+	dt := g.dtype()
+	count := g.count()
+	tag := g.tag()
+	return []Stmt{
+		buffer("sbuf", count, dt),
+		buffer("rbuf", count, dt),
+		g.fillBuffer("sbuf", count),
+		Decl("right", Int, Mod(Add(Id("rank"), I(1)), Id("size"))),
+		Decl("left", Int, Mod(Add(Sub(Id("rank"), I(1)), Id("size")), Id("size"))),
+		CallS("MPI_Sendrecv",
+			Id("sbuf"), I(count), Id(dt), Id("right"), I(tag),
+			Id("rbuf"), I(count), Id(dt), Id("left"), I(tag),
+			world(), Id("MPI_STATUS_IGNORE")),
+	}
+}
+
+// tplBcastReduce: broadcast parameters then reduce a result.
+func tplBcastReduce(g *genCtx) []Stmt {
+	count := g.count()
+	op := []string{"MPI_SUM", "MPI_MAX", "MPI_MIN"}[g.intn(3)]
+	return []Stmt{
+		buffer("params", count, "MPI_INT"),
+		buffer("local", count, "MPI_INT"),
+		buffer("global", count, "MPI_INT"),
+		If(Eq(Id("rank"), I(0)), g.fillBuffer("params", count)),
+		CallS("MPI_Bcast", Id("params"), I(count), Id("MPI_INT"), I(0), world()),
+		g.fillBuffer("local", count),
+		CallS("MPI_Reduce", Id("local"), Id("global"), I(count), Id("MPI_INT"),
+			Id(op), I(0), world()),
+	}
+}
+
+// tplAllreduce: a compute + allreduce convergence loop.
+func tplAllreduce(g *genCtx) []Stmt {
+	iters := int64(2 + g.intn(4))
+	return []Stmt{
+		buffer("local", 1, "MPI_DOUBLE"),
+		buffer("global", 1, "MPI_DOUBLE"),
+		ForUp("it", 0, iters,
+			Assign(Idx(Id("local"), I(0)), Bin("+", F(1.0), Id("it"))),
+			CallS("MPI_Allreduce", Id("local"), Id("global"), I(1),
+				Id("MPI_DOUBLE"), Id("MPI_SUM"), world())),
+	}
+}
+
+// tplScatterGather: root scatters work, gathers results.
+func tplScatterGather(g *genCtx) []Stmt {
+	per := g.pick(1, 2, 4)
+	return []Stmt{
+		DeclArr("all", int(per)*8, Int),
+		buffer("mine", per, "MPI_INT"),
+		If(Eq(Id("rank"), I(0)), g.fillBuffer("all", per*4)),
+		CallS("MPI_Scatter", Id("all"), I(per), Id("MPI_INT"),
+			Id("mine"), I(per), Id("MPI_INT"), I(0), world()),
+		g.fillBuffer("mine", per),
+		CallS("MPI_Gather", Id("mine"), I(per), Id("MPI_INT"),
+			Id("all"), I(per), Id("MPI_INT"), I(0), world()),
+	}
+}
+
+// tplNonblocking: Isend/Irecv pair completed with Wait (or Waitall).
+func tplNonblocking(g *genCtx) []Stmt {
+	dt := g.dtype()
+	count := g.count()
+	tag := g.tag()
+	useWaitall := g.intn(2) == 0
+	wait0 := CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE"))
+	if useWaitall {
+		wait0 = CallS("MPI_Waitall", I(1), Addr(Id("req")), Id("MPI_STATUSES_IGNORE"))
+	}
+	return []Stmt{
+		buffer("buf", count, dt),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				g.fillBuffer("buf", count),
+				CallS("MPI_Isend", Id("buf"), I(count), Id(dt), I(1), I(tag), world(), Addr(Id("req"))),
+				wait0,
+			},
+			[]Stmt{If(Eq(Id("rank"), I(1)),
+				CallS("MPI_Irecv", Id("buf"), I(count), Id(dt), I(0), I(tag), world(), Addr(Id("req"))),
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+			)}),
+	}
+}
+
+// tplPersistent: persistent send/recv started in a loop.
+func tplPersistent(g *genCtx) []Stmt {
+	count := g.count()
+	tag := g.tag()
+	iters := int64(2 + g.intn(3))
+	return []Stmt{
+		buffer("buf", count, "MPI_INT"),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Send_init", Id("buf"), I(count), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+				ForUp("it", 0, iters,
+					CallS("MPI_Start", Addr(Id("req"))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE"))),
+				CallS("MPI_Request_free", Addr(Id("req"))),
+			},
+			[]Stmt{If(Eq(Id("rank"), I(1)),
+				CallS("MPI_Recv_init", Id("buf"), I(count), Id("MPI_INT"), I(0), I(tag), world(), Addr(Id("req"))),
+				&ForStmt{Init: Decl("it", Int, I(0)), Cond: Lt(Id("it"), I(iters)),
+					Post: Assign(Id("it"), Add(Id("it"), I(1))),
+					Body: Block(
+						CallS("MPI_Start", Addr(Id("req"))),
+						CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")))},
+				CallS("MPI_Request_free", Addr(Id("req"))),
+			)}),
+	}
+}
+
+// tplRMA: fence-delimited Put/Get exchange.
+func tplRMA(g *genCtx) []Stmt {
+	useGet := g.intn(2) == 0
+	access := CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))
+	if useGet {
+		access = CallS("MPI_Get", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))
+	}
+	return []Stmt{
+		DeclArr("wmem", 4, Int),
+		DeclArr("local", 4, Int),
+		Decl("win", Win, nil),
+		CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		If(Eq(Id("rank"), I(0)), access),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		CallS("MPI_Win_free", Addr(Id("win"))),
+	}
+}
+
+// tplMasterWorker: rank 0 receives one message from each worker in rank
+// order (explicit sources, no race).
+func tplMasterWorker(g *genCtx) []Stmt {
+	tag := g.tag()
+	return []Stmt{
+		buffer("buf", 4, "MPI_INT"),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{ForUp("src", 1, 2, // receives from rank 1 (deterministic)
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Id("src"), I(tag), world(), Id("MPI_STATUS_IGNORE")))},
+			[]Stmt{If(Eq(Id("rank"), I(1)),
+				g.fillBuffer("buf", 4),
+				CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(tag), world()))}),
+	}
+}
+
+// tplAllgather: allgather on a small contribution.
+func tplAllgather(g *genCtx) []Stmt {
+	per := g.pick(1, 2)
+	return []Stmt{
+		buffer("mine", per, "MPI_INT"),
+		DeclArr("all", int(per)*8, Int),
+		g.fillBuffer("mine", per),
+		CallS("MPI_Allgather", Id("mine"), I(per), Id("MPI_INT"),
+			Id("all"), I(per), Id("MPI_INT"), world()),
+	}
+}
+
+// tplBarrierPhases: barrier-separated compute phases.
+func tplBarrierPhases(g *genCtx) []Stmt {
+	phases := 1 + g.intn(3)
+	var out []Stmt
+	for i := 0; i < phases; i++ {
+		out = append(out, g.filler(1)...)
+		out = append(out, CallS("MPI_Barrier", world()))
+	}
+	return out
+}
+
+// tplWildcardSingle: a benign wildcard receive with exactly one possible
+// sender (correct despite MPI_ANY_SOURCE).
+func tplWildcardSingle(g *genCtx) []Stmt {
+	tag := g.tag()
+	return []Stmt{
+		buffer("buf", 2, "MPI_INT"),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"),
+				Id("MPI_ANY_SOURCE"), I(tag), world(), Id("MPI_STATUS_IGNORE"))},
+			[]Stmt{If(Eq(Id("rank"), I(1)),
+				CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world()))}),
+	}
+}
+
+// correctTemplates is the shared library of error-free patterns.
+var correctTemplates = []template{
+	tplPingPong, tplRing, tplBcastReduce, tplAllreduce, tplScatterGather,
+	tplNonblocking, tplPersistent, tplRMA, tplMasterWorker, tplAllgather,
+	tplBarrierPhases, tplWildcardSingle,
+}

@@ -1,0 +1,345 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	. "mpidetect/internal/ast"
+)
+
+// MPI-CorrBench level-zero codes are deliberately tiny, single-purpose
+// programs named after the call and argument they corrupt (e.g.
+// ArgError-MPIIRecv-Count-1.c). The generators below mirror that style:
+// almost no filler, one communication pattern, one corrupted aspect.
+
+// corrBenchCounts mirrors Fig. 1(a): 214 incorrect codes.
+var corrBenchCounts = map[Label]int{
+	ArgError:       150,
+	ArgMismatch:    30,
+	MissplacedCall: 20,
+	MissingCall:    14,
+}
+
+// corrBenchCorrectCount is the number of correct codes (Table II: TN+FP=202).
+const corrBenchCorrectCount = 202
+
+// argErrorGens corrupt one argument of one call.
+var argErrorGens = []errGen{
+	// Irecv with negative count
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Irecv", Id("buf"), I(-int64(1+g.intn(4))), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world())}),
+		})
+	},
+	// Send with negative count
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(-4), Id("MPI_INT"), I(1), I(0), world())},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		})
+	},
+	// Send to an out-of-range rank
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(int64(8+g.intn(8))), I(0), world())),
+		})
+	},
+	// Recv with an invalid (negative, non-wildcard) source
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(-int64(5+g.intn(5))), I(0), world(), Id("MPI_STATUS_IGNORE"))),
+		})
+	},
+	// Send with a tag above MPI_TAG_UB
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(1), I(int64(33000+g.intn(5000))), world())},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), Id("MPI_ANY_TAG"), world(), Id("MPI_STATUS_IGNORE"))}),
+		})
+	},
+	// Bcast with an invalid datatype
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(2), I(int64(55+g.intn(20))), I(0), world()),
+		})
+	},
+	// Bcast with an out-of-range root
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(2), Id("MPI_INT"), I(int64(9+g.intn(9))), world()),
+		})
+	},
+	// Reduce with an invalid operator
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+			CallS("MPI_Reduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), I(int64(80+g.intn(9))), I(0), world()),
+		})
+	},
+	// Barrier on an invalid communicator
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			CallS("MPI_Barrier", I(int64(2+g.intn(60)))),
+		})
+	},
+	// Send with a null buffer
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("NULL"), I(2), Id("MPI_INT"), I(1), I(0), world())},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		})
+	},
+	// Allreduce with mismatched (invalid) datatype literal
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+			CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), I(0), Id("MPI_SUM"), world()),
+		})
+	},
+	// Gather with negative recv count at root
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("mine", 2, "MPI_INT"),
+			DeclArr("all", 16, Int),
+			CallS("MPI_Gather", Id("mine"), I(2), Id("MPI_INT"),
+				Id("all"), I(-2), Id("MPI_INT"), I(0), world()),
+		})
+	},
+}
+
+// argMismatchGens corrupt the agreement between two matched calls.
+var argMismatchGens = []errGen{
+	// send INT, receive DOUBLE
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_DOUBLE"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(1), I(0), world())},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_DOUBLE"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		})
+	},
+	// send more elements than received
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(8), Id("MPI_INT"), I(1), I(0), world())},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		})
+	},
+	// Bcast root differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(2), Id("MPI_INT"), Mod(Id("rank"), I(2)), world()),
+		})
+	},
+	// Allreduce op differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world())},
+				[]Stmt{CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), Id("MPI_PROD"), world())}),
+		})
+	},
+	// Bcast count differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(8), Id("MPI_INT"), I(0), world())},
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_INT"), I(0), world())}),
+		})
+	},
+}
+
+// missplacedCallGens put a valid call in the wrong position.
+var missplacedCallGens = []errGen{
+	// collective order swapped
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Barrier", world()),
+					CallS("MPI_Bcast", Id("buf"), I(2), Id("MPI_INT"), I(0), world()),
+				},
+				[]Stmt{
+					CallS("MPI_Bcast", Id("buf"), I(2), Id("MPI_INT"), I(0), world()),
+					CallS("MPI_Barrier", world()),
+				}),
+		})
+	},
+	// communication after MPI_Finalize
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Finalize(),
+			CallS("MPI_Barrier", world()),
+		})
+	},
+	// MPI_Comm_rank before MPI_Init
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return []Stmt{
+			Decl("rank", Int, I(0)),
+			Decl("size", Int, I(2)),
+			CallS("MPI_Comm_rank", world(), Addr(Id("rank"))),
+			CallS("MPI_Init", Id("NULL"), Id("NULL")),
+			CallS("MPI_Barrier", world()),
+		}, progOpts{skipInit: true}
+	},
+	// Wait before the operation is started (wait on fresh request)
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Decl("req", Request, I(int64(4242+g.intn(100)))),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+					CallS("MPI_Irecv", Id("buf"), I(2), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), I(0), world())}),
+		})
+	},
+}
+
+// missingCallGens drop a required call.
+var missingCallGens = []errGen{
+	// missing MPI_Wait
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Irecv", Id("buf"), I(2), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req")))},
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), I(0), world())}),
+		})
+	},
+	// missing matching receive
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 64, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Send", Id("buf"), I(64), Id("MPI_INT"), I(1), I(0), world())),
+		})
+	},
+	// missing MPI_Finalize
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return []Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Barrier", world()),
+		}, progOpts{skipFinalize: true}
+	},
+	// missing collective participant
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			If(Eq(Id("rank"), I(0)), CallS("MPI_Barrier", world())),
+		})
+	},
+	// missing second fence
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int), DeclArr("local", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+}
+
+var corrBenchErrGens = map[Label][]errGen{
+	ArgError:       argErrorGens,
+	ArgMismatch:    argMismatchGens,
+	MissplacedCall: missplacedCallGens,
+	MissingCall:    missingCallGens,
+}
+
+// corrBenchCorrect is the subset of templates CorrBench-style correct codes
+// use (micro versions of the common library).
+var corrBenchCorrect = []template{
+	tplPingPong, tplRing, tplBcastReduce, tplAllreduce, tplScatterGather,
+	tplNonblocking, tplAllgather, tplBarrierPhases, tplRMA,
+}
+
+// GenerateCorrBench synthesises the MPI-CorrBench-style corpus. When
+// withHeaderBias is true, correct codes carry the "mpitest.h" include and
+// its inlined harness helpers — the code-size bias the paper identifies and
+// removes (§III); the de-biased corpus (false) is what every experiment
+// uses unless stated otherwise.
+func GenerateCorrBench(seed int64, withHeaderBias bool) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "MPI-CorrBench"}
+	idx := 0
+	emit := func(label Label, prog *Program, what string) {
+		idx++
+		d.Codes = append(d.Codes, &Code{
+			Name:  fmt.Sprintf("%s-%s-%d", sanitize(label.String()), what, idx),
+			Suite: SuiteCorrBench,
+			Label: label,
+			Prog:  prog,
+			Ranks: 2 + rng.Intn(2),
+		})
+	}
+	for _, label := range CorrBenchLabels() {
+		gens := corrBenchErrGens[label]
+		for k := 0; k < corrBenchCounts[label]; k++ {
+			g := &genCtx{r: rand.New(rand.NewSource(rng.Int63())), suite: SuiteCorrBench}
+			body, opts := gens[k%len(gens)](g)
+			prog := g.program(fmt.Sprintf("corr_%s_%d", sanitize(label.String()), k), body, opts)
+			emit(label, prog, fmt.Sprintf("p%d", k%len(gens)))
+		}
+	}
+	for k := 0; k < corrBenchCorrectCount; k++ {
+		g := &genCtx{r: rand.New(rand.NewSource(rng.Int63())), suite: SuiteCorrBench}
+		tpl := corrBenchCorrect[k%len(corrBenchCorrect)]
+		prog := g.program(fmt.Sprintf("corr_correct_%d", k), tpl(g), progOpts{})
+		if withHeaderBias {
+			addHeaderBias(g, prog)
+		}
+		emit(Correct, prog, "correct")
+	}
+	return d
+}
+
+// addHeaderBias simulates the compiled-in mpitest.h harness: the include
+// directive (which inflates pre-processed line counts by ~100 lines) plus
+// the harness helper functions that land in the compilation unit and
+// inflate the IR of correct codes.
+func addHeaderBias(g *genCtx, prog *Program) {
+	prog.Includes = append(prog.Includes, `"mpitest.h"`)
+	fns, calls := g.helperFuncs(6)
+	for i, f := range fns {
+		f.Name = fmt.Sprintf("mpitest_check_%d", i)
+	}
+	for i, c := range calls {
+		decl := c.(*DeclStmt)
+		decl.Init.(*CallExpr).Name = fmt.Sprintf("mpitest_check_%d", i)
+	}
+	prog.Funcs = append(fns, prog.Funcs...)
+	main := prog.Funcs[len(prog.Funcs)-1]
+	main.Body.Stmts = append(calls, main.Body.Stmts...)
+}

@@ -1,0 +1,649 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	. "mpidetect/internal/ast"
+)
+
+// errGen produces the body of an erroneous program plus assembly options.
+type errGen func(g *genCtx) ([]Stmt, progOpts)
+
+func plain(body []Stmt) ([]Stmt, progOpts) { return body, progOpts{} }
+
+// ---------------------------------------------------------------------------
+// Invalid Parameter: a single call carries an invalid argument.
+// ---------------------------------------------------------------------------
+
+var invalidParamGens = []errGen{
+	// negative count
+	func(g *genCtx) ([]Stmt, progOpts) {
+		dt := g.dtype()
+		return plain([]Stmt{
+			buffer("buf", 4, dt),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(-int64(1+g.intn(8))), Id(dt), I(1), I(g.tag()), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(4), Id(dt), I(0), I(g.tag()), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// invalid destination rank
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"),
+					I(int64(16+g.intn(16))), I(g.tag()), world())),
+		})
+	},
+	// tag above MPI_TAG_UB
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := int64(40000 + g.intn(10000))
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(1), I(tag), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// invalid communicator literal
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Barrier", I(int64(1+g.intn(50)))),
+		})
+	},
+	// null buffer with nonzero count
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("NULL"), I(2), Id("MPI_INT"), I(1), I(3), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(3), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// invalid datatype literal
+	func(g *genCtx) ([]Stmt, progOpts) {
+		bad := int64(60 + g.intn(30))
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(2), I(bad), I(0), world()),
+		})
+	},
+	// invalid root in a collective
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(2), Id("MPI_INT"), I(int64(24+g.intn(24))), world()),
+		})
+	},
+	// invalid reduction operator
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+			CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), I(int64(70+g.intn(20))), world()),
+		})
+	},
+	// MPI_ANY_SOURCE as a send destination
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"),
+					Id("MPI_ANY_SOURCE"), I(g.tag()), world())),
+		})
+	},
+	// uncommitted derived datatype
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_INT"),
+			Decl("newty", Datatype, nil),
+			CallS("MPI_Type_contiguous", I(2), Id("MPI_INT"), Addr(Id("newty"))),
+			// missing MPI_Type_commit
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("newty"), I(1), I(4), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("newty"), I(0), I(4), world(), Id("MPI_STATUS_IGNORE")))}),
+			CallS("MPI_Type_free", Addr(Id("newty"))),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Parameter Matching: both calls are individually valid but disagree.
+// ---------------------------------------------------------------------------
+
+var paramMatchingGens = []errGen{
+	// datatype mismatch between matched send/recv
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_DOUBLE"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(1), I(tag), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_DOUBLE"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// receive count smaller than the message (truncation)
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		big := g.pick(8, 12, 16)
+		return plain([]Stmt{
+			buffer("buf", big, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(big), Id("MPI_INT"), I(1), I(tag), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(big/4), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// collective root depends on rank
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_INT"),
+			CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_INT"),
+				Mod(Id("rank"), I(2)), world()),
+		})
+	},
+	// reduction operator differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world())},
+				[]Stmt{CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), Id("MPI_MAX"), world())}),
+		})
+	},
+	// collective datatype differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_DOUBLE"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_INT"), I(0), world())},
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_DOUBLE"), I(0), world())}),
+		})
+	},
+	// collective count differs across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		c := g.pick(2, 4)
+		return plain([]Stmt{
+			buffer("buf", c*2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(c*2), Id("MPI_INT"), I(0), world())},
+				[]Stmt{CallS("MPI_Bcast", Id("buf"), I(c), Id("MPI_INT"), I(0), world())}),
+		})
+	},
+	// tag mismatch between send and the only recv (also deadlocks)
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 64, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(64), Id("MPI_INT"), I(1), I(tag), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(64), Id("MPI_INT"), I(0), I(tag+1), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Call Ordering: valid calls in an order that cannot complete.
+// ---------------------------------------------------------------------------
+
+var callOrderingGens = []errGen{
+	// both ranks Recv first
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		c := g.count()
+		dt := g.dtype()
+		return plain([]Stmt{
+			buffer("buf", c, dt),
+			If(Lt(Id("rank"), I(2)),
+				CallS("MPI_Recv", Id("buf"), I(c), Id(dt), Sub(I(1), Id("rank")), I(tag), world(), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Send", Id("buf"), I(c), Id(dt), Sub(I(1), Id("rank")), I(tag), world())),
+		})
+	},
+	// both ranks large Send first (rendezvous deadlock)
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		c := g.bigCount()
+		return plain([]Stmt{
+			buffer("buf", c, "MPI_INT"),
+			If(Lt(Id("rank"), I(2)),
+				CallS("MPI_Send", Id("buf"), I(c), Id("MPI_INT"), Sub(I(1), Id("rank")), I(tag), world()),
+				CallS("MPI_Recv", Id("buf"), I(c), Id("MPI_INT"), Sub(I(1), Id("rank")), I(tag), world(), Id("MPI_STATUS_IGNORE"))),
+		})
+	},
+	// missing receive: sender blocks (rendezvous) or message leaks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		c := g.bigCount()
+		return plain([]Stmt{
+			buffer("buf", c, "MPI_INT"),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Send", Id("buf"), I(c), Id("MPI_INT"), I(1), I(g.tag()), world())),
+		})
+	},
+	// collective order swapped across ranks
+	func(g *genCtx) ([]Stmt, progOpts) {
+		c := g.count()
+		return plain([]Stmt{
+			buffer("buf", c, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Barrier", world()),
+					CallS("MPI_Bcast", Id("buf"), I(c), Id("MPI_INT"), I(0), world()),
+				},
+				[]Stmt{
+					CallS("MPI_Bcast", Id("buf"), I(c), Id("MPI_INT"), I(0), world()),
+					CallS("MPI_Barrier", world()),
+				}),
+		})
+	},
+	// a rank skips the collective entirely
+	func(g *genCtx) ([]Stmt, progOpts) {
+		coll := []Stmt{CallS("MPI_Barrier", world())}
+		if g.intn(2) == 0 {
+			coll = []Stmt{
+				CallS("MPI_Allreduce", Id("a"), Id("b"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
+			}
+		}
+		return plain(append([]Stmt{
+			buffer("a", 1, "MPI_INT"), buffer("b", 1, "MPI_INT"),
+		}, If(Bin(">", Id("rank"), I(0)), coll...)))
+	},
+	// missing MPI_Finalize
+	func(g *genCtx) ([]Stmt, progOpts) {
+		body := tplPingPong(g)
+		return body, progOpts{skipFinalize: true}
+	},
+	// missing MPI_Init
+	func(g *genCtx) ([]Stmt, progOpts) {
+		c := g.count()
+		return []Stmt{
+			buffer("buf", c, "MPI_INT"),
+			CallS("MPI_Barrier", world()),
+		}, progOpts{skipInit: true}
+	},
+	// communication after MPI_Finalize
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Finalize(),
+			CallS("MPI_Barrier", world()),
+		})
+	},
+	// double MPI_Init
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			CallS("MPI_Init", Id("NULL"), Id("NULL")),
+			CallS("MPI_Barrier", world()),
+		})
+	},
+	// cyclic blocking ring without Sendrecv (send-to-right, recv-from-left,
+	// all sends rendezvous): classic ring deadlock
+	func(g *genCtx) ([]Stmt, progOpts) {
+		c := g.bigCount()
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("sbuf", c, "MPI_INT"),
+			buffer("rbuf", c, "MPI_INT"),
+			Decl("right", Int, Mod(Add(Id("rank"), I(1)), Id("size"))),
+			Decl("left", Int, Mod(Add(Sub(Id("rank"), I(1)), Id("size")), Id("size"))),
+			CallS("MPI_Send", Id("sbuf"), I(c), Id("MPI_INT"), Id("right"), I(tag), world()),
+			CallS("MPI_Recv", Id("rbuf"), I(c), Id("MPI_INT"), Id("left"), I(tag), world(), Id("MPI_STATUS_IGNORE")),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Local Concurrency: a buffer owned by a pending nonblocking operation is
+// accessed before completion.
+// ---------------------------------------------------------------------------
+
+var localConcGens = []errGen{
+	// write into a pending Irecv buffer
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		c := g.count()
+		return plain([]Stmt{
+			buffer("buf", c, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Irecv", Id("buf"), I(c), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					Assign(Idx(Id("buf"), I(0)), I(int64(g.intn(50)))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Send", Id("buf"), I(c), Id("MPI_INT"), I(0), I(tag), world()))}),
+		})
+	},
+	// read from a pending Irecv buffer
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_INT"),
+			Decl("req", Request, nil),
+			Decl("x", Int, I(0)),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Irecv", Id("buf"), I(4), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					Assign(Id("x"), Idx(Id("buf"), I(1))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(tag), world()))}),
+		})
+	},
+	// write into a pending Isend buffer
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 4, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Isend", Id("buf"), I(4), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					Assign(Idx(Id("buf"), I(2)), I(9)),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Request Lifecycle: misuse of request objects.
+// ---------------------------------------------------------------------------
+
+var requestLifeGens = []errGen{
+	// wait on a never-initialised request
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			Decl("req", Request, I(int64(7777+g.intn(100)))),
+			CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+		})
+	},
+	// MPI_Start on a non-persistent request
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Isend", Id("buf"), I(2), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					CallS("MPI_Start", Addr(Id("req"))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// double MPI_Start on an active persistent request
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Send_init", Id("buf"), I(2), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					CallS("MPI_Start", Addr(Id("req"))),
+					CallS("MPI_Start", Addr(Id("req"))),
+					CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+					CallS("MPI_Request_free", Addr(Id("req"))),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// free an active request, then wait on it
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		c := g.bigCount()
+		return plain([]Stmt{
+			buffer("buf", c, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Isend", Id("buf"), I(c), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req"))),
+					CallS("MPI_Request_free", Addr(Id("req"))),
+				},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(c), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Epoch Lifecycle: RMA synchronisation misuse.
+// ---------------------------------------------------------------------------
+
+var epochLifeGens = []errGen{
+	// Put outside any epoch
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int), DeclArr("local", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+	// missing closing fence before Win_free
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int), DeclArr("local", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+	// unlock without lock
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			If(Eq(Id("rank"), I(0)),
+				CallS("MPI_Win_unlock", I(1), Id("win"))),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Message Race: wildcard receives with several possible senders.
+// ---------------------------------------------------------------------------
+
+var messageRaceGens = []errGen{
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(tag), world(), Id("MPI_STATUS_IGNORE")),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(tag), world(), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world())}),
+		})
+	},
+	// wildcard tag race
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), Id("MPI_ANY_TAG"), world(), Id("MPI_STATUS_IGNORE")),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), Id("MPI_ANY_TAG"), world(), Id("MPI_STATUS_IGNORE")),
+				},
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), Id("rank"), world())}),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Global Concurrency: conflicting RMA accesses in one epoch.
+// ---------------------------------------------------------------------------
+
+var globalConcGens = []errGen{
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int), DeclArr("local", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			If(Bin(">", Id("rank"), I(0)),
+				CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(0), I(0), I(1), Id("MPI_INT"), Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+	// remote Put conflicts with a local store in the same epoch
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int), DeclArr("local", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			If(Eq(Id("rank"), I(1)),
+				CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(0), I(0), I(1), Id("MPI_INT"), Id("win"))),
+			If(Eq(Id("rank"), I(0)),
+				Assign(Idx(Id("wmem"), I(0)), I(3))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			CallS("MPI_Win_free", Addr(Id("win"))),
+		})
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Resource Leak: resources never released.
+// ---------------------------------------------------------------------------
+
+var resourceLeakGens = []errGen{
+	// Isend never completed
+	func(g *genCtx) ([]Stmt, progOpts) {
+		tag := g.tag()
+		return plain([]Stmt{
+			buffer("buf", 2, "MPI_INT"),
+			Decl("req", Request, nil),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Isend", Id("buf"), I(2), Id("MPI_INT"), I(1), I(tag), world(), Addr(Id("req")))},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(2), Id("MPI_INT"), I(0), I(tag), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+	// window never freed
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			DeclArr("wmem", 4, Int),
+			Decl("win", Win, nil),
+			CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+			CallS("MPI_Win_fence", I(0), Id("win")),
+		})
+	},
+	// committed derived datatype never freed
+	func(g *genCtx) ([]Stmt, progOpts) {
+		return plain([]Stmt{
+			buffer("buf", 8, "MPI_INT"),
+			Decl("newty", Datatype, nil),
+			CallS("MPI_Type_contiguous", I(2), Id("MPI_INT"), Addr(Id("newty"))),
+			CallS("MPI_Type_commit", Addr(Id("newty"))),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(1), Id("newty"), I(1), I(5), world())},
+				[]Stmt{If(Eq(Id("rank"), I(1)),
+					CallS("MPI_Recv", Id("buf"), I(1), Id("newty"), I(0), I(5), world(), Id("MPI_STATUS_IGNORE")))}),
+		})
+	},
+}
+
+// mbiErrGens maps each MBI label to its pattern pool.
+var mbiErrGens = map[Label][]errGen{
+	InvalidParameter:  invalidParamGens,
+	ParameterMatching: paramMatchingGens,
+	CallOrdering:      callOrderingGens,
+	LocalConcurrency:  localConcGens,
+	RequestLifecycle:  requestLifeGens,
+	EpochLifecycle:    epochLifeGens,
+	MessageRace:       messageRaceGens,
+	GlobalConcurrency: globalConcGens,
+	ResourceLeak:      resourceLeakGens,
+}
+
+// mbiCounts mirrors Fig. 1(b): per-class code counts summing to 1116
+// incorrect codes; with 745 correct codes the suite totals 1861 (Table III).
+var mbiCounts = map[Label]int{
+	CallOrdering:      601,
+	ParameterMatching: 230,
+	InvalidParameter:  161,
+	LocalConcurrency:  40,
+	RequestLifecycle:  30,
+	MessageRace:       25,
+	ResourceLeak:      14,
+	EpochLifecycle:    10,
+	GlobalConcurrency: 5,
+}
+
+// mbiCorrectCount is the number of correct MBI codes (Table III: TN+FP=745).
+const mbiCorrectCount = 745
+
+// GenerateMBI synthesises the MBI-style corpus.
+func GenerateMBI(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "MBI"}
+	idx := 0
+	emit := func(label Label, prog *Program, feature string) {
+		idx++
+		d.Codes = append(d.Codes, &Code{
+			Name:  fmt.Sprintf("MBI_%04d_%s", idx, sanitize(label.String())),
+			Suite: SuiteMBI,
+			Label: label,
+			Prog:  prog,
+			Ranks: 2 + rng.Intn(3),
+			Header: map[string]string{
+				"ERROR":   label.String(),
+				"FEATURE": feature,
+				"ORIGIN":  "synthetic-MBI",
+			},
+		})
+	}
+	for _, label := range MBILabels() {
+		gens := mbiErrGens[label]
+		for k := 0; k < mbiCounts[label]; k++ {
+			g := &genCtx{r: rand.New(rand.NewSource(rng.Int63())), suite: SuiteMBI}
+			gen := gens[k%len(gens)]
+			body, opts := gen(g)
+			prog := g.program(fmt.Sprintf("mbi_%s_%d", sanitize(label.String()), k), body, opts)
+			emit(label, prog, fmt.Sprintf("pattern-%d", k%len(gens)))
+		}
+	}
+	for k := 0; k < mbiCorrectCount; k++ {
+		g := &genCtx{r: rand.New(rand.NewSource(rng.Int63())), suite: SuiteMBI}
+		tpl := correctTemplates[k%len(correctTemplates)]
+		prog := g.program(fmt.Sprintf("mbi_correct_%d", k), tpl(g), progOpts{})
+		emit(Correct, prog, fmt.Sprintf("correct-%d", k%len(correctTemplates)))
+	}
+	return d
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

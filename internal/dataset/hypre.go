@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	. "mpidetect/internal/ast"
+)
+
+// HypreCase is the §V-F real-case study: the paper takes Hypre 2.10.1,
+// where commit bc3158e fixed a bug in which two concurrent MPI operations
+// used the same tag, and evaluates cross-trained models on the code before
+// and after the fix. We reproduce it with a synthetic multigrid-solver-
+// style application (structured halo exchange + smoothing + restriction +
+// residual reductions across several functions); the buggy version issues
+// the two concurrent exchanges with the same tag, the fixed version uses
+// distinct tags.
+func HypreCase(seed int64) (buggy, fixed *Code) {
+	return hypreProgram(seed, true), hypreProgram(seed, false)
+}
+
+func hypreProgram(seed int64, sameTag bool) *Code {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng
+	tagA := int64(17)
+	tagB := int64(18)
+	if sameTag {
+		tagB = tagA // the bug: both in-flight exchanges share a tag
+	}
+
+	// hypre_SMGRelax: local smoothing sweeps.
+	relax := Fn("hypre_SMGRelax", Int,
+		[]*ParamDecl{P("n", Int)},
+		Decl("s", Int, I(0)),
+		ForUp("sweep", 0, 3,
+			ForUp("i", 0, 16,
+				Assign(Id("s"), Add(Id("s"), Mul(Id("i"), Id("n")))))),
+		Ret(Id("s")),
+	)
+
+	// hypre_StructAxpy: vector update kernel.
+	axpy := Fn("hypre_StructAxpy", Int,
+		[]*ParamDecl{P("alpha", Int), P("n", Int)},
+		Decl("acc", Int, I(0)),
+		ForUp("i", 0, 24,
+			Assign(Id("acc"), Add(Id("acc"), Mul(Id("alpha"), Id("i"))))),
+		Ret(Id("acc")),
+	)
+
+	// hypre_ExchangeBoundary: the function the commit fixed. Two
+	// concurrent nonblocking exchanges with the neighbour; the tags of the
+	// second exchange are the interesting part.
+	exchange := Fn("hypre_ExchangeBoundary", Int,
+		[]*ParamDecl{P("rank", Int), P("size", Int)},
+		DeclArr("halo_lo", 8, Double),
+		DeclArr("halo_hi", 8, Double),
+		DeclArr("recv_lo", 8, Double),
+		DeclArr("recv_hi", 8, Double),
+		Decl("reqs", &Type{Kind: TArray, Len: 4, Elem: Request}, nil),
+		Decl("peer", Int, Sub(I(1), Id("rank"))),
+		If(Lt(Id("rank"), I(2)),
+			CallS("MPI_Irecv", Id("recv_lo"), I(8), Id("MPI_DOUBLE"), Id("peer"), I(tagA), Id("MPI_COMM_WORLD"), Addr(Idx(Id("reqs"), I(0)))),
+			CallS("MPI_Irecv", Id("recv_hi"), I(8), Id("MPI_DOUBLE"), Id("peer"), I(tagB), Id("MPI_COMM_WORLD"), Addr(Idx(Id("reqs"), I(1)))),
+			CallS("MPI_Isend", Id("halo_lo"), I(8), Id("MPI_DOUBLE"), Id("peer"), I(tagA), Id("MPI_COMM_WORLD"), Addr(Idx(Id("reqs"), I(2)))),
+			CallS("MPI_Isend", Id("halo_hi"), I(8), Id("MPI_DOUBLE"), Id("peer"), I(tagB), Id("MPI_COMM_WORLD"), Addr(Idx(Id("reqs"), I(3)))),
+			CallS("MPI_Waitall", I(4), Id("reqs"), Id("MPI_STATUSES_IGNORE"))),
+		Ret(I(0)),
+	)
+
+	// hypre_Residual: local residual + allreduce.
+	residual := Fn("hypre_Residual", Int,
+		[]*ParamDecl{P("rank", Int)},
+		DeclArr("local", 1, Double),
+		DeclArr("global", 1, Double),
+		Assign(Idx(Id("local"), I(0)), Bin("+", F(0.5), Id("rank"))),
+		CallS("MPI_Allreduce", Id("local"), Id("global"), I(1), Id("MPI_DOUBLE"), Id("MPI_SUM"), Id("MPI_COMM_WORLD")),
+		Ret(I(0)),
+	)
+
+	// hypre_SMGSetup: grid hierarchy construction noise.
+	setup := Fn("hypre_SMGSetup", Int,
+		[]*ParamDecl{P("levels", Int)},
+		Decl("work", Int, I(0)),
+		ForUp("l", 0, 4,
+			ForUp("i", 0, 12,
+				Assign(Id("work"), Add(Id("work"), Mul(Id("l"), Id("i")))))),
+		Ret(Id("work")),
+	)
+
+	mainStmts := MPIBoilerplate()
+	mainStmts = append(mainStmts,
+		Decl("lv", Int, Call("hypre_SMGSetup", I(4))),
+		Decl("r0", Int, Call("hypre_SMGRelax", I(5))),
+		ForUp("iter", 0, 3,
+			X(Call("hypre_ExchangeBoundary", Id("rank"), Id("size"))),
+			Decl("rr", Int, Call("hypre_SMGRelax", Id("iter"))),
+			Decl("aa", Int, Call("hypre_StructAxpy", I(2), Id("iter"))),
+			X(Call("hypre_Residual", Id("rank")))),
+		CallS("MPI_Barrier", Id("MPI_COMM_WORLD")),
+		Finalize(),
+		Ret(I(0)),
+	)
+	prog := &Program{
+		Name:     "hypre_smg",
+		Includes: []string{"<mpi.h>", "<stdio.h>", "<stdlib.h>"},
+		Funcs: []*FuncDecl{setup, relax, axpy, exchange, residual,
+			Fn("main", Int, nil, mainStmts...)},
+	}
+	label := Correct
+	name := "hypre-2.10.1-fixed"
+	if sameTag {
+		label = MessageRace
+		name = "hypre-2.10.0-sametag"
+	}
+	return &Code{
+		Name:  name,
+		Suite: SuiteMBI,
+		Label: label,
+		Prog:  prog,
+		Ranks: 2,
+		Header: map[string]string{
+			"ORIGIN": "synthetic Hypre case study (commit bc3158e)",
+			"ERROR":  fmt.Sprint(label),
+		},
+	}
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a dataset for the paper's Figures 1-3.
+type Stats struct {
+	Name         string
+	PerLabel     map[Label]int
+	Correct      int
+	Incorrect    int
+	LoCQuantiles map[Label][5]int // min, q25, median, q75, max
+}
+
+// ComputeStats builds the Fig. 1/2/3 numbers. stripBias controls whether
+// the mpitest.h expansion is counted (Fig. 2 shows the biased counts).
+func ComputeStats(d *Dataset, stripBias bool) *Stats {
+	s := &Stats{Name: d.Name, PerLabel: d.CountByLabel(), LoCQuantiles: map[Label][5]int{}}
+	s.Correct, s.Incorrect = d.CountCorrect()
+	byLabel := map[Label][]int{}
+	for _, c := range d.Codes {
+		byLabel[c.Label] = append(byLabel[c.Label], c.LineCount(stripBias))
+	}
+	for label, locs := range byLabel {
+		sort.Ints(locs)
+		q := func(f float64) int { return locs[int(f*float64(len(locs)-1))] }
+		s.LoCQuantiles[label] = [5]int{locs[0], q(0.25), q(0.5), q(0.75), locs[len(locs)-1]}
+	}
+	return s
+}
+
+// Format renders the stats as the text equivalent of Fig. 1-3.
+func (s *Stats) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", s.Name)
+	fmt.Fprintf(&sb, "correct=%d incorrect=%d total=%d   (Fig. 3)\n",
+		s.Correct, s.Incorrect, s.Correct+s.Incorrect)
+	sb.WriteString("codes per error type (Fig. 1):\n")
+	labels := make([]Label, 0, len(s.PerLabel))
+	for l := range s.PerLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return s.PerLabel[labels[i]] > s.PerLabel[labels[j]] })
+	for _, l := range labels {
+		if l == Correct {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-20s %4d\n", l, s.PerLabel[l])
+	}
+	sb.WriteString("code size quantiles in lines (Fig. 2): min/q25/med/q75/max\n")
+	for _, l := range labels {
+		q := s.LoCQuantiles[l]
+		fmt.Fprintf(&sb, "  %-20s %4d %4d %4d %4d %4d\n", l, q[0], q[1], q[2], q[3], q[4])
+	}
+	return sb.String()
+}

@@ -1,0 +1,216 @@
+// Package dtree implements the CART decision-tree classifier the paper
+// uses on IR2Vec features (§IV-A): Gini impurity, exhaustive best-split
+// search, grown until purity — the defaults of scikit-learn 1.0's
+// DecisionTreeClassifier, which the paper uses unmodified.
+package dtree
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root    *node
+	Classes int
+	// Features restricts the tree to a feature subset (GA selection); nil
+	// means all features.
+	Features []int
+}
+
+type node struct {
+	leaf    bool
+	class   int
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+}
+
+// Config controls tree growth; zero values reproduce sklearn defaults.
+type Config struct {
+	MaxDepth        int // 0 = unlimited
+	MinSamplesSplit int // 0 = 2
+	Features        []int
+}
+
+// Train fits a tree on features X and labels y (0-based classes).
+func Train(x [][]float64, y []int, cfg Config) *Tree {
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	classes := 0
+	for _, l := range y {
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	feats := cfg.Features
+	if feats == nil {
+		feats = make([]int, len(x[0]))
+		for i := range feats {
+			feats[i] = i
+		}
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{Classes: classes, Features: cfg.Features}
+	t.root = grow(x, y, idx, feats, classes, cfg, 0)
+	return t
+}
+
+func majority(y []int, idx []int, classes int) int {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bi := -1, 0
+	for c, n := range counts {
+		if n > best {
+			best, bi = n, c
+		}
+	}
+	return bi
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s -= p * p
+	}
+	return s
+}
+
+func pure(y []int, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func grow(x [][]float64, y []int, idx, feats []int, classes int, cfg Config, depth int) *node {
+	if len(idx) < cfg.MinSamplesSplit || pure(y, idx) ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return &node{leaf: true, class: majority(y, idx, classes)}
+	}
+	bestGain := -1.0
+	bestFeat := -1
+	bestThresh := 0.0
+	total := make([]int, classes)
+	for _, i := range idx {
+		total[y[i]]++
+	}
+	parentGini := gini(total, len(idx))
+
+	order := make([]int, len(idx))
+	left := make([]int, classes)
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		for c := range left {
+			left[c] = 0
+		}
+		for k := 0; k+1 < len(order); k++ {
+			left[y[order[k]]]++
+			v, vn := x[order[k]][f], x[order[k+1]][f]
+			if v == vn {
+				continue
+			}
+			nl := k + 1
+			nr := len(order) - nl
+			right := make([]int, classes)
+			for c := range right {
+				right[c] = total[c] - left[c]
+			}
+			g := parentGini -
+				(float64(nl)*gini(left, nl)+float64(nr)*gini(right, nr))/float64(len(order))
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThresh = (v + vn) / 2
+			}
+		}
+	}
+	// Keep splitting as long as any valid threshold exists (sklearn
+	// semantics): zero-gain splits still partition the node, which is what
+	// lets CART solve XOR-shaped problems.
+	if bestFeat < 0 {
+		return &node{leaf: true, class: majority(y, idx, classes)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &node{leaf: true, class: majority(y, idx, classes)}
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    grow(x, y, li, feats, classes, cfg, depth+1),
+		right:   grow(x, y, ri, feats, classes, cfg, depth+1),
+	}
+}
+
+// Predict classifies one feature vector.
+func (t *Tree) Predict(v []float64) int {
+	n := t.root
+	for !n.leaf {
+		if v[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Accuracy scores the tree on a labelled set.
+func (t *Tree) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, v := range x {
+		if t.Predict(v) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// Depth returns the maximum depth of the tree.
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves counts leaf nodes.
+func (t *Tree) NumLeaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *node) int {
+	if n.leaf {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}

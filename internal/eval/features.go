@@ -1,0 +1,169 @@
+// Package eval implements the paper's experimental methodology (§V): 10-fold
+// stratified cross-validation, the Intra / Mix / Cross scenarios for both
+// models, the compilation-option and normalisation sweep (Table IV), GA
+// feature selection on/off (Table V), the per-label study (Fig. 6), the
+// single- and pair-label ablation studies (Fig. 8/9), the embedding-seed
+// sensitivity study, and the Hypre-style real-case evaluation (Table VI).
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/graphs"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/ir2vec"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+// Features is an extracted feature matrix aligned with the codes.
+type Features struct {
+	X     [][]float64
+	Codes []*dataset.Code
+}
+
+// GraphSet is the graph representation of a corpus.
+type GraphSet struct {
+	Gs    []*graphs.Graph
+	Codes []*dataset.Code
+}
+
+// Extractor lowers, optimises and embeds corpora, caching per
+// (dataset, optimisation level, seed) so the experiment suite does not
+// recompute features.
+type Extractor struct {
+	Dim        int // IR2Vec dimension per encoding (paper: 256)
+	SeedEpoch  int // TransE epochs
+	mu         sync.Mutex
+	featCache  map[string]*Features
+	graphCache map[string]*GraphSet
+	encCache   map[string]*ir2vec.Encoder
+}
+
+// NewExtractor returns an extractor with the paper's embedding size.
+func NewExtractor(dim int) *Extractor {
+	if dim <= 0 {
+		dim = ir2vec.Dim
+	}
+	return &Extractor{Dim: dim, SeedEpoch: 30,
+		featCache:  map[string]*Features{},
+		graphCache: map[string]*GraphSet{},
+		encCache:   map[string]*ir2vec.Encoder{},
+	}
+}
+
+// lowerAll compiles every code of the dataset at the given level,
+// parallelised across cores.
+func lowerAll(d *dataset.Dataset, lvl passes.OptLevel) []*ir.Module {
+	mods := make([]*ir.Module, len(d.Codes))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(d.Codes); i += workers {
+				m := irgen.MustLower(d.Codes[i].Prog)
+				passes.Optimize(m, lvl)
+				mods[i] = m
+			}
+		}(w)
+	}
+	wg.Wait()
+	return mods
+}
+
+// Encoder returns (training if needed) the seed-embedding encoder for a
+// corpus at an optimisation level and embedding seed.
+func (e *Extractor) Encoder(d *dataset.Dataset, lvl passes.OptLevel, seed int64) *ir2vec.Encoder {
+	key := fmt.Sprintf("%s|%s|%d", d.Name, lvl, seed)
+	e.mu.Lock()
+	enc, ok := e.encCache[key]
+	e.mu.Unlock()
+	if ok {
+		return enc
+	}
+	mods := lowerAll(d, lvl)
+	// Seed embeddings are trained on a sample of the corpus (unsupervised;
+	// entity/relation structure saturates quickly).
+	sample := mods
+	if len(sample) > 200 {
+		sample = sample[:200]
+	}
+	enc = ir2vec.Train(sample, e.Dim, seed, e.SeedEpoch)
+	e.mu.Lock()
+	e.encCache[key] = enc
+	e.mu.Unlock()
+	return enc
+}
+
+// IR2VecFeatures embeds a corpus with the encoder of enc-corpus encFrom
+// (usually the same dataset; for Cross the training suite's encoder is
+// reused on the validation suite).
+func (e *Extractor) IR2VecFeatures(d *dataset.Dataset, lvl passes.OptLevel, seed int64, enc *ir2vec.Encoder) *Features {
+	key := fmt.Sprintf("%s|%s|%d|enc%d", d.Name, lvl, seed, enc.Seed)
+	e.mu.Lock()
+	f, ok := e.featCache[key]
+	e.mu.Unlock()
+	if ok {
+		return f
+	}
+	mods := lowerAll(d, lvl)
+	x := make([][]float64, len(mods))
+	var mu sync.Mutex
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(mods); i += workers {
+				// Encoding mutates the encoder's fallback table; guard it.
+				mu.Lock()
+				v := enc.Encode(mods[i])
+				mu.Unlock()
+				x[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	f = &Features{X: x, Codes: d.Codes}
+	e.mu.Lock()
+	e.featCache[key] = f
+	e.mu.Unlock()
+	return f
+}
+
+// Graphs builds (and caches) the ProGraML graphs of a corpus. The paper
+// uses -O0 for the GNN.
+func (e *Extractor) Graphs(d *dataset.Dataset, lvl passes.OptLevel) *GraphSet {
+	key := fmt.Sprintf("%s|%s|graphs", d.Name, lvl)
+	e.mu.Lock()
+	gs, ok := e.graphCache[key]
+	e.mu.Unlock()
+	if ok {
+		return gs
+	}
+	mods := lowerAll(d, lvl)
+	out := make([]*graphs.Graph, len(mods))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(mods); i += workers {
+				out[i] = graphs.Build(mods[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	gs = &GraphSet{Gs: out, Codes: d.Codes}
+	e.mu.Lock()
+	e.graphCache[key] = gs
+	e.mu.Unlock()
+	return gs
+}

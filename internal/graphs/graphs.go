@@ -1,0 +1,278 @@
+// Package graphs builds ProGraML-style program graphs from IR modules: a
+// heterogeneous graph with three node kinds (instruction/control, variable,
+// constant) and three edge kinds (control, data, call), unifying the
+// control-flow, data-flow and call graphs exactly as the representation the
+// paper adapts (§IV-B, Cummins et al. 2021).
+package graphs
+
+import (
+	"fmt"
+
+	"mpidetect/internal/ir"
+)
+
+// NodeKind distinguishes the three ProGraML node types.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindInstr NodeKind = iota
+	KindVar
+	KindConst
+	NumNodeKinds
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindInstr:
+		return "instruction"
+	case KindVar:
+		return "variable"
+	case KindConst:
+		return "constant"
+	}
+	return "?"
+}
+
+// EdgeKind distinguishes the three ProGraML edge types.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeControl EdgeKind = iota
+	EdgeData
+	EdgeCall
+	NumEdgeKinds
+)
+
+// String names the kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeControl:
+		return "control"
+	case EdgeData:
+		return "data"
+	case EdgeCall:
+		return "call"
+	}
+	return "?"
+}
+
+// Node is one graph node. Token is the textual feature ProGraML attaches
+// (opcode spelling for instructions — with the callee name for calls, which
+// is what lets models see MPI operations — type text for variables, and a
+// bucketed value for constants).
+type Node struct {
+	Kind  NodeKind
+	Token string
+}
+
+// Edge connects Src to Dst with a relation kind.
+type Edge struct {
+	Kind     EdgeKind
+	Src, Dst int
+}
+
+// Graph is a heterogeneous program graph.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// NumByKind counts nodes of each kind.
+func (g *Graph) NumByKind() [NumNodeKinds]int {
+	var out [NumNodeKinds]int
+	for _, n := range g.Nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// EdgesByKind splits the edge list by relation.
+func (g *Graph) EdgesByKind() [NumEdgeKinds][]Edge {
+	var out [NumEdgeKinds][]Edge
+	for _, e := range g.Edges {
+		out[e.Kind] = append(out[e.Kind], e)
+	}
+	return out
+}
+
+// ConstToken buckets a constant for feature purposes: small integers keep
+// their value (so datatype/tag/count literals are distinguishable), large
+// and negative values collapse into buckets. This mirrors ProGraML's
+// profile-independent value abstraction.
+func ConstToken(c *ir.Const) string {
+	switch {
+	case c.IsUndef:
+		return "const:undef"
+	case c.IsNull:
+		return "const:null"
+	case c.IsFloat:
+		return "const:float"
+	case c.Int < 0:
+		return "const:neg"
+	case c.Int <= 16:
+		return fmt.Sprintf("const:%d", c.Int)
+	case c.Int <= 256:
+		return "const:medium"
+	default:
+		return "const:large"
+	}
+}
+
+// InstrToken returns the instruction node token.
+func InstrToken(in *ir.Instr) string {
+	if in.Op == ir.OpCall {
+		return "call:" + in.Callee
+	}
+	if in.Op == ir.OpICmp || in.Op == ir.OpFCmp {
+		return in.Op.String() + ":" + in.Cmp.String()
+	}
+	return in.Op.String()
+}
+
+// VarToken returns the variable node token (its type).
+func VarToken(t *ir.Type) string { return "var:" + t.String() }
+
+// Build constructs the program graph of a module.
+func Build(m *ir.Module) *Graph {
+	g := &Graph{}
+	instrNode := map[*ir.Instr]int{}
+	varNode := map[ir.Value]int{}   // instruction results, params, globals
+	constNode := map[string]int{}   // constants deduplicated by token
+	funcEntry := map[*ir.Func]int{} // first instruction node of a function
+
+	addNode := func(n Node) int {
+		g.Nodes = append(g.Nodes, n)
+		return len(g.Nodes) - 1
+	}
+	addEdge := func(kind EdgeKind, src, dst int) {
+		g.Edges = append(g.Edges, Edge{Kind: kind, Src: src, Dst: dst})
+	}
+
+	// varOf returns (creating on demand) the variable/constant node of a
+	// value used as an operand.
+	varOf := func(v ir.Value) (int, bool) {
+		switch x := v.(type) {
+		case *ir.Const:
+			tok := ConstToken(x)
+			if id, ok := constNode[tok]; ok {
+				return id, true
+			}
+			id := addNode(Node{Kind: KindConst, Token: tok})
+			constNode[tok] = id
+			return id, true
+		case *ir.Param, *ir.Global:
+			if id, ok := varNode[v]; ok {
+				return id, true
+			}
+			id := addNode(Node{Kind: KindVar, Token: VarToken(v.Type())})
+			varNode[v] = id
+			return id, true
+		case *ir.Instr:
+			if id, ok := varNode[v]; ok {
+				return id, true
+			}
+			id := addNode(Node{Kind: KindVar, Token: VarToken(x.Type())})
+			varNode[v] = id
+			return id, true
+		}
+		return 0, false
+	}
+
+	// Pass 1: instruction nodes.
+	for _, f := range m.Funcs {
+		if f.Decl {
+			continue
+		}
+		first := true
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				id := addNode(Node{Kind: KindInstr, Token: InstrToken(in)})
+				instrNode[in] = id
+				if first {
+					funcEntry[f] = id
+					first = false
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, f := range m.Funcs {
+		if f.Decl {
+			continue
+		}
+		for _, b := range f.Blocks {
+			// Control edges: sequential within a block, terminator to the
+			// first instruction of each successor block.
+			for i := 0; i+1 < len(b.Instrs); i++ {
+				addEdge(EdgeControl, instrNode[b.Instrs[i]], instrNode[b.Instrs[i+1]])
+			}
+			if t := b.Term(); t != nil {
+				for _, s := range t.Blocks {
+					if len(s.Instrs) > 0 {
+						addEdge(EdgeControl, instrNode[t], instrNode[s.Instrs[0]])
+					}
+				}
+			}
+			for _, in := range b.Instrs {
+				// Data edges: operand -> instruction; instruction -> its
+				// result variable.
+				for _, a := range in.Args {
+					if src, ok := varOf(a); ok {
+						addEdge(EdgeData, src, instrNode[in])
+					}
+				}
+				if in.Name != "" && in.Typ != nil && in.Typ.Kind != ir.KVoid {
+					if dst, ok := varOf(in); ok {
+						addEdge(EdgeData, instrNode[in], dst)
+					}
+				}
+				// Call edges: call site -> callee entry (defined functions).
+				if in.Op == ir.OpCall {
+					if callee := m.FuncByName(in.Callee); callee != nil && !callee.Decl {
+						if entry, ok := funcEntry[callee]; ok {
+							addEdge(EdgeCall, instrNode[in], entry)
+						}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Vocab maps node tokens to dense ids, shared across a corpus so the GNN
+// embedding table is consistent between training and validation.
+type Vocab struct {
+	IDs map[string]int
+	OOV int // the id reserved for unseen tokens
+}
+
+// BuildVocab scans graphs and assigns token ids (id 0 is out-of-vocabulary).
+func BuildVocab(gs []*Graph) *Vocab {
+	v := &Vocab{IDs: map[string]int{}, OOV: 0}
+	next := 1
+	for _, g := range gs {
+		for _, n := range g.Nodes {
+			if _, ok := v.IDs[n.Token]; !ok {
+				v.IDs[n.Token] = next
+				next++
+			}
+		}
+	}
+	return v
+}
+
+// Size returns the vocabulary size including the OOV slot.
+func (v *Vocab) Size() int { return len(v.IDs) + 1 }
+
+// ID resolves a token (OOV for unknown).
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.IDs[tok]; ok {
+		return id
+	}
+	return v.OOV
+}

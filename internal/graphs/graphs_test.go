@@ -1,0 +1,103 @@
+package graphs
+
+import (
+	"testing"
+
+	"mpidetect/internal/ir"
+)
+
+func fixtureModule() *ir.Module {
+	m := ir.NewModule("g")
+	m.AddFunc(&ir.Func{Name: "MPI_Barrier", Decl: true, Sig: ir.FuncOf(ir.I32, ir.I32)})
+	callee := m.AddFunc(&ir.Func{Name: "helper", Sig: ir.FuncOf(ir.I32, ir.I32),
+		Params: []*ir.Param{{Name: "x", Typ: ir.I32}}})
+	cb := ir.NewBuilder(callee)
+	v := cb.Bin(ir.OpMul, callee.Params[0], ir.ConstInt(ir.I32, 3))
+	cb.Ret(v)
+
+	f := m.AddFunc(&ir.Func{Name: "main", Sig: ir.FuncOf(ir.I32)})
+	b := ir.NewBuilder(f)
+	r := b.Call("helper", ir.I32, ir.ConstInt(ir.I32, 7))
+	b.Call("MPI_Barrier", ir.I32, ir.ConstInt(ir.I32, 91))
+	cmp := b.ICmp(ir.PredSGT, r, ir.ConstInt(ir.I32, 10))
+	then := b.NewBlock("then")
+	exit := b.NewBlock("exit")
+	b.CondBr(cmp, then, exit)
+	b.SetBlock(then)
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+	return m
+}
+
+func TestBuildSchema(t *testing.T) {
+	g := Build(fixtureModule())
+	kinds := g.NumByKind()
+	if kinds[KindInstr] == 0 || kinds[KindVar] == 0 || kinds[KindConst] == 0 {
+		t.Fatalf("missing node kinds: %v", kinds)
+	}
+	edges := g.EdgesByKind()
+	if len(edges[EdgeControl]) == 0 || len(edges[EdgeData]) == 0 {
+		t.Fatal("missing control or data edges")
+	}
+	if len(edges[EdgeCall]) != 1 {
+		t.Fatalf("call edges = %d, want 1 (call to defined helper only)", len(edges[EdgeCall]))
+	}
+	// Control edges connect instructions only; data edges end at
+	// instructions or variables.
+	for _, e := range edges[EdgeControl] {
+		if g.Nodes[e.Src].Kind != KindInstr || g.Nodes[e.Dst].Kind != KindInstr {
+			t.Fatal("control edge touches a non-instruction node")
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	g := Build(fixtureModule())
+	want := map[string]bool{"call:MPI_Barrier": false, "call:helper": false, "icmp:sgt": false}
+	for _, n := range g.Nodes {
+		if _, ok := want[n.Token]; ok {
+			want[n.Token] = true
+		}
+	}
+	for tok, seen := range want {
+		if !seen {
+			t.Errorf("token %q missing from graph", tok)
+		}
+	}
+}
+
+func TestConstBuckets(t *testing.T) {
+	cases := map[*ir.Const]string{
+		ir.ConstInt(ir.I32, 5):        "const:5",
+		ir.ConstInt(ir.I32, -3):       "const:neg",
+		ir.ConstInt(ir.I32, 100):      "const:medium",
+		ir.ConstInt(ir.I32, 99999):    "const:large",
+		ir.ConstFloat(1.5):            "const:float",
+		ir.ConstNull(ir.PtrTo(ir.I8)): "const:null",
+	}
+	for c, want := range cases {
+		if got := ConstToken(c); got != want {
+			t.Errorf("ConstToken = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConstantsDeduplicated(t *testing.T) {
+	m := ir.NewModule("dups")
+	f := m.AddFunc(&ir.Func{Name: "f", Sig: ir.FuncOf(ir.I32)})
+	b := ir.NewBuilder(f)
+	x := b.Bin(ir.OpAdd, ir.ConstInt(ir.I32, 4), ir.ConstInt(ir.I32, 4))
+	y := b.Bin(ir.OpAdd, x, ir.ConstInt(ir.I32, 4))
+	b.Ret(y)
+	g := Build(m)
+	count := 0
+	for _, n := range g.Nodes {
+		if n.Token == "const:4" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("const:4 appears %d times, want 1 (deduplicated)", count)
+	}
+}

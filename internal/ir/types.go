@@ -1,0 +1,212 @@
+// Package ir implements a typed, SSA-oriented intermediate representation
+// modelled on LLVM IR. It is the code representation every other layer of
+// the reproduction consumes: the front-end lowers MPI-C programs into it,
+// the pass pipelines (-O0/-O2/-Os) transform it, IR2Vec embeds it, the
+// ProGraML-style graph builder walks it, and the MPI runtime simulator
+// interprets it.
+//
+// The representation keeps LLVM's essential structure — modules holding
+// globals and functions, functions holding basic blocks, blocks holding
+// instructions that produce typed values — along with a textual syntax with
+// a printer and parser that round-trip.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the type constructors of the IR type system.
+type Kind int
+
+// Type kinds.
+const (
+	KVoid Kind = iota
+	KInt1
+	KInt8
+	KInt32
+	KInt64
+	KFloat64
+	KPtr
+	KArray
+	KStruct
+	KFunc
+	KLabel
+)
+
+// Type is an IR type. Types are interned by the constructors below so that
+// equal types are pointer-equal for the scalar kinds; aggregate types
+// compare structurally via Equal.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // element type for KPtr and KArray
+	Len    int     // array length for KArray
+	Fields []*Type // field types for KStruct
+	Params []*Type // parameter types for KFunc
+	Ret    *Type   // return type for KFunc
+	SName  string  // optional struct tag (e.g. "MPI_Status")
+}
+
+// Singleton scalar types.
+var (
+	Void    = &Type{Kind: KVoid}
+	I1      = &Type{Kind: KInt1}
+	I8      = &Type{Kind: KInt8}
+	I32     = &Type{Kind: KInt32}
+	I64     = &Type{Kind: KInt64}
+	F64     = &Type{Kind: KFloat64}
+	LabelTy = &Type{Kind: KLabel}
+)
+
+// PtrTo returns the pointer type *elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KPtr, Elem: elem} }
+
+// ArrayOf returns the array type [n x elem].
+func ArrayOf(n int, elem *Type) *Type { return &Type{Kind: KArray, Len: n, Elem: elem} }
+
+// StructOf returns a struct type with the given tag and field types.
+func StructOf(name string, fields ...*Type) *Type {
+	return &Type{Kind: KStruct, SName: name, Fields: fields}
+}
+
+// FuncOf returns the function type ret(params...).
+func FuncOf(ret *Type, params ...*Type) *Type {
+	return &Type{Kind: KFunc, Ret: ret, Params: params}
+}
+
+// IsInt reports whether t is an integer type of any width.
+func (t *Type) IsInt() bool {
+	switch t.Kind {
+	case KInt1, KInt8, KInt32, KInt64:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == KFloat64 }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t.Kind == KPtr }
+
+// IsAggregate reports whether t is an array or struct type.
+func (t *Type) IsAggregate() bool { return t.Kind == KArray || t.Kind == KStruct }
+
+// Bits returns the bit width of an integer type (0 for non-integers).
+func (t *Type) Bits() int {
+	switch t.Kind {
+	case KInt1:
+		return 1
+	case KInt8:
+		return 8
+	case KInt32:
+		return 32
+	case KInt64:
+		return 64
+	}
+	return 0
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KVoid, KInt1, KInt8, KInt32, KInt64, KFloat64, KLabel:
+		return true
+	case KPtr:
+		return t.Elem.Equal(o.Elem)
+	case KArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case KStruct:
+		if len(t.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if !t.Fields[i].Equal(o.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case KFunc:
+		if !t.Ret.Equal(o.Ret) || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the type in LLVM-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt1:
+		return "i1"
+	case KInt8:
+		return "i8"
+	case KInt32:
+		return "i32"
+	case KInt64:
+		return "i64"
+	case KFloat64:
+		return "double"
+	case KLabel:
+		return "label"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+	case KStruct:
+		if t.SName != "" {
+			return "%struct." + t.SName
+		}
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case KFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s (%s)", t.Ret, strings.Join(parts, ", "))
+	}
+	return "<?>"
+}
+
+// SizeOf returns the abstract size in bytes of a value of type t, used by
+// alloca layout and GEP arithmetic in the interpreter.
+func SizeOf(t *Type) int {
+	switch t.Kind {
+	case KInt1, KInt8:
+		return 1
+	case KInt32:
+		return 4
+	case KInt64, KFloat64, KPtr:
+		return 8
+	case KArray:
+		return t.Len * SizeOf(t.Elem)
+	case KStruct:
+		n := 0
+		for _, f := range t.Fields {
+			n += SizeOf(f)
+		}
+		return n
+	}
+	return 0
+}

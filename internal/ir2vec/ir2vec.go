@@ -1,0 +1,368 @@
+// Package ir2vec reimplements the IR2Vec program embedding (VenkataKeerthy
+// et al., TACO 2020) used by the paper's first model (§IV-A): seed
+// embeddings for IR entities learned with a TransE-style relational
+// objective, composed into per-instruction vectors (symbolic encoding) and
+// augmented with use-def flow information (flow-aware encoding). Each
+// encoding yields one vector per compilation unit; the paper concatenates
+// both encodings into the feature vector a decision tree classifies.
+package ir2vec
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"mpidetect/internal/graphs"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/tensor"
+)
+
+// Dim is the per-encoding embedding dimensionality used by the paper
+// (256 per encoding, 512 after concatenation).
+const Dim = 256
+
+// Composition weights of the symbolic encoding (opcode, type, arguments),
+// following IR2Vec's published heuristic weights.
+const (
+	wOpc  = 1.0
+	wType = 0.5
+	wArg  = 0.2
+	// flowBeta damps the contribution of reaching definitions in the
+	// flow-aware encoding.
+	flowBeta = 0.3
+)
+
+// Encoder holds trained seed embeddings.
+type Encoder struct {
+	Dim  int
+	Seed int64
+	ent  map[string][]float64
+	rel  map[string][]float64
+}
+
+// instrTokens extracts the (opcode, type, args) entity tokens of an
+// instruction, shared with the ProGraML tokeniser so both models see the
+// same vocabulary of program entities.
+func instrTokens(in *ir.Instr) (opc, typ string, args []string) {
+	opc = graphs.InstrToken(in)
+	typ = "type:" + in.Type().String()
+	for _, a := range in.Args {
+		switch x := a.(type) {
+		case *ir.Const:
+			args = append(args, graphs.ConstToken(x))
+		default:
+			args = append(args, graphs.VarToken(x.Type()))
+		}
+	}
+	return
+}
+
+// triple is one (head, relation, tail) fact for TransE.
+type triple struct {
+	h, r, t string
+}
+
+// extractTriples harvests relational facts from a corpus: opcode--type
+// pairs, opcode--argument pairs, and sequential opcode--opcode pairs.
+func extractTriples(mods []*ir.Module) []triple {
+	seen := map[triple]bool{}
+	var out []triple
+	add := func(tr triple) {
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if f.Decl {
+				continue
+			}
+			for _, b := range f.Blocks {
+				var prev string
+				for _, in := range b.Instrs {
+					opc, typ, args := instrTokens(in)
+					add(triple{opc, "typeof", typ})
+					for _, a := range args {
+						add(triple{opc, "arg", a})
+					}
+					if prev != "" {
+						add(triple{prev, "next", opc})
+					}
+					prev = opc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Train learns seed embeddings from the corpus with a margin-based TransE
+// objective. The seed parameter is the "Seeds" knob studied in §V-A:
+// changing it regenerates a different (but equally valid) embedding basis.
+func Train(mods []*ir.Module, dim int, seed int64, epochs int) *Encoder {
+	if dim <= 0 {
+		dim = Dim
+	}
+	e := &Encoder{Dim: dim, Seed: seed,
+		ent: map[string][]float64{}, rel: map[string][]float64{}}
+	rng := rand.New(rand.NewSource(seed))
+	triples := extractTriples(mods)
+	var entities []string
+	seenEnt := map[string]bool{}
+	for _, tr := range triples {
+		for _, tok := range []string{tr.h, tr.t} {
+			if !seenEnt[tok] {
+				seenEnt[tok] = true
+				entities = append(entities, tok)
+				e.ent[tok] = randUnit(rng, dim)
+			}
+		}
+		if _, ok := e.rel[tr.r]; !ok {
+			e.rel[tr.r] = randUnit(rng, dim)
+		}
+	}
+	if len(entities) == 0 {
+		return e
+	}
+	const (
+		margin = 1.0
+		lr     = 0.01
+	)
+	order := make([]int, len(triples))
+	for i := range order {
+		order[i] = i
+	}
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ti := range order {
+			tr := triples[ti]
+			h, r, t := e.ent[tr.h], e.rel[tr.r], e.ent[tr.t]
+			// Negative sample: corrupt the tail.
+			neg := e.ent[entities[rng.Intn(len(entities))]]
+			dPos := transDist(h, r, t)
+			dNeg := transDist(h, r, neg)
+			if dPos+margin <= dNeg {
+				continue
+			}
+			// Gradient of max(0, margin + dPos - dNeg) wrt the embeddings,
+			// with d(x) = ||h + r - x||^2 (squared L2 for simple gradients).
+			for i := 0; i < dim; i++ {
+				gp := 2 * (h[i] + r[i] - t[i])
+				gn := 2 * (h[i] + r[i] - neg[i])
+				h[i] -= lr * (gp - gn)
+				r[i] -= lr * (gp - gn)
+				t[i] -= lr * (-gp)
+				neg[i] -= lr * gn
+			}
+		}
+		// Renormalise entities to the unit ball.
+		for _, v := range e.ent {
+			if n := tensor.VecNorm(v); n > 1 {
+				tensor.VecScale(v, 1/n)
+			}
+		}
+	}
+	return e
+}
+
+func transDist(h, r, t []float64) float64 {
+	s := 0.0
+	for i := range h {
+		d := h[i] + r[i] - t[i]
+		s += d * d
+	}
+	return s
+}
+
+func randUnit(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	tensor.VecScale(v, 1/math.Sqrt(float64(dim)))
+	return v
+}
+
+// lookup returns the entity embedding, falling back to a deterministic
+// hash-seeded vector for entities unseen during seed training (so encoding
+// never fails on new programs).
+func (e *Encoder) lookup(tok string) []float64 {
+	if v, ok := e.ent[tok]; ok {
+		return v
+	}
+	hash := fnv.New64a()
+	_, _ = hash.Write([]byte(tok))
+	rng := rand.New(rand.NewSource(int64(hash.Sum64()) ^ e.Seed))
+	v := randUnit(rng, e.Dim)
+	e.ent[tok] = v
+	return v
+}
+
+// symbolic computes the symbolic per-instruction vector.
+func (e *Encoder) symbolic(in *ir.Instr) []float64 {
+	opc, typ, args := instrTokens(in)
+	v := make([]float64, e.Dim)
+	tensor.VecAddScaled(v, wOpc, e.lookup(opc))
+	tensor.VecAddScaled(v, wType, e.lookup(typ))
+	for _, a := range args {
+		tensor.VecAddScaled(v, wArg, e.lookup(a))
+	}
+	return v
+}
+
+// Encoding selects which of the two encodings to emit.
+type Encoding int
+
+// Encoding modes. The paper concatenates both (EncBoth); the symbolic- and
+// flow-only modes exist for the design-choice ablation bench.
+const (
+	EncBoth Encoding = iota
+	EncSymbolic
+	EncFlowAware
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncSymbolic:
+		return "symbolic"
+	case EncFlowAware:
+		return "flow-aware"
+	default:
+		return "concat"
+	}
+}
+
+// EncodeMode returns the module vector under the chosen encoding mode:
+// Dim features for a single encoding, 2*Dim for the concatenation.
+func (e *Encoder) EncodeMode(m *ir.Module, mode Encoding) []float64 {
+	full := e.Encode(m)
+	switch mode {
+	case EncSymbolic:
+		return full[:e.Dim]
+	case EncFlowAware:
+		return full[e.Dim:]
+	}
+	return full
+}
+
+// Encode returns the concatenated [symbolic || flow-aware] vector of the
+// module (2*Dim features).
+func (e *Encoder) Encode(m *ir.Module) []float64 {
+	sym := make([]float64, e.Dim)
+	flow := make([]float64, e.Dim)
+	for _, f := range m.Funcs {
+		if f.Decl {
+			continue
+		}
+		// Per-instruction symbolic vectors.
+		symOf := map[*ir.Instr][]float64{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				v := e.symbolic(in)
+				symOf[in] = v
+				tensor.VecAdd(sym, v)
+			}
+		}
+		// Flow-aware: propagate reaching-definition vectors along use-def
+		// chains in reverse postorder (back edges see the defs computed so
+		// far, damped by flowBeta).
+		flowOf := map[*ir.Instr][]float64{}
+		for _, b := range ir.ReversePostorder(f) {
+			for _, in := range b.Instrs {
+				v := append([]float64(nil), symOf[in]...)
+				for _, a := range in.Args {
+					if dep, ok := a.(*ir.Instr); ok {
+						if dv, ok := flowOf[dep]; ok {
+							tensor.VecAddScaled(v, flowBeta, dv)
+						} else if sv, ok := symOf[dep]; ok {
+							tensor.VecAddScaled(v, flowBeta, sv)
+						}
+					}
+				}
+				flowOf[in] = v
+				tensor.VecAdd(flow, v)
+			}
+		}
+	}
+	out := make([]float64, 0, 2*e.Dim)
+	out = append(out, sym...)
+	out = append(out, flow...)
+	return out
+}
+
+// Norm selects a feature normalisation strategy (Table IV: none, vector,
+// index).
+type Norm int
+
+// Normalisation modes.
+const (
+	NormNone Norm = iota
+	NormVector
+	NormIndex
+)
+
+// String returns the Table IV spelling.
+func (n Norm) String() string {
+	switch n {
+	case NormNone:
+		return "none"
+	case NormVector:
+		return "vector"
+	case NormIndex:
+		return "index"
+	}
+	return "?"
+}
+
+// Normalizer applies one of the three modes. Index normalisation is fitted
+// on the training features and then applied to validation features.
+type Normalizer struct {
+	Mode  Norm
+	scale []float64 // per-coordinate, for NormIndex
+}
+
+// FitNormalizer prepares a normalizer from training features.
+func FitNormalizer(mode Norm, train [][]float64) *Normalizer {
+	n := &Normalizer{Mode: mode}
+	if mode == NormIndex && len(train) > 0 {
+		n.scale = make([]float64, len(train[0]))
+		for _, v := range train {
+			for i, x := range v {
+				if a := math.Abs(x); a > n.scale[i] {
+					n.scale[i] = a
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Apply normalises one feature vector (returning a fresh slice).
+func (n *Normalizer) Apply(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	switch n.Mode {
+	case NormNone:
+	case NormVector:
+		if m := tensor.VecMaxAbs(out); m > 0 {
+			tensor.VecScale(out, 1/m)
+		}
+	case NormIndex:
+		for i := range out {
+			if i < len(n.scale) && n.scale[i] > 0 {
+				out[i] /= n.scale[i]
+			}
+		}
+	}
+	return out
+}
+
+// ApplyAll normalises a batch.
+func (n *Normalizer) ApplyAll(vs [][]float64) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = n.Apply(v)
+	}
+	return out
+}

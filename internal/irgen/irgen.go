@@ -1,0 +1,558 @@
+// Package irgen lowers the MPI-C AST to the IR, playing the role of clang
+// in the paper's pipeline. The lowering is deliberately naive -O0 style
+// (every variable lives in an alloca); the pass pipeline in internal/passes
+// is responsible for turning it into optimised SSA at -O2/-Os.
+package irgen
+
+import (
+	"fmt"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/ir"
+)
+
+// Lower translates a program to an IR module.
+func Lower(p *ast.Program) (*ir.Module, error) {
+	g := &gen{m: ir.NewModule(p.Name), funcs: map[string]*ir.Func{}}
+	// Pre-declare user functions so calls can be lowered in any order.
+	for _, f := range p.Funcs {
+		params := make([]*ir.Type, len(f.Params))
+		for i, prm := range f.Params {
+			params[i] = lowerType(prm.Type)
+		}
+		irf := &ir.Func{Name: f.Name, Sig: ir.FuncOf(lowerType(f.Ret), params...)}
+		for _, prm := range f.Params {
+			irf.Params = append(irf.Params, &ir.Param{Name: prm.Name, Typ: lowerType(prm.Type)})
+		}
+		g.m.AddFunc(irf)
+		g.funcs[f.Name] = irf
+	}
+	for _, f := range p.Funcs {
+		if err := g.lowerFunc(f); err != nil {
+			return nil, fmt.Errorf("irgen: @%s: %w", f.Name, err)
+		}
+	}
+	if err := g.m.Verify(); err != nil {
+		return nil, err
+	}
+	return g.m, nil
+}
+
+// MustLower is Lower that panics on error (generator-produced programs are
+// correct by construction).
+func MustLower(p *ast.Program) *ir.Module {
+	m, err := Lower(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type slot struct {
+	ptr ir.Value
+	ty  *ast.Type
+}
+
+type gen struct {
+	m     *ir.Module
+	funcs map[string]*ir.Func
+	b     *ir.Builder
+	env   map[string]slot
+	strs  int
+}
+
+func lowerType(t *ast.Type) *ir.Type {
+	switch t.Kind {
+	case ast.TVoid:
+		return ir.Void
+	case ast.TInt:
+		return ir.I32
+	case ast.TDouble:
+		return ir.F64
+	case ast.TChar:
+		return ir.I8
+	case ast.TPtr:
+		return ir.PtrTo(lowerType(t.Elem))
+	case ast.TArray:
+		return ir.ArrayOf(t.Len, lowerType(t.Elem))
+	case ast.TMPIRequest, ast.TMPIWin:
+		return ir.I64
+	case ast.TMPIStatus:
+		return ir.StatusType
+	case ast.TMPIComm, ast.TMPIDatatype, ast.TMPIOp:
+		return ir.I32
+	}
+	panic("irgen: unknown ast type")
+}
+
+func (g *gen) lowerFunc(f *ast.FuncDecl) error {
+	irf := g.funcs[f.Name]
+	g.b = ir.NewBuilder(irf)
+	g.env = map[string]slot{}
+	for i, prm := range f.Params {
+		sl := g.b.Alloca(lowerType(prm.Type), 1)
+		g.b.Store(irf.Params[i], sl)
+		g.env[prm.Name] = slot{ptr: sl, ty: prm.Type}
+	}
+	if err := g.lowerBlock(f.Body); err != nil {
+		return err
+	}
+	if !g.b.Terminated() {
+		if f.Ret.Kind == ast.TVoid {
+			g.b.Ret(nil)
+		} else {
+			g.b.Ret(ir.ConstInt(lowerType(f.Ret), 0))
+		}
+	}
+	return nil
+}
+
+func (g *gen) lowerBlock(b *ast.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if g.b.Terminated() {
+			return nil // unreachable trailing code is dropped
+		}
+		if err := g.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) lowerStmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return g.lowerBlock(st)
+	case *ast.DeclStmt:
+		sl := g.b.Alloca(lowerType(st.Type), 1)
+		g.env[st.Name] = slot{ptr: sl, ty: st.Type}
+		if st.Init != nil {
+			v, err := g.rvalue(st.Init)
+			if err != nil {
+				return err
+			}
+			g.b.Store(g.coerce(v, lowerType(st.Type)), sl)
+		}
+		return nil
+	case *ast.AssignStmt:
+		ptr, elem, err := g.lvalue(st.LHS)
+		if err != nil {
+			return err
+		}
+		v, err := g.rvalue(st.RHS)
+		if err != nil {
+			return err
+		}
+		g.b.Store(g.coerce(v, elem), ptr)
+		return nil
+	case *ast.ExprStmt:
+		_, err := g.rvalue(st.X)
+		return err
+	case *ast.IfStmt:
+		cond, err := g.condition(st.Cond)
+		if err != nil {
+			return err
+		}
+		then := g.b.NewBlock("if.then")
+		merge := g.b.NewBlock("if.end")
+		els := merge
+		if st.Else != nil {
+			els = g.b.NewBlock("if.else")
+		}
+		g.b.CondBr(cond, then, els)
+		g.b.SetBlock(then)
+		if err := g.lowerBlock(st.Then); err != nil {
+			return err
+		}
+		if !g.b.Terminated() {
+			g.b.Br(merge)
+		}
+		if st.Else != nil {
+			g.b.SetBlock(els)
+			if err := g.lowerBlock(st.Else); err != nil {
+				return err
+			}
+			if !g.b.Terminated() {
+				g.b.Br(merge)
+			}
+		}
+		g.b.SetBlock(merge)
+		return nil
+	case *ast.ForStmt:
+		if st.Init != nil {
+			if err := g.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		header := g.b.NewBlock("for.cond")
+		body := g.b.NewBlock("for.body")
+		exit := g.b.NewBlock("for.end")
+		g.b.Br(header)
+		g.b.SetBlock(header)
+		cond, err := g.condition(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.b.CondBr(cond, body, exit)
+		g.b.SetBlock(body)
+		if err := g.lowerBlock(st.Body); err != nil {
+			return err
+		}
+		if st.Post != nil && !g.b.Terminated() {
+			if err := g.lowerStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		if !g.b.Terminated() {
+			g.b.Br(header)
+		}
+		g.b.SetBlock(exit)
+		return nil
+	case *ast.WhileStmt:
+		header := g.b.NewBlock("while.cond")
+		body := g.b.NewBlock("while.body")
+		exit := g.b.NewBlock("while.end")
+		g.b.Br(header)
+		g.b.SetBlock(header)
+		cond, err := g.condition(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.b.CondBr(cond, body, exit)
+		g.b.SetBlock(body)
+		if err := g.lowerBlock(st.Body); err != nil {
+			return err
+		}
+		if !g.b.Terminated() {
+			g.b.Br(header)
+		}
+		g.b.SetBlock(exit)
+		return nil
+	case *ast.ReturnStmt:
+		if st.X == nil {
+			g.b.Ret(nil)
+			return nil
+		}
+		v, err := g.rvalue(st.X)
+		if err != nil {
+			return err
+		}
+		g.b.Ret(g.coerce(v, g.b.F.Sig.Ret))
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// lvalue returns the address of an assignable expression plus its element
+// IR type.
+func (g *gen) lvalue(e ast.Expr) (ir.Value, *ir.Type, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sl, ok := g.env[x.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("undefined variable %q", x.Name)
+		}
+		return sl.ptr, lowerType(sl.ty), nil
+	case *ast.IndexExpr:
+		base, elem, err := g.indexAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return base, elem, nil
+	case *ast.DerefExpr:
+		v, err := g.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := v.Type()
+		if !pt.IsPtr() {
+			return nil, nil, fmt.Errorf("deref of non-pointer")
+		}
+		return v, pt.Elem, nil
+	}
+	return nil, nil, fmt.Errorf("expression %T is not an lvalue", e)
+}
+
+// indexAddr computes &x[i].
+func (g *gen) indexAddr(x *ast.IndexExpr) (ir.Value, *ir.Type, error) {
+	idx, err := g.rvalue(x.I)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx64 := g.coerce(idx, ir.I64)
+	// Array variable: GEP through the alloca; pointer: load then GEP.
+	if id, ok := x.X.(*ast.Ident); ok {
+		sl, ok := g.env[id.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("undefined variable %q", id.Name)
+		}
+		if sl.ty.Kind == ast.TArray {
+			elem := lowerType(sl.ty.Elem)
+			p := g.b.GEP(sl.ptr, elem, ir.ConstInt(ir.I64, 0), idx64)
+			return p, elem, nil
+		}
+	}
+	v, err := g.rvalue(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt := v.Type()
+	if !pt.IsPtr() {
+		return nil, nil, fmt.Errorf("index of non-pointer")
+	}
+	p := g.b.GEP(v, pt.Elem, idx64)
+	return p, pt.Elem, nil
+}
+
+// condition lowers an expression into an i1.
+func (g *gen) condition(e ast.Expr) (ir.Value, error) {
+	v, err := g.rvalue(e)
+	if err != nil {
+		return nil, err
+	}
+	t := v.Type()
+	if t.Kind == ir.KInt1 {
+		return v, nil
+	}
+	if t.IsFloat() {
+		return g.b.FCmp(ir.PredNE, v, ir.ConstFloat(0)), nil
+	}
+	return g.b.ICmp(ir.PredNE, v, ir.ConstInt(t, 0)), nil
+}
+
+// boolToInt widens an i1 to i32 when a boolean is used as a value.
+func (g *gen) boolToInt(v ir.Value) ir.Value {
+	if v.Type().Kind == ir.KInt1 {
+		return g.b.Conv(ir.OpZExt, v, ir.I32)
+	}
+	return v
+}
+
+// coerce converts v to IR type want (int width changes, int<->float,
+// pointer casts, null synthesis).
+func (g *gen) coerce(v ir.Value, want *ir.Type) ir.Value {
+	have := v.Type()
+	if have.Equal(want) {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok && want.IsPtr() && !c.IsFloat && !c.IsNull && c.Int == 0 {
+		return ir.ConstNull(want)
+	}
+	switch {
+	case have.IsInt() && want.IsInt():
+		if have.Bits() < want.Bits() {
+			if have.Kind == ir.KInt1 {
+				return g.b.Conv(ir.OpZExt, v, want)
+			}
+			return g.b.Conv(ir.OpSExt, v, want)
+		}
+		return g.b.Conv(ir.OpTrunc, v, want)
+	case have.IsInt() && want.IsFloat():
+		return g.b.Conv(ir.OpSIToFP, v, want)
+	case have.IsFloat() && want.IsInt():
+		return g.b.Conv(ir.OpFPToSI, v, want)
+	case have.IsPtr() && want.IsPtr():
+		return g.b.Conv(ir.OpBitcast, v, want)
+	case have.IsPtr() && want.Kind == ir.KInt64:
+		return g.b.Conv(ir.OpPtrToInt, v, want)
+	case have.Kind == ir.KInt64 && want.IsPtr():
+		return g.b.Conv(ir.OpIntToPtr, v, want)
+	}
+	return v
+}
+
+func (g *gen) rvalue(e ast.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ir.ConstInt(ir.I32, x.V), nil
+	case *ast.FloatLit:
+		return ir.ConstFloat(x.V), nil
+	case *ast.StrLit:
+		return g.stringPtr(x.S), nil
+	case *ast.Ident:
+		if c, ok := mpiConstant(x.Name); ok {
+			return c, nil
+		}
+		sl, ok := g.env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("undefined variable %q", x.Name)
+		}
+		if sl.ty.Kind == ast.TArray {
+			// Arrays decay to a pointer to their first element.
+			elem := lowerType(sl.ty.Elem)
+			return g.b.GEP(sl.ptr, elem, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 0)), nil
+		}
+		return g.b.Load(sl.ptr), nil
+	case *ast.BinExpr:
+		return g.binary(x)
+	case *ast.UnExpr:
+		v, err := g.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			if v.Type().IsFloat() {
+				return g.b.Bin(ir.OpFSub, ir.ConstFloat(0), v), nil
+			}
+			return g.b.Bin(ir.OpSub, ir.ConstInt(v.Type(), 0), v), nil
+		case "!":
+			if v.Type().Kind == ir.KInt1 {
+				return g.b.Bin(ir.OpXor, v, ir.ConstBool(true)), nil
+			}
+			return g.b.ICmp(ir.PredEQ, v, ir.ConstInt(v.Type(), 0)), nil
+		}
+		return nil, fmt.Errorf("unknown unary op %q", x.Op)
+	case *ast.IndexExpr:
+		p, _, err := g.indexAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		return g.b.Load(p), nil
+	case *ast.AddrExpr:
+		p, _, err := g.lvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	case *ast.DerefExpr:
+		v, err := g.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Type().IsPtr() {
+			return nil, fmt.Errorf("deref of non-pointer")
+		}
+		return g.b.Load(v), nil
+	case *ast.CallExpr:
+		return g.call(x)
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func (g *gen) binary(x *ast.BinExpr) (ir.Value, error) {
+	lhs, err := g.rvalue(x.X)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := g.rvalue(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	lhs, rhs = g.boolToInt(lhs), g.boolToInt(rhs)
+	flt := lhs.Type().IsFloat() || rhs.Type().IsFloat()
+	if flt {
+		lhs = g.coerce(lhs, ir.F64)
+		rhs = g.coerce(rhs, ir.F64)
+	} else if lhs.Type().Bits() != rhs.Type().Bits() {
+		wide := lhs.Type()
+		if rhs.Type().Bits() > wide.Bits() {
+			wide = rhs.Type()
+		}
+		lhs = g.coerce(lhs, wide)
+		rhs = g.coerce(rhs, wide)
+	}
+	if p, ok := predOf(x.Op); ok {
+		if flt {
+			return g.b.FCmp(p, lhs, rhs), nil
+		}
+		return g.b.ICmp(p, lhs, rhs), nil
+	}
+	switch x.Op {
+	case "&&", "||":
+		lb, err := g.condition2(lhs)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := g.condition2(rhs)
+		if err != nil {
+			return nil, err
+		}
+		op := ir.OpAnd
+		if x.Op == "||" {
+			op = ir.OpOr
+		}
+		return g.b.Bin(op, lb, rb), nil
+	}
+	op, ok := binOpOf(x.Op, flt)
+	if !ok {
+		return nil, fmt.Errorf("unknown binary op %q", x.Op)
+	}
+	return g.b.Bin(op, lhs, rhs), nil
+}
+
+func (g *gen) condition2(v ir.Value) (ir.Value, error) {
+	if v.Type().Kind == ir.KInt1 {
+		return v, nil
+	}
+	if v.Type().IsFloat() {
+		return g.b.FCmp(ir.PredNE, v, ir.ConstFloat(0)), nil
+	}
+	return g.b.ICmp(ir.PredNE, v, ir.ConstInt(v.Type(), 0)), nil
+}
+
+func predOf(op string) (ir.Pred, bool) {
+	switch op {
+	case "==":
+		return ir.PredEQ, true
+	case "!=":
+		return ir.PredNE, true
+	case "<":
+		return ir.PredSLT, true
+	case "<=":
+		return ir.PredSLE, true
+	case ">":
+		return ir.PredSGT, true
+	case ">=":
+		return ir.PredSGE, true
+	}
+	return 0, false
+}
+
+func binOpOf(op string, flt bool) (ir.Opcode, bool) {
+	if flt {
+		switch op {
+		case "+":
+			return ir.OpFAdd, true
+		case "-":
+			return ir.OpFSub, true
+		case "*":
+			return ir.OpFMul, true
+		case "/":
+			return ir.OpFDiv, true
+		}
+		return 0, false
+	}
+	switch op {
+	case "+":
+		return ir.OpAdd, true
+	case "-":
+		return ir.OpSub, true
+	case "*":
+		return ir.OpMul, true
+	case "/":
+		return ir.OpSDiv, true
+	case "%":
+		return ir.OpSRem, true
+	case "&":
+		return ir.OpAnd, true
+	case "|":
+		return ir.OpOr, true
+	case "^":
+		return ir.OpXor, true
+	case "<<":
+		return ir.OpShl, true
+	case ">>":
+		return ir.OpAShr, true
+	}
+	return 0, false
+}
+
+func (g *gen) stringPtr(s string) ir.Value {
+	g.strs++
+	name := fmt.Sprintf("str%d", g.strs)
+	data := s + "\x00"
+	glob := &ir.Global{Name: name, Elem: ir.ArrayOf(len(data), ir.I8), Const: true, Str: data}
+	g.m.AddGlobal(glob)
+	return g.b.GEP(glob, ir.I8, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 0))
+}

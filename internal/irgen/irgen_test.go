@@ -1,0 +1,235 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/passes"
+)
+
+// pingPong builds the canonical send/recv pair program:
+//
+//	int main() {
+//	  int rank; int buf[8];
+//	  MPI_Init(NULL, NULL);
+//	  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+//	  if (rank == 0) { MPI_Send(buf, 8, MPI_INT, 1, 7, MPI_COMM_WORLD); }
+//	  else { MPI_Recv(buf, 8, MPI_INT, 0, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE); }
+//	  MPI_Finalize();
+//	  return 0;
+//	}
+func pingPong() *ast.Program {
+	rank := &ast.Ident{Name: "rank"}
+	buf := &ast.Ident{Name: "buf"}
+	return &ast.Program{
+		Name:     "pingpong",
+		Includes: []string{"<mpi.h>"},
+		Funcs: []*ast.FuncDecl{{
+			Name: "main", Ret: ast.Int,
+			Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+				&ast.DeclStmt{Name: "rank", Type: ast.Int},
+				&ast.DeclStmt{Name: "buf", Type: ast.ArrayOf(8, ast.Int)},
+				&ast.ExprStmt{X: &ast.CallExpr{Name: "MPI_Init", Args: []ast.Expr{&ast.Ident{Name: "NULL"}, &ast.Ident{Name: "NULL"}}}},
+				&ast.ExprStmt{X: &ast.CallExpr{Name: "MPI_Comm_rank", Args: []ast.Expr{&ast.Ident{Name: "MPI_COMM_WORLD"}, &ast.AddrExpr{X: rank}}}},
+				&ast.IfStmt{
+					Cond: &ast.BinExpr{Op: "==", X: rank, Y: &ast.IntLit{V: 0}},
+					Then: &ast.BlockStmt{Stmts: []ast.Stmt{
+						&ast.ExprStmt{X: &ast.CallExpr{Name: "MPI_Send", Args: []ast.Expr{
+							buf, &ast.IntLit{V: 8}, &ast.Ident{Name: "MPI_INT"},
+							&ast.IntLit{V: 1}, &ast.IntLit{V: 7}, &ast.Ident{Name: "MPI_COMM_WORLD"}}}},
+					}},
+					Else: &ast.BlockStmt{Stmts: []ast.Stmt{
+						&ast.ExprStmt{X: &ast.CallExpr{Name: "MPI_Recv", Args: []ast.Expr{
+							buf, &ast.IntLit{V: 8}, &ast.Ident{Name: "MPI_INT"},
+							&ast.IntLit{V: 0}, &ast.IntLit{V: 7}, &ast.Ident{Name: "MPI_COMM_WORLD"},
+							&ast.Ident{Name: "MPI_STATUS_IGNORE"}}}},
+					}},
+				},
+				&ast.ExprStmt{X: &ast.CallExpr{Name: "MPI_Finalize"}},
+				&ast.ReturnStmt{X: &ast.IntLit{V: 0}},
+			}},
+		}},
+	}
+}
+
+func TestLowerPingPong(t *testing.T) {
+	m, err := Lower(pingPong())
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	text := ir.Print(m)
+	for _, want := range []string{"MPI_Init", "MPI_Comm_rank", "MPI_Send", "MPI_Recv", "MPI_Finalize", "icmp eq"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR missing %q:\n%s", want, text)
+		}
+	}
+	// Print/parse round trip of lowered code.
+	m2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(lowered): %v\n%s", err, text)
+	}
+	if got := ir.Print(m2); got != text {
+		t.Error("lowered IR does not round-trip")
+	}
+}
+
+func TestLowerThenOptimize(t *testing.T) {
+	for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
+		m, err := Lower(pingPong())
+		if err != nil {
+			t.Fatalf("Lower: %v", err)
+		}
+		passes.Optimize(m, lvl)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: Verify: %v\n%s", lvl, err, ir.Print(m))
+		}
+		// MPI calls must survive optimisation.
+		text := ir.Print(m)
+		for _, want := range []string{"MPI_Send", "MPI_Recv"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s removed %s", lvl, want)
+			}
+		}
+	}
+}
+
+func TestLowerLoop(t *testing.T) {
+	// int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }
+	i := &ast.Ident{Name: "i"}
+	s := &ast.Ident{Name: "s"}
+	p := &ast.Program{Name: "loop", Funcs: []*ast.FuncDecl{{
+		Name: "main", Ret: ast.Int,
+		Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+			&ast.DeclStmt{Name: "s", Type: ast.Int, Init: &ast.IntLit{V: 0}},
+			&ast.ForStmt{
+				Init: &ast.DeclStmt{Name: "i", Type: ast.Int, Init: &ast.IntLit{V: 0}},
+				Cond: &ast.BinExpr{Op: "<", X: i, Y: &ast.IntLit{V: 10}},
+				Post: &ast.AssignStmt{LHS: i, RHS: &ast.BinExpr{Op: "+", X: i, Y: &ast.IntLit{V: 1}}},
+				Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+					&ast.AssignStmt{LHS: s, RHS: &ast.BinExpr{Op: "+", X: s, Y: i}},
+				}},
+			},
+			&ast.ReturnStmt{X: s},
+		}},
+	}}}
+	m, err := Lower(p)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	passes.Optimize(m, passes.O2)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify after O2: %v\n%s", err, ir.Print(m))
+	}
+	// After mem2reg there must be a loop phi.
+	if !strings.Contains(ir.Print(m), "phi") {
+		t.Errorf("no loop phi after O2:\n%s", ir.Print(m))
+	}
+}
+
+func TestLowerUserCall(t *testing.T) {
+	// int helper(int x) { return x * 2; }  int main() { return helper(21); }
+	x := &ast.Ident{Name: "x"}
+	p := &ast.Program{Name: "call", Funcs: []*ast.FuncDecl{
+		{Name: "helper", Ret: ast.Int,
+			Params: []*ast.ParamDecl{{Name: "x", Type: ast.Int}},
+			Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+				&ast.ReturnStmt{X: &ast.BinExpr{Op: "*", X: x, Y: &ast.IntLit{V: 2}}},
+			}}},
+		{Name: "main", Ret: ast.Int,
+			Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+				&ast.ReturnStmt{X: &ast.CallExpr{Name: "helper", Args: []ast.Expr{&ast.IntLit{V: 21}}}},
+			}}},
+	}}
+	m, err := Lower(p)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	passes.Optimize(m, passes.O2)
+	// helper should be inlined + folded: main returns 42.
+	main := m.FuncByName("main")
+	term := main.Entry().Term()
+	if term.Op != ir.OpRet {
+		t.Fatalf("main entry does not end in ret:\n%s", ir.Print(m))
+	}
+	if c, ok := term.Args[0].(*ir.Const); !ok || c.Int != 42 {
+		t.Fatalf("main returns %s, want 42\n%s", term.Args[0].Ident(), ir.Print(m))
+	}
+}
+
+func TestLowerPrintf(t *testing.T) {
+	p := &ast.Program{Name: "hello", Funcs: []*ast.FuncDecl{{
+		Name: "main", Ret: ast.Int,
+		Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+			&ast.ExprStmt{X: &ast.CallExpr{Name: "printf", Args: []ast.Expr{
+				&ast.StrLit{S: "rank %d\n"}, &ast.IntLit{V: 3}}}},
+			&ast.ReturnStmt{X: &ast.IntLit{V: 0}},
+		}},
+	}}}
+	m, err := Lower(p)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if len(m.Globals) != 1 || m.Globals[0].Str == "" {
+		t.Fatal("string literal global missing")
+	}
+	text := ir.Print(m)
+	m2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if m2.Globals[0].Str != m.Globals[0].Str {
+		t.Errorf("string round-trip: %q != %q", m2.Globals[0].Str, m.Globals[0].Str)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	p := &ast.Program{Name: "bad", Funcs: []*ast.FuncDecl{{
+		Name: "main", Ret: ast.Int,
+		Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+			&ast.ExprStmt{X: &ast.Ident{Name: "nosuchvar"}},
+		}},
+	}}}
+	if _, err := Lower(p); err == nil {
+		t.Error("Lower accepted undefined variable")
+	}
+	p2 := &ast.Program{Name: "bad2", Funcs: []*ast.FuncDecl{{
+		Name: "main", Ret: ast.Int,
+		Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+			&ast.ExprStmt{X: &ast.CallExpr{Name: "no_such_fn"}},
+		}},
+	}}}
+	if _, err := Lower(p2); err == nil {
+		t.Error("Lower accepted unknown callee")
+	}
+}
+
+func TestRenderC(t *testing.T) {
+	text := ast.RenderC(pingPong())
+	for _, want := range []string{"#include <mpi.h>", "int main(void) {", "MPI_Send(buf, 8, MPI_INT, 1, 7, MPI_COMM_WORLD);", "if ((rank == 0)) {"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered C missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLineCountHeaderBias(t *testing.T) {
+	p := pingPong()
+	base := ast.LineCount(p, nil)
+	withHeader := ast.LineCount(p, map[string]int{"mpi.h": 1})
+	if withHeader != base {
+		t.Errorf("1-line header changed count: %d vs %d", withHeader, base)
+	}
+	p.Includes = append(p.Includes, "\"mpitest.h\"")
+	biased := ast.LineCount(p, map[string]int{"mpitest.h": 100})
+	if biased < base+99 {
+		t.Errorf("header bias not applied: %d vs %d", biased, base)
+	}
+}

@@ -1,0 +1,126 @@
+// Package metrics implements the evaluation metrics of Table I: the
+// standard recall/precision/F1/accuracy over TP/TN/FP/FN, plus the
+// MBI-specific robustness metrics (coverage, conclusiveness, specificity,
+// overall accuracy) that account for compilation errors, timeouts and
+// runtime errors of the tool under evaluation.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion holds the outcome counts of a tool over a test set. CE/TO/RE
+// count runs where the tool failed to produce a verdict (compilation
+// error, timeout, runtime error).
+type Confusion struct {
+	TP, TN, FP, FN int
+	CE, TO, RE     int
+}
+
+// Add accumulates another confusion into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.TN += o.TN
+	c.FP += o.FP
+	c.FN += o.FN
+	c.CE += o.CE
+	c.TO += o.TO
+	c.RE += o.RE
+}
+
+// Record tallies one prediction against the ground truth.
+func (c *Confusion) Record(actualIncorrect, predictedIncorrect bool) {
+	switch {
+	case actualIncorrect && predictedIncorrect:
+		c.TP++
+	case actualIncorrect && !predictedIncorrect:
+		c.FN++
+	case !actualIncorrect && predictedIncorrect:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns TP+TN+FP+FN.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Errors returns CE+TO+RE.
+func (c Confusion) Errors() int { return c.CE + c.TO + c.RE }
+
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Recall is TP / (TP + FN) — the ability to find existing errors.
+func (c Confusion) Recall() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// Precision is TP / (TP + FP).
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is (TP + TN) / Total.
+func (c Confusion) Accuracy() float64 { return ratio(c.TP+c.TN, c.Total()) }
+
+// Coverage is 1 - CE / (Total + Errors) — the ability to compile codes.
+func (c Confusion) Coverage() float64 {
+	return 1 - ratio(c.CE, c.Total()+c.Errors())
+}
+
+// Conclusiveness is 1 - Errors / (Total + Errors) — the ability to draw a
+// diagnostic.
+func (c Confusion) Conclusiveness() float64 {
+	return 1 - ratio(c.Errors(), c.Total()+c.Errors())
+}
+
+// Specificity is TN / (TN + FP) — the ability to not flag correct codes.
+// (Table I's formula prints 1 - TN/(TN+FP); the paper's numbers are
+// consistent with the standard TN/(TN+FP), which we use.)
+func (c Confusion) Specificity() float64 { return ratio(c.TN, c.TN+c.FP) }
+
+// OverallAccuracy is (TP + TN) / (Total + Errors).
+func (c Confusion) OverallAccuracy() float64 {
+	return ratio(c.TP+c.TN, c.Total()+c.Errors())
+}
+
+// Row formats the Table II-style result row.
+func (c Confusion) Row() string {
+	return fmt.Sprintf("%5d %5d %4d %4d  R=%.3f P=%.3f F1=%.3f A=%.3f",
+		c.TP, c.TN, c.FP, c.FN, c.Recall(), c.Precision(), c.F1(), c.Accuracy())
+}
+
+// FullRow formats the Table III-style row with robustness metrics.
+func (c Confusion) FullRow() string {
+	return fmt.Sprintf("CE=%d TO=%d RE=%d TP=%d TN=%d FP=%d FN=%d Cov=%.3f Cc=%.3f S=%.3f R=%.3f P=%.3f F1=%.3f Oa=%.3f",
+		c.CE, c.TO, c.RE, c.TP, c.TN, c.FP, c.FN,
+		c.Coverage(), c.Conclusiveness(), c.Specificity(),
+		c.Recall(), c.Precision(), c.F1(), c.OverallAccuracy())
+}
+
+// Table renders a labelled set of confusions as an aligned text table.
+func Table(rows []struct {
+	Name string
+	C    Confusion
+}) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %6s %6s %5s %5s %7s %7s %7s %7s\n",
+		"tool", "TP", "TN", "FP", "FN", "Recall", "Prec", "F1", "Acc")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %6d %6d %5d %5d %7.3f %7.3f %7.3f %7.3f\n",
+			r.Name, r.C.TP, r.C.TN, r.C.FP, r.C.FN,
+			r.C.Recall(), r.C.Precision(), r.C.F1(), r.C.Accuracy())
+	}
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperITACRow(t *testing.T) {
+	// Table III, ITAC row: CE=0 TO=157 RE=1 TP=859 TN=738 FP=4 FN=102.
+	c := Confusion{TP: 859, TN: 738, FP: 4, FN: 102, TO: 157, RE: 1}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 0.002 }
+	if !approx(c.Coverage(), 1) {
+		t.Errorf("coverage = %f", c.Coverage())
+	}
+	if !approx(c.Conclusiveness(), 0.915) {
+		t.Errorf("conclusiveness = %f, want 0.915", c.Conclusiveness())
+	}
+	if !approx(c.Recall(), 0.894) {
+		t.Errorf("recall = %f, want 0.894", c.Recall())
+	}
+	if !approx(c.Precision(), 0.995) {
+		t.Errorf("precision = %f, want 0.995", c.Precision())
+	}
+	if !approx(c.F1(), 0.942) {
+		t.Errorf("F1 = %f, want 0.942", c.F1())
+	}
+	if !approx(c.OverallAccuracy(), 0.858) {
+		t.Errorf("overall accuracy = %f, want 0.858", c.OverallAccuracy())
+	}
+}
+
+func TestPaperIR2vecIntraRow(t *testing.T) {
+	// Table II, IR2vec Intra MBI: TP=1043 TN=664 FP=81 FN=73.
+	c := Confusion{TP: 1043, TN: 664, FP: 81, FN: 73}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 0.001 }
+	if !approx(c.Recall(), 0.935) || !approx(c.Precision(), 0.928) ||
+		!approx(c.F1(), 0.931) || !approx(c.Accuracy(), 0.917) {
+		t.Errorf("row = %s", c.Row())
+	}
+}
+
+func TestRecord(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)   // TP
+	c.Record(true, false)  // FN
+	c.Record(false, true)  // FP
+	c.Record(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("record miscounted: %+v", c)
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %f", c.Accuracy())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4, CE: 5, TO: 6, RE: 7}
+	b := a
+	a.Add(b)
+	if a.TP != 2 || a.RE != 14 {
+		t.Errorf("add wrong: %+v", a)
+	}
+}
+
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.Recall(), c.Precision(), c.F1(),
+			c.Accuracy(), c.Coverage(), c.Conclusiveness(), c.Specificity(),
+			c.OverallAccuracy()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickF1IsHarmonicMean(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp) + 1, FP: int(fp), FN: int(fn)}
+		p, r := c.Precision(), c.Recall()
+		want := 2 * p * r / (p + r)
+		return math.Abs(c.F1()-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	out := Table([]struct {
+		Name string
+		C    Confusion
+	}{{"toolA", Confusion{TP: 10, TN: 10}}})
+	if !strings.Contains(out, "toolA") || !strings.Contains(out, "1.000") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

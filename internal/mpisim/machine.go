@@ -1,0 +1,651 @@
+package mpisim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"mpidetect/internal/ir"
+	"mpidetect/internal/mpi"
+)
+
+// RV is a runtime value: an integer, a float, or a pointer.
+type RV struct {
+	I int64
+	F float64
+	P *Ptr // non-nil for pointer values
+}
+
+// Ptr is a typed-erased address: an object plus a byte offset.
+type Ptr struct {
+	Obj *MemObj
+	Off int
+}
+
+// MemObj is an allocation: a byte array plus a shadow map for stored
+// pointers (pointers are not serialisable into bytes).
+type MemObj struct {
+	Name  string
+	Bytes []byte
+	Ptrs  map[int]*Ptr
+	Owner int // owning rank, -1 for none
+}
+
+func newMemObj(name string, size, owner int) *MemObj {
+	return &MemObj{Name: name, Bytes: make([]byte, size), Ptrs: map[int]*Ptr{}, Owner: owner}
+}
+
+type runErr struct {
+	kind string // "crash", "timeout", "exit"
+	msg  string
+}
+
+func (e *runErr) Error() string { return e.kind + ": " + e.msg }
+
+func crashf(format string, args ...any) error {
+	return &runErr{kind: "crash", msg: fmt.Sprintf(format, args...)}
+}
+
+// Machine interprets an IR module as one MPI rank.
+type Machine struct {
+	mod      *ir.Module
+	rank     int
+	rt       *Runtime
+	proc     *proc
+	globals  map[string]*MemObj
+	steps    int64
+	maxSteps int64
+	out      *strings.Builder
+}
+
+func newMachine(mod *ir.Module, rank int, rt *Runtime, maxSteps int64) *Machine {
+	m := &Machine{mod: mod, rank: rank, rt: rt, maxSteps: maxSteps,
+		globals: map[string]*MemObj{}, out: &strings.Builder{}}
+	for _, g := range mod.Globals {
+		obj := newMemObj("@"+g.Name, ir.SizeOf(g.Elem), rank)
+		if g.Str != "" {
+			copy(obj.Bytes, g.Str)
+		} else if g.Init != nil {
+			_ = obj.store(0, g.Elem, RV{I: g.Init.Int, F: g.Init.Float})
+		}
+		m.globals[g.Name] = obj
+	}
+	return m
+}
+
+// run executes main; the error (if any) is a *runErr.
+func (m *Machine) run() error {
+	main := m.mod.FuncByName("main")
+	if main == nil {
+		return crashf("no main function")
+	}
+	var args []RV
+	for range main.Params {
+		args = append(args, RV{})
+	}
+	_, err := m.call(main, args, 0)
+	return err
+}
+
+const maxCallDepth = 128
+
+type frame struct {
+	f      *ir.Func
+	regs   map[*ir.Instr]RV
+	params map[*ir.Param]RV
+}
+
+func (m *Machine) call(f *ir.Func, args []RV, depth int) (RV, error) {
+	if depth > maxCallDepth {
+		return RV{}, crashf("call depth exceeded in @%s", f.Name)
+	}
+	fr := &frame{f: f, regs: map[*ir.Instr]RV{}, params: map[*ir.Param]RV{}}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.params[p] = args[i]
+		}
+	}
+	cur := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phis evaluate simultaneously against the incoming edge.
+		phis := cur.Phis()
+		if len(phis) > 0 {
+			vals := make([]RV, len(phis))
+			for i, phi := range phis {
+				found := false
+				for j, b := range phi.Blocks {
+					if b == prev {
+						v, err := m.eval(fr, phi.Args[j])
+						if err != nil {
+							return RV{}, err
+						}
+						vals[i] = v
+						found = true
+						break
+					}
+				}
+				if !found {
+					return RV{}, crashf("phi in %%%s has no edge from %%%s", cur.Name, blockName(prev))
+				}
+			}
+			for i, phi := range phis {
+				fr.regs[phi] = vals[i]
+			}
+		}
+		branched := false
+		for _, in := range cur.Instrs {
+			if in.Op == ir.OpPhi {
+				continue
+			}
+			m.steps++
+			if m.steps > m.maxSteps {
+				return RV{}, &runErr{kind: "timeout", msg: fmt.Sprintf("step budget exceeded in @%s", f.Name)}
+			}
+			switch in.Op {
+			case ir.OpBr:
+				prev, cur = cur, in.Blocks[0]
+				branched = true
+			case ir.OpCondBr:
+				c, err := m.eval(fr, in.Args[0])
+				if err != nil {
+					return RV{}, err
+				}
+				if c.I != 0 {
+					prev, cur = cur, in.Blocks[0]
+				} else {
+					prev, cur = cur, in.Blocks[1]
+				}
+				branched = true
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					return m.eval(fr, in.Args[0])
+				}
+				return RV{}, nil
+			case ir.OpUnreachable:
+				return RV{}, crashf("reached unreachable in @%s", f.Name)
+			default:
+				v, err := m.execInstr(fr, in, depth)
+				if err != nil {
+					return RV{}, err
+				}
+				if in.Name != "" {
+					fr.regs[in] = v
+				}
+				continue
+			}
+			break // took a branch or returned
+		}
+		if !branched {
+			return RV{}, crashf("fell off block %%%s in @%s", cur.Name, f.Name)
+		}
+	}
+}
+
+func blockName(b *ir.Block) string {
+	if b == nil {
+		return "<entry>"
+	}
+	return b.Name
+}
+
+func (m *Machine) eval(fr *frame, v ir.Value) (RV, error) {
+	switch x := v.(type) {
+	case *ir.Const:
+		switch {
+		case x.IsNull, x.IsUndef:
+			return RV{}, nil
+		case x.IsFloat:
+			return RV{F: x.Float}, nil
+		default:
+			return RV{I: x.Int}, nil
+		}
+	case *ir.Param:
+		return fr.params[x], nil
+	case *ir.Instr:
+		return fr.regs[x], nil
+	case *ir.Global:
+		obj := m.globals[x.Name]
+		if obj == nil {
+			return RV{}, crashf("undefined global @%s", x.Name)
+		}
+		return RV{P: &Ptr{Obj: obj}}, nil
+	case *ir.Func:
+		return RV{}, crashf("function value @%s not supported", x.Name)
+	}
+	return RV{}, crashf("unknown value %T", v)
+}
+
+func (m *Machine) execInstr(fr *frame, in *ir.Instr, depth int) (RV, error) {
+	switch {
+	case in.Op == ir.OpAlloca:
+		n := 1
+		if len(in.Args) == 1 {
+			c, err := m.eval(fr, in.Args[0])
+			if err != nil {
+				return RV{}, err
+			}
+			n = int(c.I)
+			if n < 1 {
+				n = 1
+			}
+		}
+		obj := newMemObj("%"+in.Name, ir.SizeOf(in.AllocTy)*n, m.rank)
+		return RV{P: &Ptr{Obj: obj}}, nil
+
+	case in.Op == ir.OpLoad:
+		p, err := m.evalPtr(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		m.rt.checkLocalAccess(m.rank, p, ir.SizeOf(in.Typ), false, in)
+		return p.Obj.load(p.Off, in.Typ)
+
+	case in.Op == ir.OpStore:
+		v, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		p, err := m.evalPtr(fr, in.Args[1])
+		if err != nil {
+			return RV{}, err
+		}
+		t := in.Args[0].Type()
+		m.rt.checkLocalAccess(m.rank, p, ir.SizeOf(t), true, in)
+		return RV{}, p.Obj.store(p.Off, t, v)
+
+	case in.Op == ir.OpGEP:
+		return m.execGEP(fr, in)
+
+	case in.Op.IsBinary():
+		x, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		y, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return RV{}, err
+		}
+		return execBinary(in, x, y)
+
+	case in.Op == ir.OpICmp:
+		x, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		y, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return RV{}, err
+		}
+		if x.P != nil || y.P != nil {
+			eq := ptrEq(x.P, y.P) && x.I == y.I
+			switch in.Cmp {
+			case ir.PredEQ:
+				return boolRV(eq), nil
+			case ir.PredNE:
+				return boolRV(!eq), nil
+			}
+			return RV{}, crashf("ordered pointer comparison")
+		}
+		return boolRV(intCmp(in.Cmp, x.I, y.I)), nil
+
+	case in.Op == ir.OpFCmp:
+		x, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		y, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return RV{}, err
+		}
+		return boolRV(floatCmp(in.Cmp, x.F, y.F)), nil
+
+	case in.Op.IsConv():
+		x, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		return execConv(in, x)
+
+	case in.Op == ir.OpSelect:
+		c, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return RV{}, err
+		}
+		if c.I != 0 {
+			return m.eval(fr, in.Args[1])
+		}
+		return m.eval(fr, in.Args[2])
+
+	case in.Op == ir.OpCall:
+		return m.execCall(fr, in, depth)
+	}
+	return RV{}, crashf("cannot execute %s", in.Op)
+}
+
+func (m *Machine) evalPtr(fr *frame, v ir.Value) (*Ptr, error) {
+	rv, err := m.eval(fr, v)
+	if err != nil {
+		return nil, err
+	}
+	if rv.P == nil {
+		return nil, crashf("nil pointer dereference")
+	}
+	return rv.P, nil
+}
+
+func (m *Machine) execGEP(fr *frame, in *ir.Instr) (RV, error) {
+	base, err := m.eval(fr, in.Args[0])
+	if err != nil {
+		return RV{}, err
+	}
+	if base.P == nil {
+		return RV{}, crashf("GEP on nil pointer")
+	}
+	cur := in.Args[0].Type().Elem
+	off := base.P.Off
+	for i, idxV := range in.Args[1:] {
+		iv, err := m.eval(fr, idxV)
+		if err != nil {
+			return RV{}, err
+		}
+		idx := int(iv.I)
+		if i == 0 {
+			off += idx * ir.SizeOf(cur)
+			continue
+		}
+		switch cur.Kind {
+		case ir.KArray:
+			cur = cur.Elem
+			off += idx * ir.SizeOf(cur)
+		case ir.KStruct:
+			if idx < 0 || idx >= len(cur.Fields) {
+				return RV{}, crashf("GEP struct index %d out of range", idx)
+			}
+			for _, f := range cur.Fields[:idx] {
+				off += ir.SizeOf(f)
+			}
+			cur = cur.Fields[idx]
+		default:
+			return RV{}, crashf("GEP into non-aggregate %s", cur)
+		}
+	}
+	return RV{P: &Ptr{Obj: base.P.Obj, Off: off}}, nil
+}
+
+func (m *Machine) execCall(fr *frame, in *ir.Instr, depth int) (RV, error) {
+	args := make([]RV, len(in.Args))
+	for i, a := range in.Args {
+		v, err := m.eval(fr, a)
+		if err != nil {
+			return RV{}, err
+		}
+		args[i] = v
+	}
+	if op, ok := mpi.FromName(in.Callee); ok {
+		return m.rt.dispatch(m, op, args, in)
+	}
+	switch in.Callee {
+	case "printf":
+		return m.printf(args)
+	case "exit":
+		return RV{}, &runErr{kind: "exit", msg: "exit called"}
+	case "sleep", "usleep":
+		return RV{I: 0}, nil
+	}
+	callee := m.mod.FuncByName(in.Callee)
+	if callee == nil || callee.Decl {
+		return RV{}, crashf("call to undefined @%s", in.Callee)
+	}
+	return m.call(callee, args, depth+1)
+}
+
+// printf implements the %d/%ld/%f/%g/%s/%c/%% subset.
+func (m *Machine) printf(args []RV) (RV, error) {
+	if len(args) == 0 || args[0].P == nil {
+		return RV{}, crashf("printf without format")
+	}
+	format := cString(args[0].P)
+	var sb strings.Builder
+	ai := 1
+	next := func() RV {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return RV{}
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' || i+1 >= len(format) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		// skip length modifiers
+		for format[i] == 'l' || format[i] == 'z' {
+			i++
+			if i >= len(format) {
+				break
+			}
+		}
+		switch format[i] {
+		case 'd', 'i', 'u':
+			fmt.Fprintf(&sb, "%d", next().I)
+		case 'f', 'g', 'e':
+			fmt.Fprintf(&sb, "%g", next().F)
+		case 's':
+			v := next()
+			if v.P != nil {
+				sb.WriteString(cString(v.P))
+			}
+		case 'c':
+			sb.WriteByte(byte(next().I))
+		case 'p':
+			fmt.Fprintf(&sb, "0x%x", next().I)
+		case '%':
+			sb.WriteByte('%')
+		default:
+			sb.WriteByte(format[i])
+		}
+	}
+	s := sb.String()
+	m.out.WriteString(s)
+	return RV{I: int64(len(s))}, nil
+}
+
+func cString(p *Ptr) string {
+	end := p.Off
+	for end < len(p.Obj.Bytes) && p.Obj.Bytes[end] != 0 {
+		end++
+	}
+	return string(p.Obj.Bytes[p.Off:end])
+}
+
+func boolRV(b bool) RV {
+	if b {
+		return RV{I: 1}
+	}
+	return RV{}
+}
+
+func ptrEq(a, b *Ptr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Obj == b.Obj && a.Off == b.Off
+}
+
+func intCmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredSLT:
+		return a < b
+	case ir.PredSLE:
+		return a <= b
+	case ir.PredSGT:
+		return a > b
+	case ir.PredSGE:
+		return a >= b
+	}
+	return false
+}
+
+func floatCmp(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredSLT:
+		return a < b
+	case ir.PredSLE:
+		return a <= b
+	case ir.PredSGT:
+		return a > b
+	case ir.PredSGE:
+		return a >= b
+	}
+	return false
+}
+
+func execBinary(in *ir.Instr, x, y RV) (RV, error) {
+	switch in.Op {
+	case ir.OpFAdd:
+		return RV{F: x.F + y.F}, nil
+	case ir.OpFSub:
+		return RV{F: x.F - y.F}, nil
+	case ir.OpFMul:
+		return RV{F: x.F * y.F}, nil
+	case ir.OpFDiv:
+		return RV{F: x.F / y.F}, nil
+	}
+	a, b := x.I, y.I
+	var r int64
+	switch in.Op {
+	case ir.OpAdd:
+		r = a + b
+	case ir.OpSub:
+		r = a - b
+	case ir.OpMul:
+		r = a * b
+	case ir.OpSDiv:
+		if b == 0 {
+			return RV{}, crashf("integer division by zero")
+		}
+		r = a / b
+	case ir.OpSRem:
+		if b == 0 {
+			return RV{}, crashf("integer remainder by zero")
+		}
+		r = a % b
+	case ir.OpAnd:
+		r = a & b
+	case ir.OpOr:
+		r = a | b
+	case ir.OpXor:
+		r = a ^ b
+	case ir.OpShl:
+		r = a << uint(b&63)
+	case ir.OpAShr:
+		r = a >> uint(b&63)
+	default:
+		return RV{}, crashf("bad binary op %s", in.Op)
+	}
+	return RV{I: truncInt(in.Typ, r)}, nil
+}
+
+func truncInt(t *ir.Type, v int64) int64 {
+	switch t.Kind {
+	case ir.KInt1:
+		return v & 1
+	case ir.KInt8:
+		return int64(int8(v))
+	case ir.KInt32:
+		return int64(int32(v))
+	}
+	return v
+}
+
+func execConv(in *ir.Instr, x RV) (RV, error) {
+	switch in.Op {
+	case ir.OpTrunc, ir.OpSExt:
+		return RV{I: truncInt(in.Typ, x.I)}, nil
+	case ir.OpZExt:
+		return RV{I: x.I}, nil
+	case ir.OpSIToFP:
+		return RV{F: float64(x.I)}, nil
+	case ir.OpFPToSI:
+		return RV{I: truncInt(in.Typ, int64(x.F))}, nil
+	case ir.OpBitcast:
+		return x, nil
+	case ir.OpPtrToInt:
+		if x.P == nil {
+			return RV{I: 0}, nil
+		}
+		return RV{I: int64(x.P.Off) + 1}, nil // opaque non-zero token
+	case ir.OpIntToPtr:
+		return RV{}, crashf("inttoptr not supported")
+	}
+	return RV{}, crashf("bad conversion %s", in.Op)
+}
+
+// load reads a typed value at the byte offset.
+func (o *MemObj) load(off int, t *ir.Type) (RV, error) {
+	size := ir.SizeOf(t)
+	if off < 0 || off+size > len(o.Bytes) {
+		return RV{}, crashf("load out of bounds (%s at %d+%d/%d)", t, off, size, len(o.Bytes))
+	}
+	if t.IsPtr() {
+		if p, ok := o.Ptrs[off]; ok {
+			return RV{P: p}, nil
+		}
+		return RV{}, nil
+	}
+	switch t.Kind {
+	case ir.KFloat64:
+		bits := binary.LittleEndian.Uint64(o.Bytes[off:])
+		return RV{F: math.Float64frombits(bits)}, nil
+	case ir.KInt1, ir.KInt8:
+		return RV{I: int64(int8(o.Bytes[off]))}, nil
+	case ir.KInt32:
+		return RV{I: int64(int32(binary.LittleEndian.Uint32(o.Bytes[off:])))}, nil
+	case ir.KInt64:
+		return RV{I: int64(binary.LittleEndian.Uint64(o.Bytes[off:]))}, nil
+	}
+	return RV{}, crashf("load of unsupported type %s", t)
+}
+
+// store writes a typed value at the byte offset.
+func (o *MemObj) store(off int, t *ir.Type, v RV) error {
+	size := ir.SizeOf(t)
+	if off < 0 || off+size > len(o.Bytes) {
+		return crashf("store out of bounds (%s at %d+%d/%d)", t, off, size, len(o.Bytes))
+	}
+	if t.IsPtr() {
+		if v.P != nil {
+			o.Ptrs[off] = v.P
+		} else {
+			delete(o.Ptrs, off)
+		}
+		return nil
+	}
+	switch t.Kind {
+	case ir.KFloat64:
+		binary.LittleEndian.PutUint64(o.Bytes[off:], math.Float64bits(v.F))
+	case ir.KInt1, ir.KInt8:
+		o.Bytes[off] = byte(v.I)
+	case ir.KInt32:
+		binary.LittleEndian.PutUint32(o.Bytes[off:], uint32(v.I))
+	case ir.KInt64:
+		binary.LittleEndian.PutUint64(o.Bytes[off:], uint64(v.I))
+	default:
+		return crashf("store of unsupported type %s", t)
+	}
+	return nil
+}

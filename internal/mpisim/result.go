@@ -1,0 +1,102 @@
+// Package mpisim is a deterministic MPI runtime simulator. It executes IR
+// modules produced by the front-end with one simulated process (rank) per
+// virtual MPI process, using a cooperative round-robin scheduler so runs
+// are fully reproducible. The runtime implements the MPI subset of the
+// benchmarks — blocking and nonblocking point-to-point, persistent
+// requests, collectives, and one-sided epochs — and performs the dynamic
+// correctness checks (argument validation, type matching, deadlock
+// detection, request/epoch lifecycle, race detection, leak checking) that
+// the paper's dynamic comparison tools (ITAC, MUST) perform.
+package mpisim
+
+import (
+	"fmt"
+
+	"mpidetect/internal/mpi"
+)
+
+// ViolationKind classifies a dynamic error found by the runtime.
+type ViolationKind int
+
+// The dynamic error kinds reported by the simulator.
+const (
+	VNone ViolationKind = iota
+	VInvalidParam
+	VTypeMismatch   // send/recv or collective datatype mismatch
+	VTruncation     // receive buffer smaller than the message
+	VRootMismatch   // collective root disagreement
+	VOpMismatch     // collective reduction-op disagreement
+	VDeadlock       // no runnable rank and unfinished work
+	VMessageRace    // wildcard receive with multiple possible matches
+	VRequestLife    // request lifecycle misuse
+	VEpochLife      // RMA epoch misuse
+	VLocalConc      // local buffer touched while an async op is pending
+	VGlobalConc     // conflicting RMA accesses in the same epoch
+	VResourceLeak   // request/window/datatype/comm leaked at finalize
+	VCallOrdering   // MPI call outside Init/Finalize, missing calls
+	VBufferOverflow // buffer access out of bounds
+)
+
+var vkindNames = map[ViolationKind]string{
+	VNone:           "none",
+	VInvalidParam:   "invalid-parameter",
+	VTypeMismatch:   "type-mismatch",
+	VTruncation:     "truncation",
+	VRootMismatch:   "root-mismatch",
+	VOpMismatch:     "op-mismatch",
+	VDeadlock:       "deadlock",
+	VMessageRace:    "message-race",
+	VRequestLife:    "request-lifecycle",
+	VEpochLife:      "epoch-lifecycle",
+	VLocalConc:      "local-concurrency",
+	VGlobalConc:     "global-concurrency",
+	VResourceLeak:   "resource-leak",
+	VCallOrdering:   "call-ordering",
+	VBufferOverflow: "buffer-overflow",
+}
+
+// String returns a stable name for the kind.
+func (k ViolationKind) String() string {
+	if s, ok := vkindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("violation(%d)", int(k))
+}
+
+// Violation is one dynamic error instance.
+type Violation struct {
+	Kind ViolationKind
+	Rank int    // reporting rank, -1 for global findings
+	Op   mpi.Op // operation involved (OpNone if not applicable)
+	Msg  string
+}
+
+// String formats the violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("[rank %d] %s at %s: %s", v.Rank, v.Kind, v.Op, v.Msg)
+}
+
+// Result summarises a simulated run.
+type Result struct {
+	Violations []Violation
+	Deadlock   bool
+	Timeout    bool // a rank exceeded its step budget
+	Crashed    bool // interpreter fault (runtime error in the program)
+	CrashMsg   string
+	Output     string // interleaved printf output
+}
+
+// Erroneous reports whether the run surfaced any dynamic problem.
+func (r *Result) Erroneous() bool {
+	return len(r.Violations) > 0 || r.Deadlock || r.Timeout || r.Crashed
+}
+
+// Has reports whether a violation of kind k was recorded.
+func (r *Result) Has(k ViolationKind) bool {
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,485 @@
+package mpisim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpidetect/internal/ir"
+	"mpidetect/internal/mpi"
+)
+
+// Config parameterises a simulated run.
+type Config struct {
+	Ranks      int   // number of MPI processes (default 2)
+	MaxSteps   int64 // per-rank interpreter step budget (default 200k)
+	EagerLimit int   // standard-send eager threshold in bytes (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 2
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 200_000
+	}
+	if c.EagerLimit <= 0 {
+		c.EagerLimit = 64
+	}
+	return c
+}
+
+// proc states.
+const (
+	pBlocked = iota
+	pRunning
+	pDone
+	pFailed
+)
+
+type proc struct {
+	rank      int
+	mach      *Machine
+	state     int
+	canRun    func() bool
+	blockedOn mpi.Op
+	resume    chan struct{}
+	yielded   chan struct{}
+	err       *runErr
+
+	inited    bool
+	finalized bool
+
+	// resources owned by the rank
+	activeRegions []region
+	ownedComms    []int64
+	ownedTypes    []int64
+}
+
+type region struct {
+	obj    *MemObj
+	off    int
+	length int
+	write  bool // the async op writes this buffer (recv-like)
+	reqID  int64
+	op     mpi.Op
+	warned bool
+}
+
+// Runtime is the shared MPI world state of one simulated run. Only one
+// rank executes at a time (cooperative scheduling), so no locking is
+// needed and runs are deterministic.
+type Runtime struct {
+	cfg   Config
+	size  int
+	procs []*proc
+
+	violations []Violation
+	deadlock   bool
+	timeout    bool
+
+	sends []*message
+	recvs []*recvPost
+	colls []*collSlot
+	reqs  map[int64]*request
+	wins  map[int64]*window
+	comms map[int64]int // comm handle -> size
+
+	nextReq      int64
+	nextWin      int64
+	nextComm     int64
+	nextType     int64
+	dtypes       map[int64]bool // derived datatype committed state
+	derivedSizes map[int64]int  // derived datatype element sizes
+
+	msgLog    []msgRecord
+	wildRecvs []wildRecord
+
+	finalizeCount int
+}
+
+type msgRecord struct {
+	src, dst, tag int
+	comm          int64
+}
+
+type wildRecord struct {
+	dst, tag int
+	comm     int64
+}
+
+// Run simulates the module with the given configuration.
+func Run(mod *ir.Module, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:      cfg,
+		size:     cfg.Ranks,
+		reqs:     map[int64]*request{},
+		wins:     map[int64]*window{},
+		comms:    map[int64]int{mpi.CommWorld: cfg.Ranks, mpi.CommSelf: 1},
+		dtypes:   map[int64]bool{},
+		nextReq:  1000,
+		nextWin:  5000,
+		nextComm: 200,
+		nextType: 100,
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		p := &proc{
+			rank:    r,
+			state:   pBlocked,
+			canRun:  func() bool { return true },
+			resume:  make(chan struct{}),
+			yielded: make(chan struct{}),
+		}
+		p.mach = newMachine(mod, r, rt, cfg.MaxSteps)
+		p.mach.proc = p
+		rt.procs = append(rt.procs, p)
+	}
+	for _, p := range rt.procs {
+		p := p
+		go func() {
+			<-p.resume
+			err := func() (err error) {
+				// Convert any interpreter panic into a crash verdict so a
+				// malformed program can never take down the host process.
+				defer func() {
+					if r := recover(); r != nil {
+						err = crashf("interpreter panic: %v", r)
+					}
+				}()
+				return p.mach.run()
+			}()
+			if err != nil {
+				if re, ok := err.(*runErr); ok {
+					p.err = re
+				} else {
+					p.err = &runErr{kind: "crash", msg: err.Error()}
+				}
+				p.state = pFailed
+			} else {
+				p.state = pDone
+			}
+			p.yielded <- struct{}{}
+		}()
+	}
+	rt.schedule()
+	return rt.collect()
+}
+
+// schedule drives the cooperative round-robin scheduler to completion.
+func (rt *Runtime) schedule() {
+	for {
+		progress := false
+		alive := false
+		for _, p := range rt.procs {
+			if p.state != pBlocked {
+				continue
+			}
+			alive = true
+			if p.canRun == nil || p.canRun() {
+				p.state = pRunning
+				p.resume <- struct{}{}
+				<-p.yielded
+				progress = true
+			}
+		}
+		if !alive {
+			return
+		}
+		if !progress {
+			// Global stall: genuine deadlock (every live rank blocked on a
+			// condition no live rank can satisfy).
+			rt.deadlock = true
+			blockedOps := []string{}
+			for _, p := range rt.procs {
+				if p.state == pBlocked {
+					blockedOps = append(blockedOps, fmt.Sprintf("rank %d in %s", p.rank, p.blockedOn))
+				}
+			}
+			rt.report(Violation{Kind: VDeadlock, Rank: -1, Op: mpi.OpNone,
+				Msg: "no progress possible: " + strings.Join(blockedOps, ", ")})
+			// Unblock everyone with a deadlock verdict so goroutines exit.
+			for _, p := range rt.procs {
+				if p.state == pBlocked {
+					p.state = pRunning
+					p.resume <- struct{}{}
+					<-p.yielded
+				}
+			}
+			return
+		}
+	}
+}
+
+// block suspends the calling rank until cond() holds (or a deadlock is
+// declared). It must only be called from a rank's own goroutine, during
+// its turn.
+func (rt *Runtime) block(p *proc, op mpi.Op, cond func() bool) error {
+	for !cond() {
+		if rt.deadlock {
+			return &runErr{kind: "deadlock", msg: "blocked in " + op.String()}
+		}
+		p.blockedOn = op
+		p.state = pBlocked
+		p.canRun = func() bool { return rt.deadlock || cond() }
+		p.yielded <- struct{}{}
+		<-p.resume
+		p.state = pRunning
+	}
+	return nil
+}
+
+// yieldTurn hands the scheduler one round without a blocking condition:
+// used by MPI_Test so that spin-loops polling a request let peers progress.
+func (rt *Runtime) yieldTurn(p *proc) {
+	if rt.deadlock {
+		return
+	}
+	p.blockedOn = mpi.OpTest
+	p.state = pBlocked
+	p.canRun = func() bool { return true }
+	p.yielded <- struct{}{}
+	<-p.resume
+	p.state = pRunning
+}
+
+func (rt *Runtime) report(v Violation) {
+	rt.violations = append(rt.violations, v)
+}
+
+// reportOnce records v only if no violation of the same kind+rank exists.
+func (rt *Runtime) reportOnce(v Violation) {
+	for _, e := range rt.violations {
+		if e.Kind == v.Kind && e.Rank == v.Rank && e.Op == v.Op {
+			return
+		}
+	}
+	rt.report(v)
+}
+
+func (rt *Runtime) collect() *Result {
+	res := &Result{Deadlock: rt.deadlock}
+	var out strings.Builder
+	for _, p := range rt.procs {
+		out.WriteString(p.mach.out.String())
+		if p.err != nil {
+			switch p.err.kind {
+			case "timeout":
+				res.Timeout = true
+			case "crash":
+				res.Crashed = true
+				if res.CrashMsg == "" {
+					res.CrashMsg = fmt.Sprintf("rank %d: %s", p.rank, p.err.msg)
+				}
+			}
+		}
+		if p.inited && !p.finalized && p.err == nil && !rt.deadlock {
+			rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: mpi.OpFinalize,
+				Msg: "MPI_Finalize never called"})
+		}
+	}
+	rt.analyzeRaces()
+	rt.finalLeakCheck()
+	res.Output = out.String()
+	res.Violations = rt.violations
+	return res
+}
+
+// analyzeRaces flags wildcard receives for which the message log shows two
+// or more candidate senders — the dynamic signature of a message race.
+func (rt *Runtime) analyzeRaces() {
+	for _, w := range rt.wildRecvs {
+		srcs := map[int]bool{}
+		for _, m := range rt.msgLog {
+			if m.dst == w.dst && m.comm == w.comm &&
+				(w.tag == mpi.AnyTag || w.tag == m.tag) {
+				srcs[m.src] = true
+			}
+		}
+		if len(srcs) > 1 {
+			rt.reportOnce(Violation{Kind: VMessageRace, Rank: w.dst, Op: mpi.OpRecv,
+				Msg: fmt.Sprintf("wildcard receive has %d candidate senders", len(srcs))})
+			return
+		}
+	}
+}
+
+// finalLeakCheck reports unfreed resources and unmatched communication
+// after the run has terminated.
+func (rt *Runtime) finalLeakCheck() {
+	ids := make([]int64, 0, len(rt.reqs))
+	for id := range rt.reqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := rt.reqs[id]
+		if r.freed {
+			continue
+		}
+		if r.persistent || !r.completedAndWaited {
+			rt.reportOnce(Violation{Kind: VResourceLeak, Rank: r.owner, Op: r.op,
+				Msg: "request never completed or freed"})
+		}
+	}
+	for _, w := range rt.wins {
+		if !w.freed {
+			rt.reportOnce(Violation{Kind: VResourceLeak, Rank: w.owner, Op: mpi.OpWinCreate,
+				Msg: "window never freed"})
+		}
+	}
+	for id, committed := range rt.dtypes {
+		_ = id
+		if committed {
+			rt.reportOnce(Violation{Kind: VResourceLeak, Rank: -1, Op: mpi.OpTypeCommit,
+				Msg: "derived datatype never freed"})
+		}
+	}
+	for _, m := range rt.sends {
+		if !m.matched {
+			rt.reportOnce(Violation{Kind: VCallOrdering, Rank: m.src, Op: mpi.OpSend,
+				Msg: fmt.Sprintf("send to rank %d tag %d never received", m.dst, m.tag)})
+		}
+	}
+	for _, r := range rt.recvs {
+		if !r.completed {
+			rt.reportOnce(Violation{Kind: VCallOrdering, Rank: r.dst, Op: mpi.OpRecv,
+				Msg: "receive never matched"})
+		}
+	}
+}
+
+// dispatch routes an MPI call to its handler. It is the single entry point
+// the interpreter uses for MPI_* calls.
+func (rt *Runtime) dispatch(m *Machine, op mpi.Op, args []RV, in *ir.Instr) (RV, error) {
+	p := m.proc
+	if op == mpi.OpInit {
+		if p.inited {
+			rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: op, Msg: "MPI_Init called twice"})
+		}
+		p.inited = true
+		return RV{I: mpi.Success}, nil
+	}
+	if !p.inited {
+		rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: op,
+			Msg: op.String() + " before MPI_Init"})
+	}
+	if p.finalized {
+		rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: op,
+			Msg: op.String() + " after MPI_Finalize"})
+	}
+	rt.validateArgs(p, op, args)
+	switch op {
+	case mpi.OpFinalize:
+		return rt.doFinalize(p)
+	case mpi.OpCommRank, mpi.OpCommSize:
+		return rt.doRankSize(p, op, args)
+	case mpi.OpAbort:
+		return RV{}, &runErr{kind: "exit", msg: "MPI_Abort"}
+	case mpi.OpSend, mpi.OpSsend, mpi.OpBsend, mpi.OpRsend:
+		return rt.doSend(p, op, args)
+	case mpi.OpRecv:
+		return rt.doRecv(p, op, args)
+	case mpi.OpSendrecv:
+		return rt.doSendrecv(p, args)
+	case mpi.OpIsend, mpi.OpIssend, mpi.OpIrecv, mpi.OpSendInit, mpi.OpRecvInit:
+		return rt.doImmediate(p, op, args)
+	case mpi.OpWait:
+		return rt.doWait(p, args)
+	case mpi.OpWaitall:
+		return rt.doWaitall(p, args)
+	case mpi.OpTest:
+		return rt.doTest(p, args)
+	case mpi.OpRequestFree:
+		return rt.doRequestFree(p, args)
+	case mpi.OpStart, mpi.OpStartall:
+		return rt.doStart(p, op, args)
+	case mpi.OpGetCount:
+		return rt.doGetCount(p, args)
+	case mpi.OpBarrier, mpi.OpBcast, mpi.OpReduce, mpi.OpAllreduce,
+		mpi.OpGather, mpi.OpScatter, mpi.OpAllgather, mpi.OpAlltoall,
+		mpi.OpExscan, mpi.OpScan:
+		return rt.doCollective(p, op, args)
+	case mpi.OpIbarrier, mpi.OpIbcast, mpi.OpIallreduce:
+		return rt.doICollective(p, op, args)
+	case mpi.OpWinCreate:
+		return rt.doWinCreate(p, args)
+	case mpi.OpWinFree:
+		return rt.doWinFree(p, args)
+	case mpi.OpWinFence:
+		return rt.doWinFence(p, args)
+	case mpi.OpPut, mpi.OpGet, mpi.OpAccumulate:
+		return rt.doRMAAccess(p, op, args)
+	case mpi.OpWinLock, mpi.OpWinUnlock:
+		return rt.doWinLock(p, op, args)
+	case mpi.OpCommSplit, mpi.OpCommDup:
+		return rt.doCommCreate(p, op, args)
+	case mpi.OpCommFree:
+		return rt.doCommFree(p, args)
+	case mpi.OpTypeContiguous:
+		return rt.doTypeContiguous(p, args)
+	case mpi.OpTypeCommit, mpi.OpTypeFree:
+		return rt.doTypeCommitFree(p, op, args)
+	}
+	return RV{I: mpi.Success}, nil
+}
+
+func (rt *Runtime) doFinalize(p *proc) (RV, error) {
+	if p.finalized {
+		rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: mpi.OpFinalize,
+			Msg: "MPI_Finalize called twice"})
+		return RV{I: mpi.Success}, nil
+	}
+	p.finalized = true
+	// Leak checks local to the rank.
+	for _, reg := range p.activeRegions {
+		rt.reportOnce(Violation{Kind: VResourceLeak, Rank: p.rank, Op: reg.op,
+			Msg: "nonblocking operation still pending at MPI_Finalize"})
+	}
+	rt.finalizeCount++
+	return RV{I: mpi.Success}, nil
+}
+
+func (rt *Runtime) doRankSize(p *proc, op mpi.Op, args []RV) (RV, error) {
+	if len(args) < 2 || args[1].P == nil {
+		rt.report(Violation{Kind: VInvalidParam, Rank: p.rank, Op: op, Msg: "null output pointer"})
+		return RV{I: mpi.ErrOther}, nil
+	}
+	val := int64(p.rank)
+	if op == mpi.OpCommSize {
+		size, ok := rt.comms[args[0].I]
+		if !ok {
+			size = rt.size
+		}
+		val = int64(size)
+	}
+	if err := args[1].P.Obj.store(args[1].P.Off, ir.I32, RV{I: val}); err != nil {
+		return RV{}, err
+	}
+	return RV{I: mpi.Success}, nil
+}
+
+// checkLocalAccess is invoked by the interpreter on every load/store so the
+// runtime can detect local-concurrency violations (touching a buffer that a
+// pending nonblocking operation owns) and RMA local accesses during open
+// epochs.
+func (rt *Runtime) checkLocalAccess(rank int, ptr *Ptr, size int, isWrite bool, in *ir.Instr) {
+	p := rt.procs[rank]
+	for i := range p.activeRegions {
+		reg := &p.activeRegions[i]
+		if reg.warned || reg.obj != ptr.Obj {
+			continue
+		}
+		if ptr.Off+size <= reg.off || reg.off+reg.length <= ptr.Off {
+			continue
+		}
+		// Reading a send buffer is legal; everything else races.
+		if !isWrite && !reg.write {
+			continue
+		}
+		reg.warned = true
+		rt.report(Violation{Kind: VLocalConc, Rank: rank, Op: reg.op,
+			Msg: "buffer accessed while a nonblocking operation is pending"})
+	}
+	rt.checkRMALocalAccess(rank, ptr, size, isWrite)
+}

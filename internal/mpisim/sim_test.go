@@ -1,0 +1,484 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	. "mpidetect/internal/ast"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+// runProg lowers and simulates a program.
+func runProg(t *testing.T, p *Program, ranks int) *Result {
+	t.Helper()
+	mod, err := irgen.Lower(p)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return Run(mod, Config{Ranks: ranks})
+}
+
+func world() Expr { return Id("MPI_COMM_WORLD") }
+
+func TestCorrectPingPong(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 8, Int),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				Assign(Idx(Id("buf"), I(0)), I(42)),
+				CallS("MPI_Send", Id("buf"), I(8), Id("MPI_INT"), I(1), I(7), world()),
+			},
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(8), Id("MPI_INT"), I(0), I(7), world(), Id("MPI_STATUS_IGNORE")),
+				CallS("printf", S("got %d\n"), Idx(Id("buf"), I(0))),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("pingpong", stmts...), 2)
+	if res.Erroneous() {
+		t.Fatalf("correct program flagged: %+v deadlock=%v timeout=%v crash=%v %s",
+			res.Violations, res.Deadlock, res.Timeout, res.Crashed, res.CrashMsg)
+	}
+	if !strings.Contains(res.Output, "got 42") {
+		t.Errorf("output = %q, want to contain 'got 42'", res.Output)
+	}
+}
+
+func TestDeadlockBothRecv(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		// Both ranks receive first: classic deadlock.
+		CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"),
+			Sub(I(1), Id("rank")), I(3), world(), Id("MPI_STATUS_IGNORE")),
+		CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"),
+			Sub(I(1), Id("rank")), I(3), world()),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("deadlock", stmts...), 2)
+	if !res.Deadlock {
+		t.Fatalf("deadlock not detected: %+v", res.Violations)
+	}
+}
+
+func TestDeadlockLargeSends(t *testing.T) {
+	// Two ranks send large (rendezvous) messages to each other first.
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 64, Int), // 256 bytes > eager limit
+		CallS("MPI_Send", Id("buf"), I(64), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world()),
+		CallS("MPI_Recv", Id("buf"), I(64), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world(), Id("MPI_STATUS_IGNORE")),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("sendsend", stmts...), 2)
+	if !res.Deadlock {
+		t.Fatalf("rendezvous send-send deadlock not detected: %+v", res.Violations)
+	}
+}
+
+func TestEagerSendsNoDeadlock(t *testing.T) {
+	// Small messages fit the eager buffer: same pattern completes.
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world()),
+		CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world(), Id("MPI_STATUS_IGNORE")),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("eager", stmts...), 2)
+	if res.Deadlock {
+		t.Fatal("eager sends deadlocked")
+	}
+	if res.Erroneous() {
+		t.Fatalf("unexpected violations: %+v", res.Violations)
+	}
+}
+
+func TestInvalidNegativeCount(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		If(Eq(Id("rank"), I(0)),
+			CallS("MPI_Send", Id("buf"), I(-1), Id("MPI_INT"), I(1), I(0), world())),
+		If(Eq(Id("rank"), I(1)),
+			CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("negcount", stmts...), 2)
+	if !res.Has(VInvalidParam) {
+		t.Fatalf("negative count not flagged: %+v", res.Violations)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 8, Int),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world())},
+			[]Stmt{CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_DOUBLE"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("typemismatch", stmts...), 2)
+	if !res.Has(VTypeMismatch) {
+		t.Fatalf("type mismatch not flagged: %+v", res.Violations)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("big", 8, Int),
+		DeclArr("small", 8, Int),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{CallS("MPI_Send", Id("big"), I(8), Id("MPI_INT"), I(1), I(0), world())},
+			[]Stmt{CallS("MPI_Recv", Id("small"), I(2), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("trunc", stmts...), 2)
+	if !res.Has(VTruncation) {
+		t.Fatalf("truncation not flagged: %+v", res.Violations)
+	}
+}
+
+func TestMissingWaitLeak(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Isend", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+				// no MPI_Wait
+			},
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE")),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("leak", stmts...), 2)
+	if !res.Has(VResourceLeak) {
+		t.Fatalf("missing wait not flagged as leak: %+v", res.Violations)
+	}
+}
+
+func TestIsendWaitClean(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Isend", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+			},
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE")),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("isendwait", stmts...), 2)
+	if res.Erroneous() {
+		t.Fatalf("clean isend/wait flagged: %+v", res.Violations)
+	}
+}
+
+func TestLocalConcurrency(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Irecv", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+				Assign(Idx(Id("buf"), I(0)), I(5)), // writes pending recv buffer
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+			},
+			[]Stmt{
+				CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world()),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("localconc", stmts...), 2)
+	if !res.Has(VLocalConc) {
+		t.Fatalf("local concurrency not flagged: %+v", res.Violations)
+	}
+}
+
+func TestBarrierMismatchDeadlock(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		If(Eq(Id("rank"), I(0)), CallS("MPI_Barrier", world())),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("missingbarrier", stmts...), 2)
+	if !res.Deadlock {
+		t.Fatalf("missing barrier participant not detected: %+v", res.Violations)
+	}
+}
+
+func TestCollectiveRootMismatch(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		// Root depends on rank: parameter matching error.
+		CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_INT"), Id("rank"), world()),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("rootmismatch", stmts...), 2)
+	if !res.Has(VRootMismatch) {
+		t.Fatalf("root mismatch not flagged: %+v", res.Violations)
+	}
+}
+
+func TestAllreduceComputes(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("val", 1, Int),
+		DeclArr("sum", 1, Int),
+		Assign(Idx(Id("val"), I(0)), Add(Id("rank"), I(1))),
+		CallS("MPI_Allreduce", Id("val"), Id("sum"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
+		If(Eq(Id("rank"), I(0)), CallS("printf", S("sum=%d\n"), Idx(Id("sum"), I(0)))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("allreduce", stmts...), 4)
+	if res.Erroneous() {
+		t.Fatalf("allreduce flagged: %+v", res.Violations)
+	}
+	if !strings.Contains(res.Output, "sum=10") {
+		t.Errorf("output = %q, want sum=10", res.Output)
+	}
+}
+
+func TestBcastDelivers(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 1, Int),
+		If(Eq(Id("rank"), I(0)), Assign(Idx(Id("buf"), I(0)), I(99))),
+		CallS("MPI_Bcast", Id("buf"), I(1), Id("MPI_INT"), I(0), world()),
+		If(Eq(Id("rank"), I(2)), CallS("printf", S("bcast=%d\n"), Idx(Id("buf"), I(0)))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("bcast", stmts...), 3)
+	if res.Erroneous() {
+		t.Fatalf("bcast flagged: %+v", res.Violations)
+	}
+	if !strings.Contains(res.Output, "bcast=99") {
+		t.Errorf("output = %q, want bcast=99", res.Output)
+	}
+}
+
+func TestMessageRace(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(5), world(), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(5), world(), Id("MPI_STATUS_IGNORE")),
+			},
+			[]Stmt{
+				CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(5), world()),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("msgrace", stmts...), 3)
+	if !res.Has(VMessageRace) {
+		t.Fatalf("message race not flagged: %+v", res.Violations)
+	}
+}
+
+func TestRMAFencePutGet(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("win_mem", 4, Int),
+		DeclArr("local", 4, Int),
+		Decl("win", Win, nil),
+		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		If(Eq(Id("rank"), I(0)),
+			Assign(Idx(Id("local"), I(0)), I(7)),
+			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		If(Eq(Id("rank"), I(1)), CallS("printf", S("win=%d\n"), Idx(Id("win_mem"), I(0)))),
+		CallS("MPI_Win_free", Addr(Id("win"))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("rma", stmts...), 2)
+	if res.Erroneous() {
+		t.Fatalf("correct RMA flagged: %+v deadlock=%v crash=%v %s", res.Violations, res.Deadlock, res.Crashed, res.CrashMsg)
+	}
+	if !strings.Contains(res.Output, "win=7") {
+		t.Errorf("output = %q, want win=7", res.Output)
+	}
+}
+
+func TestRMAEpochViolation(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("win_mem", 4, Int),
+		DeclArr("local", 4, Int),
+		Decl("win", Win, nil),
+		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+		// Put without opening a fence epoch.
+		If(Eq(Id("rank"), I(0)),
+			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
+		CallS("MPI_Win_free", Addr(Id("win"))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("epoch", stmts...), 2)
+	if !res.Has(VEpochLife) {
+		t.Fatalf("epoch violation not flagged: %+v", res.Violations)
+	}
+}
+
+func TestGlobalConcurrencyRMA(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("win_mem", 4, Int),
+		DeclArr("local", 4, Int),
+		Decl("win", Win, nil),
+		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		// Ranks 1 and 2 both Put to rank 0, same location, same epoch.
+		If(Ne(Id("rank"), I(0)),
+			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(0), I(0), I(1), Id("MPI_INT"), Id("win"))),
+		CallS("MPI_Win_fence", I(0), Id("win")),
+		CallS("MPI_Win_free", Addr(Id("win"))),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("globalconc", stmts...), 3)
+	if !res.Has(VGlobalConc) {
+		t.Fatalf("conflicting puts not flagged: %+v", res.Violations)
+	}
+}
+
+func TestMissingFinalize(t *testing.T) {
+	stmts := MPIBoilerplate() // no Finalize
+	res := runProg(t, MainProgram("nofinalize", stmts...), 2)
+	if !res.Has(VCallOrdering) {
+		t.Fatalf("missing finalize not flagged: %+v", res.Violations)
+	}
+}
+
+func TestTimeoutInfiniteLoop(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		Decl("x", Int, I(1)),
+		While(Ne(Id("x"), I(0)), Assign(Id("x"), Add(Id("x"), I(1)))),
+		Finalize(),
+	)
+	mod := irgen.MustLower(MainProgram("spin", stmts...))
+	res := Run(mod, Config{Ranks: 2, MaxSteps: 10_000})
+	if !res.Timeout {
+		t.Fatalf("infinite loop not detected as timeout")
+	}
+}
+
+func TestPersistentRequests(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Send_init", Id("buf"), I(4), Id("MPI_INT"), I(1), I(2), world(), Addr(Id("req"))),
+				CallS("MPI_Start", Addr(Id("req"))),
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Start", Addr(Id("req"))),
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Request_free", Addr(Id("req"))),
+			},
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("persistent", stmts...), 2)
+	if res.Erroneous() {
+		t.Fatalf("correct persistent flagged: %+v deadlock=%v", res.Violations, res.Deadlock)
+	}
+}
+
+func TestDoubleStart(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("buf", 4, Int),
+		Decl("req", Request, nil),
+		IfElse(Eq(Id("rank"), I(0)),
+			[]Stmt{
+				CallS("MPI_Send_init", Id("buf"), I(4), Id("MPI_INT"), I(1), I(2), world(), Addr(Id("req"))),
+				CallS("MPI_Start", Addr(Id("req"))),
+				CallS("MPI_Start", Addr(Id("req"))), // active already
+				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Request_free", Addr(Id("req"))),
+			},
+			[]Stmt{
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+			}),
+		Finalize(),
+	)
+	res := runProg(t, MainProgram("doublestart", stmts...), 2)
+	if !res.Has(VRequestLife) {
+		t.Fatalf("double start not flagged: %+v", res.Violations)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("val", 1, Int),
+		DeclArr("sum", 1, Int),
+		Assign(Idx(Id("val"), I(0)), Mul(Id("rank"), I(3))),
+		CallS("MPI_Allreduce", Id("val"), Id("sum"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
+		CallS("printf", S("r%d=%d\n"), Id("rank"), Idx(Id("sum"), I(0))),
+		Finalize(),
+	)
+	prog := MainProgram("det", stmts...)
+	mod := irgen.MustLower(prog)
+	first := Run(mod, Config{Ranks: 4})
+	for i := 0; i < 5; i++ {
+		res := Run(mod, Config{Ranks: 4})
+		if res.Output != first.Output {
+			t.Fatalf("nondeterministic output: %q vs %q", res.Output, first.Output)
+		}
+	}
+}
+
+// TestOptimizationPreservesSemantics is the pass-correctness property test:
+// a correct program must produce identical simulator output at every
+// optimisation level.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	stmts := MPIBoilerplate()
+	stmts = append(stmts,
+		DeclArr("val", 4, Int),
+		DeclArr("out", 4, Int),
+		ForUp("i", 0, 4,
+			Assign(Idx(Id("val"), Id("i")), Add(Mul(Id("rank"), I(10)), Id("i")))),
+		CallS("MPI_Allreduce", Id("val"), Id("out"), I(4), Id("MPI_INT"), Id("MPI_SUM"), world()),
+		If(Eq(Id("rank"), I(0)),
+			ForUp("j", 0, 4, CallS("printf", S("%d "), Idx(Id("out"), Id("j"))))),
+		Finalize(),
+	)
+	prog := MainProgram("optsem", stmts...)
+	var outputs []string
+	for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
+		mod := irgen.MustLower(prog)
+		passes.Optimize(mod, lvl)
+		res := Run(mod, Config{Ranks: 3})
+		if res.Erroneous() {
+			t.Fatalf("%s: flagged: %+v crash=%v %s", lvl, res.Violations, res.Crashed, res.CrashMsg)
+		}
+		outputs = append(outputs, res.Output)
+	}
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Fatalf("optimisation changed output: O0=%q O2=%q Os=%q", outputs[0], outputs[1], outputs[2])
+	}
+	if !strings.Contains(outputs[0], "30 33 36 39") {
+		t.Errorf("output = %q, want sums 30 33 36 39", outputs[0])
+	}
+}

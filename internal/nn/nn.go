@@ -1,0 +1,229 @@
+// Package nn provides the neural-network layers used by the GNN pipeline:
+// parameter management with Adam, dense layers, embeddings, and the GATv2
+// graph-attention convolution of Brody et al. that the paper uses (§IV-B).
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mpidetect/internal/autodiff"
+	"mpidetect/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator and Adam state.
+type Param struct {
+	Name string
+	Val  *tensor.Mat
+	Grad *tensor.Mat
+	m, v *tensor.Mat
+}
+
+// ParamSet owns all parameters of a model.
+type ParamSet struct {
+	List []*Param
+}
+
+// New registers a parameter initialised to val.
+func (ps *ParamSet) New(name string, val *tensor.Mat) *Param {
+	p := &Param{Name: name, Val: val,
+		Grad: tensor.New(val.R, val.C),
+		m:    tensor.New(val.R, val.C),
+		v:    tensor.New(val.R, val.C)}
+	ps.List = append(ps.List, p)
+	return p
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (ps *ParamSet) ZeroGrads() {
+	for _, p := range ps.List {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (ps *ParamSet) NumParams() int {
+	n := 0
+	for _, p := range ps.List {
+		n += len(p.Val.Data)
+	}
+	return n
+}
+
+// GradBuffer is a per-worker gradient accumulation area aligned with the
+// parameter list, enabling data-parallel training without locking.
+type GradBuffer struct {
+	mats []*tensor.Mat
+}
+
+// NewGradBuffer allocates a zeroed buffer matching the parameter shapes.
+func (ps *ParamSet) NewGradBuffer() *GradBuffer {
+	gb := &GradBuffer{mats: make([]*tensor.Mat, len(ps.List))}
+	for i, p := range ps.List {
+		gb.mats[i] = tensor.New(p.Val.R, p.Val.C)
+	}
+	return gb
+}
+
+// Zero clears the buffer.
+func (gb *GradBuffer) Zero() {
+	for _, m := range gb.mats {
+		m.Zero()
+	}
+}
+
+// ReduceInto adds the buffer into the parameters' main gradients.
+func (ps *ParamSet) ReduceInto(gb *GradBuffer) {
+	for i, p := range ps.List {
+		tensor.AddInPlace(p.Grad, gb.mats[i])
+	}
+}
+
+// Ctx couples a tape with the parameter bindings of one forward pass.
+type Ctx struct {
+	T     *autodiff.Tape
+	binds []bind
+	gb    *GradBuffer
+	ps    *ParamSet
+}
+
+type bind struct {
+	idx  int
+	node *autodiff.Node
+}
+
+// NewCtx starts a fresh forward pass. If gb is non-nil, gradients flush
+// into it; otherwise they flush into the parameters directly.
+func NewCtx(ps *ParamSet, gb *GradBuffer) *Ctx {
+	return &Ctx{T: autodiff.NewTape(), ps: ps, gb: gb}
+}
+
+// P wraps a parameter as a tape node (cached per context).
+func (c *Ctx) P(p *Param) *autodiff.Node {
+	idx := -1
+	for i, q := range c.ps.List {
+		if q == p {
+			idx = i
+			break
+		}
+	}
+	for _, b := range c.binds {
+		if b.idx == idx {
+			return b.node
+		}
+	}
+	n := c.T.Input(p.Val)
+	c.binds = append(c.binds, bind{idx: idx, node: n})
+	return n
+}
+
+// Backward runs backprop from loss and flushes parameter gradients.
+func (c *Ctx) Backward(loss *autodiff.Node) {
+	c.T.Backward(loss)
+	for _, b := range c.binds {
+		if c.gb != nil {
+			tensor.AddInPlace(c.gb.mats[b.idx], b.node.Grad)
+		} else {
+			tensor.AddInPlace(c.ps.List[b.idx].Grad, b.node.Grad)
+		}
+	}
+}
+
+// Adam is the Adam optimiser (the paper trains with lr = 4e-4).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+}
+
+// NewAdam returns an Adam optimiser with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update using the accumulated gradients, then zeroes them.
+func (a *Adam) Step(ps *ParamSet) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range ps.List {
+		for i, g := range p.Grad.Data {
+			p.m.Data[i] = a.Beta1*p.m.Data[i] + (1-a.Beta1)*g
+			p.v.Data[i] = a.Beta2*p.v.Data[i] + (1-a.Beta2)*g*g
+			mh := p.m.Data[i] / bc1
+			vh := p.v.Data[i] / bc2
+			p.Val.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+	ps.ZeroGrads()
+}
+
+// Linear is a dense layer y = xW + b.
+type Linear struct {
+	W, B *Param
+}
+
+// NewLinear creates a Glorot-initialised dense layer.
+func NewLinear(ps *ParamSet, rng *rand.Rand, name string, in, out int) *Linear {
+	return &Linear{
+		W: ps.New(name+".W", tensor.XavierInit(rng, in, out)),
+		B: ps.New(name+".B", tensor.New(1, out)),
+	}
+}
+
+// Forward applies the layer.
+func (l *Linear) Forward(c *Ctx, x *autodiff.Node) *autodiff.Node {
+	return c.T.AddRow(c.T.MatMul(x, c.P(l.W)), c.P(l.B))
+}
+
+// Embedding maps token ids to learned rows.
+type Embedding struct {
+	Table *Param
+}
+
+// NewEmbedding creates a vocab×dim embedding table.
+func NewEmbedding(ps *ParamSet, rng *rand.Rand, name string, vocab, dim int) *Embedding {
+	return &Embedding{Table: ps.New(name, tensor.Randn(rng, vocab, dim, 0.1))}
+}
+
+// Forward gathers the rows of the given token ids.
+func (e *Embedding) Forward(c *Ctx, ids []int) *autodiff.Node {
+	return c.T.Gather(c.P(e.Table), ids)
+}
+
+// GATv2 is one graph-attention convolution for a single edge relation
+// (Brody, Alon, Yahav: "How Attentive Are Graph Attention Networks?").
+// Attention scores are aᵀ·LeakyReLU(W_s h_src + W_d h_dst), normalised per
+// destination with a segment softmax.
+type GATv2 struct {
+	WSrc, WDst, Att *Param
+}
+
+// NewGATv2 creates the relation's parameters.
+func NewGATv2(ps *ParamSet, rng *rand.Rand, name string, in, out int) *GATv2 {
+	return &GATv2{
+		WSrc: ps.New(name+".Ws", tensor.XavierInit(rng, in, out)),
+		WDst: ps.New(name+".Wd", tensor.XavierInit(rng, in, out)),
+		Att:  ps.New(name+".a", tensor.XavierInit(rng, out, 1)),
+	}
+}
+
+// Forward computes the messages into nDst destination nodes. srcIdx/dstIdx
+// are the edge lists (source row in hSrc, destination row index).
+func (g *GATv2) Forward(c *Ctx, hSrc, hDst *autodiff.Node, srcIdx, dstIdx []int, nDst int) *autodiff.Node {
+	hs := c.T.MatMul(hSrc, c.P(g.WSrc))
+	if len(srcIdx) == 0 {
+		// No edges of this relation: zero contribution.
+		return c.T.Scale(c.T.SegmentSum(c.T.Gather(hs, nil), nil, nDst), 0)
+	}
+	hd := c.T.MatMul(hDst, c.P(g.WDst))
+	es := c.T.Gather(hs, srcIdx)
+	ed := c.T.Gather(hd, dstIdx)
+	s := c.T.LeakyReLU(c.T.Add(es, ed), 0.2)
+	e := c.T.MatMul(s, c.P(g.Att))
+	alpha := c.T.SegmentSoftmax(e, dstIdx, nDst)
+	msg := c.T.MulCol(es, alpha)
+	return c.T.SegmentSum(msg, dstIdx, nDst)
+}

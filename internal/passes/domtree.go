@@ -1,0 +1,153 @@
+// Package passes implements the optimisation pipeline applied to the IR
+// before feature extraction, mirroring the compiler options the paper
+// evaluates: -O0 (leave the code intact), -O2 (representative of a real
+// build), and -Os (size-oriented, used by the paper to normalise code-size
+// bias). The passes are classical: mem2reg (SSA construction via pruned phi
+// placement on dominance frontiers), sparse constant folding, dead-code
+// elimination, CFG simplification, and bottom-up function inlining.
+package passes
+
+import "mpidetect/internal/ir"
+
+// DomTree holds the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	F *ir.Func
+	// Idom maps each reachable block to its immediate dominator; the
+	// entry maps to itself.
+	Idom map[*ir.Block]*ir.Block
+	// Children is the dominator tree adjacency (idom -> dominated).
+	Children map[*ir.Block][]*ir.Block
+	// Frontier is the dominance frontier of each block.
+	Frontier map[*ir.Block][]*ir.Block
+	rpoIndex map[*ir.Block]int
+	rpo      []*ir.Block
+}
+
+// BuildDomTree computes the dominator tree and dominance frontiers of f.
+func BuildDomTree(f *ir.Func) *DomTree {
+	t := &DomTree{
+		F:        f,
+		Idom:     map[*ir.Block]*ir.Block{},
+		Children: map[*ir.Block][]*ir.Block{},
+		Frontier: map[*ir.Block][]*ir.Block{},
+		rpoIndex: map[*ir.Block]int{},
+	}
+	rpo := ir.ReversePostorder(f)
+	// Keep only reachable blocks (ReversePostorder appends unreachable
+	// blocks after the reachable ones; detect them via a DFS marker).
+	reach := reachable(f)
+	for _, b := range rpo {
+		if reach[b] {
+			t.rpoIndex[b] = len(t.rpo)
+			t.rpo = append(t.rpo, b)
+		}
+	}
+	if len(t.rpo) == 0 {
+		return t
+	}
+	entry := t.rpo[0]
+	t.Idom[entry] = entry
+	preds := ir.Predecessors(f)
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range preds[b] {
+				if !reach[p] {
+					continue
+				}
+				if _, ok := t.Idom[p]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.Idom[b] != newIdom {
+				t.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for b, id := range t.Idom {
+		if b != id {
+			t.Children[id] = append(t.Children[id], b)
+		}
+	}
+	// Dominance frontiers (Cytron et al. style, CHK formulation).
+	for _, b := range t.rpo {
+		ps := preds[b]
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			if !reach[p] {
+				continue
+			}
+			runner := p
+			for runner != t.Idom[b] {
+				t.Frontier[runner] = appendUnique(t.Frontier[runner], b)
+				runner = t.Idom[runner]
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(b1, b2 *ir.Block) *ir.Block {
+	f1, f2 := b1, b2
+	for f1 != f2 {
+		for t.rpoIndex[f1] > t.rpoIndex[f2] {
+			f1 = t.Idom[f1]
+		}
+		for t.rpoIndex[f2] > t.rpoIndex[f1] {
+			f2 = t.Idom[f2]
+		}
+	}
+	return f1
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id, ok := t.Idom[b]
+		if !ok || id == b {
+			return false
+		}
+		b = id
+	}
+}
+
+func reachable(f *ir.Func) map[*ir.Block]bool {
+	reach := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		reach[b] = true
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				dfs(s)
+			}
+		}
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	return reach
+}
+
+func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

@@ -1,0 +1,237 @@
+package passes
+
+import (
+	"fmt"
+
+	"mpidetect/internal/ir"
+)
+
+// Mem2Reg promotes scalar stack slots (allocas only accessed by direct
+// loads and stores) to SSA values, inserting pruned phi nodes on the
+// iterated dominance frontier of the stores. This is the pass that turns
+// the front-end's naive stack code into real SSA, mirroring LLVM's
+// -mem2reg, and is the first stage of the -O2/-Os pipelines.
+func Mem2Reg(f *ir.Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	dt := BuildDomTree(f)
+	allocas := promotable(f)
+	if len(allocas) == 0 {
+		return
+	}
+
+	// Phi placement on the iterated dominance frontier of def blocks.
+	phiFor := map[*ir.Instr]*ir.Instr{} // phi -> alloca
+	phiID := 0
+	for _, a := range allocas {
+		defBlocks := map[*ir.Block]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && in.Args[1] == ir.Value(a) {
+					defBlocks[b] = true
+				}
+			}
+		}
+		placed := map[*ir.Block]bool{}
+		work := make([]*ir.Block, 0, len(defBlocks))
+		for b := range defBlocks {
+			work = append(work, b)
+		}
+		// Deterministic order: function block order.
+		work = sortBlocks(f, work)
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			for _, df := range dt.Frontier[b] {
+				if placed[df] {
+					continue
+				}
+				placed[df] = true
+				phiID++
+				phi := &ir.Instr{Op: ir.OpPhi, Typ: a.AllocTy,
+					Name: fmt.Sprintf("m2r%d", phiID)}
+				df.InsertFront(phi)
+				phiFor[phi] = a
+				if !defBlocks[df] {
+					defBlocks[df] = true
+					work = append(work, df)
+				}
+			}
+		}
+	}
+
+	// Renaming walk over the dominator tree.
+	stacks := map[*ir.Instr][]ir.Value{} // alloca -> value stack
+	preds := ir.Predecessors(f)
+	isAlloca := map[ir.Value]*ir.Instr{}
+	for _, a := range allocas {
+		isAlloca[a] = a
+	}
+	top := func(a *ir.Instr) ir.Value {
+		s := stacks[a]
+		if len(s) == 0 {
+			return ir.ConstUndef(a.AllocTy)
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		pushed := map[*ir.Instr]int{}
+		var dead []*ir.Instr
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				if a, ok := phiFor[in]; ok {
+					stacks[a] = append(stacks[a], in)
+					pushed[a]++
+				}
+			case ir.OpLoad:
+				if a, ok := isAlloca[in.Args[0]]; ok {
+					ir.ReplaceUses(f, in, top(a))
+					dead = append(dead, in)
+				}
+			case ir.OpStore:
+				if a, ok := isAlloca[in.Args[1]]; ok {
+					stacks[a] = append(stacks[a], in.Args[0])
+					pushed[a]++
+					dead = append(dead, in)
+				}
+			}
+		}
+		// Fill phi operands of successors.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				a, ok := phiFor[phi]
+				if !ok {
+					continue
+				}
+				// One incoming slot per predecessor edge.
+				for _, p := range preds[s] {
+					if p == b {
+						phi.Args = append(phi.Args, top(a))
+						phi.Blocks = append(phi.Blocks, b)
+					}
+				}
+			}
+		}
+		for _, c := range sortBlocks(f, dt.Children[b]) {
+			rename(c)
+		}
+		for a, n := range pushed {
+			stacks[a] = stacks[a][:len(stacks[a])-n]
+		}
+		for _, in := range dead {
+			b.RemoveInstr(in)
+		}
+	}
+	rename(f.Entry())
+
+	// Remove the now-dead allocas.
+	for _, a := range allocas {
+		if blk := a.Parent; blk != nil {
+			blk.RemoveInstr(a)
+		}
+	}
+
+	// Prune phis that ended up with no incoming edges (unreachable preds)
+	// or all-identical operands.
+	prunePhis(f, phiFor)
+}
+
+func prunePhis(f *ir.Func, phiFor map[*ir.Instr]*ir.Instr) {
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis() {
+				if _, ours := phiFor[phi]; !ours {
+					continue
+				}
+				if len(phi.Args) == 0 {
+					ir.ReplaceUses(f, phi, ir.ConstUndef(phi.Typ))
+					b.RemoveInstr(phi)
+					changed = true
+					continue
+				}
+				same := true
+				var uniq ir.Value
+				for _, a := range phi.Args {
+					if a == ir.Value(phi) {
+						continue
+					}
+					if uniq == nil {
+						uniq = a
+					} else if uniq != a {
+						same = false
+						break
+					}
+				}
+				if same && uniq != nil {
+					ir.ReplaceUses(f, phi, uniq)
+					b.RemoveInstr(phi)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// promotable returns the allocas of f that can be promoted: scalar element
+// type and only used as the direct pointer of loads and stores.
+func promotable(f *ir.Func) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAlloca || len(in.Args) != 0 {
+				continue
+			}
+			if in.AllocTy.IsAggregate() || in.AllocTy.Kind == ir.KStruct {
+				continue
+			}
+			if allocaEscapes(f, in) {
+				continue
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func allocaEscapes(f *ir.Func, a *ir.Instr) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, arg := range in.Args {
+				if arg != ir.Value(a) {
+					continue
+				}
+				switch in.Op {
+				case ir.OpLoad:
+					// ok: load through the slot
+				case ir.OpStore:
+					if i != 1 {
+						return true // address stored as a value
+					}
+				default:
+					return true // GEP, call, cast, ... escape
+				}
+			}
+		}
+	}
+	return false
+}
+
+func sortBlocks(f *ir.Func, s []*ir.Block) []*ir.Block {
+	idx := map[*ir.Block]int{}
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	out := append([]*ir.Block(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && idx[out[j]] < idx[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package passes_test
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/mpisim"
+	"mpidetect/internal/passes"
+)
+
+// TestPassesPreserveCorrectPrograms is the central semantic-preservation
+// property: every sampled correct benchmark program must simulate to the
+// same clean outcome and identical output at -O0, -O2 and -Os.
+func TestPassesPreserveCorrectPrograms(t *testing.T) {
+	d := dataset.GenerateMBI(101)
+	checked := 0
+	for i, c := range d.Codes {
+		if c.Incorrect() || i%23 != 0 {
+			continue
+		}
+		checked++
+		var outputs []string
+		for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
+			m := irgen.MustLower(c.Prog)
+			passes.Optimize(m, lvl)
+			if err := m.Verify(); err != nil {
+				t.Fatalf("%s at %s: verify: %v", c.Name, lvl, err)
+			}
+			res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+			if res.Erroneous() {
+				t.Fatalf("%s at %s: flagged after optimisation: %+v crash=%v %s",
+					c.Name, lvl, res.Violations, res.Crashed, res.CrashMsg)
+			}
+			outputs = append(outputs, res.Output)
+		}
+		if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+			t.Fatalf("%s: output differs across opt levels", c.Name)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d programs checked", checked)
+	}
+}
+
+// TestPassesPreserveVerdictsOnErrorCodes: optimisation must not make the
+// dynamic verdict of erroneous codes flip to clean for deterministic error
+// classes (invalid parameters survive constant folding).
+func TestPassesPreserveVerdictsOnErrorCodes(t *testing.T) {
+	d := dataset.GenerateCorrBench(103, false)
+	checked := 0
+	for i, c := range d.Codes {
+		if c.Label != dataset.ArgError || i%5 != 0 {
+			continue
+		}
+		checked++
+		for _, lvl := range []passes.OptLevel{passes.O0, passes.Os} {
+			m := irgen.MustLower(c.Prog)
+			passes.Optimize(m, lvl)
+			res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+			if !res.Erroneous() {
+				t.Errorf("%s at %s: error disappeared after optimisation", c.Name, lvl)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d programs checked", checked)
+	}
+}
+
+// TestOptimizedIRRoundTrips: the printer/parser must round-trip optimised
+// modules from the real corpus, not just hand-built fixtures.
+func TestOptimizedIRRoundTrips(t *testing.T) {
+	d := dataset.GenerateCorrBench(105, false)
+	for i, c := range d.Codes {
+		if i%17 != 0 {
+			continue
+		}
+		m := irgen.MustLower(c.Prog)
+		passes.Optimize(m, passes.O2)
+		text := ir.Print(m)
+		m2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.Name, err)
+		}
+		if got := ir.Print(m2); got != text {
+			t.Fatalf("%s: optimised IR does not round-trip", c.Name)
+		}
+	}
+}
+
+// TestOsNeverLargerThanO0: the size-oriented pipeline must not grow code.
+func TestOsNeverLargerThanO0(t *testing.T) {
+	d := dataset.GenerateMBI(107)
+	for i, c := range d.Codes {
+		if i%31 != 0 {
+			continue
+		}
+		m0 := irgen.MustLower(c.Prog)
+		ms := irgen.MustLower(c.Prog)
+		passes.Optimize(ms, passes.Os)
+		if ms.NumInstrs() > m0.NumInstrs() {
+			t.Errorf("%s: -Os grew the module (%d -> %d instrs)",
+				c.Name, m0.NumInstrs(), ms.NumInstrs())
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package passes
+
+import "mpidetect/internal/ir"
+
+// DCE removes instructions whose results are unused and that have no side
+// effects, iterating to a fixed point. Loads are treated as removable
+// (the IR has no volatile); calls, stores and terminators are kept.
+func DCE(f *ir.Func) bool {
+	changedAny := false
+	for {
+		changed := false
+		uses := ir.CollectUses(f)
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if in.Op.HasSideEffects() || in.Op.IsTerm() {
+					continue
+				}
+				if uses[in] == 0 {
+					b.RemoveInstr(in)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		changedAny = true
+	}
+	return changedAny
+}
+
+// SimplifyCFG removes unreachable blocks, merges blocks with a single
+// unconditional-branch predecessor, and eliminates empty forwarding blocks.
+func SimplifyCFG(f *ir.Func) bool {
+	changedAny := false
+	for {
+		changed := false
+
+		// 1. Drop unreachable blocks (fixing up phis that referenced them).
+		reach := reachable(f)
+		for i := 0; i < len(f.Blocks); {
+			b := f.Blocks[i]
+			if reach[b] {
+				i++
+				continue
+			}
+			for _, s := range b.Succs() {
+				removePhiEdge(s, b)
+			}
+			f.RemoveBlock(b)
+			changed = true
+		}
+
+		// 2. Merge b -> s when b ends in an unconditional br to s and s has
+		// exactly one predecessor (and no phis fed by others, guaranteed by
+		// the single-pred condition).
+		preds := ir.Predecessors(f)
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			s := t.Blocks[0]
+			if s == b || len(preds[s]) != 1 || s == f.Entry() {
+				continue
+			}
+			// Phis in s have a single incoming edge: replace with operand.
+			for _, phi := range s.Phis() {
+				if len(phi.Args) == 1 {
+					ir.ReplaceUses(f, phi, phi.Args[0])
+				}
+				s.RemoveInstr(phi)
+			}
+			b.RemoveInstr(t)
+			for _, in := range s.Instrs {
+				in.Parent = b
+				b.Instrs = append(b.Instrs, in)
+			}
+			// Successors of s may have phis naming s; retarget to b.
+			for _, ss := range b.Succs() {
+				for _, phi := range ss.Phis() {
+					for i, pb := range phi.Blocks {
+						if pb == s {
+							phi.Blocks[i] = b
+						}
+					}
+				}
+			}
+			f.RemoveBlock(s)
+			changed = true
+			break // predecessor map is stale; restart
+		}
+
+		// 3. Thread empty forwarding blocks: a block containing only
+		// "br label %x" can be bypassed when no phi disambiguation is lost.
+		preds = ir.Predecessors(f)
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 1 {
+				continue
+			}
+			t := b.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			target := t.Blocks[0]
+			if target == b || len(target.Phis()) > 0 {
+				continue
+			}
+			for _, p := range preds[b] {
+				pt := p.Term()
+				for i, tb := range pt.Blocks {
+					if tb == b {
+						pt.Blocks[i] = target
+					}
+				}
+			}
+			if len(preds[b]) > 0 {
+				changed = true
+			}
+		}
+
+		if !changed {
+			break
+		}
+		changedAny = true
+	}
+	return changedAny
+}
+
+// CondBrSameTarget rewrites "br %c, label %x, label %x" into "br label %x".
+func CondBrSameTarget(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t != nil && t.Op == ir.OpCondBr && t.Blocks[0] == t.Blocks[1] {
+			t.Op = ir.OpBr
+			t.Args = nil
+			t.Blocks = t.Blocks[:1]
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,218 @@
+// Package tensor provides the dense float64 matrix kernels underneath the
+// autodiff engine and the neural layers. The kernels are written for cache
+// friendliness (row-major, k-loop hoisting) since the GNN training loop is
+// dominated by small dense matmuls.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a row-major dense matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// New returns a zeroed R×C matrix.
+func New(r, c int) *Mat {
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c) into a matrix without copying.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d with %d values", r, c, len(data)))
+	}
+	return &Mat{R: r, C: c, Data: data}
+}
+
+// Randn fills a new R×C matrix with N(0, std²) entries from rng.
+func Randn(rng *rand.Rand, r, c int, std float64) *Mat {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// XavierInit returns a matrix initialised with Glorot scaling.
+func XavierInit(rng *rand.Rand, r, c int) *Mat {
+	return Randn(rng, r, c, math.Sqrt(2.0/float64(r+c)))
+}
+
+// At returns m[i,j].
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns the i-th row as a slice view.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := New(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears the matrix in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes a @ b into a new matrix.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB computes aᵀ @ b (used by backward passes without materialising
+// the transpose).
+func MatMulATB(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: matmulATB %dx%d, %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT computes a @ bᵀ.
+func MatMulABT(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: matmulABT %dx%d, %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Mat) {
+	if a.R != b.R || a.C != b.C {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every entry by s.
+func ScaleInPlace(a *Mat, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// Equalish reports whether two matrices match within tol.
+func Equalish(a, b *Mat, tol float64) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Vector helpers used by IR2Vec (plain []float64 embeddings).
+// ---------------------------------------------------------------------------
+
+// VecAdd accumulates src into dst.
+func VecAdd(dst, src []float64) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// VecAddScaled accumulates s*src into dst.
+func VecAddScaled(dst []float64, s float64, src []float64) {
+	for i := range src {
+		dst[i] += s * src[i]
+	}
+}
+
+// VecScale multiplies v by s in place.
+func VecScale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// VecMaxAbs returns max |v_i|.
+func VecMaxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// VecNorm returns the L2 norm.
+func VecNorm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// VecDist returns the L2 distance between a and b.
+func VecDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

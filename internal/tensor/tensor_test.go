@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equalish(got, want, 1e-12) {
+		t.Errorf("matmul = %v", got.Data)
+	}
+}
+
+func TestTransposedMatMulsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 4, 3, 1)
+	b := Randn(rng, 4, 5, 1)
+	// aT @ b via MatMulATB must equal explicit transpose multiply.
+	at := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	if !Equalish(MatMulATB(a, b), MatMul(at, b), 1e-12) {
+		t.Error("MatMulATB disagrees with explicit transpose")
+	}
+	c := Randn(rng, 5, 3, 1)
+	ct := New(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			ct.Set(j, i, c.At(i, j))
+		}
+	}
+	if !Equalish(MatMulABT(a.Clone(), c), MatMul(a, ct), 1e-12) {
+		t.Error("MatMulABT disagrees with explicit transpose")
+	}
+}
+
+func TestQuickMatMulLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e6 {
+			return true
+		}
+		a := Randn(rng, 3, 3, 1)
+		b := Randn(rng, 3, 3, 1)
+		// (s*a) @ b == s * (a @ b)
+		sa := a.Clone()
+		ScaleInPlace(sa, s)
+		left := MatMul(sa, b)
+		right := MatMul(a, b)
+		ScaleInPlace(right, s)
+		return Equalish(left, right, 1e-6*math.Max(1, math.Abs(s)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	v := []float64{3, -4}
+	if VecNorm(v) != 5 {
+		t.Errorf("norm = %f", VecNorm(v))
+	}
+	if VecMaxAbs(v) != 4 {
+		t.Errorf("maxabs = %f", VecMaxAbs(v))
+	}
+	if VecDist([]float64{0, 0}, v) != 5 {
+		t.Errorf("dist = %f", VecDist([]float64{0, 0}, v))
+	}
+	dst := []float64{1, 1}
+	VecAddScaled(dst, 2, v)
+	if dst[0] != 7 || dst[1] != -7 {
+		t.Errorf("addscaled = %v", dst)
+	}
+}
+
+func TestAddScaleZero(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	AddInPlace(a, b)
+	if a.At(1, 1) != 8 {
+		t.Errorf("add = %v", a.Data)
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestXavierInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := XavierInit(rng, 100, 100)
+	var sumsq float64
+	for _, v := range m.Data {
+		sumsq += v * v
+	}
+	std := math.Sqrt(sumsq / float64(len(m.Data)))
+	want := math.Sqrt(2.0 / 200)
+	if math.Abs(std-want) > 0.02 {
+		t.Errorf("xavier std %f, want ~%f", std, want)
+	}
+}

@@ -1,0 +1,332 @@
+// Package verify implements the expert verification tools the paper
+// compares against (Table III, Fig. 7): a PARCOACH-like static collective
+// analysis, an MPI-Checker-like static argument/request checker, and two
+// dynamic checkers in the mould of ITAC and MUST that actually execute the
+// programs on the runtime simulator. Each tool reproduces the signature
+// behaviour of its archetype: PARCOACH's over-approximation (huge FP count,
+// specificity near 0.09), ITAC's timeouts on deadlocking codes
+// (conclusiveness < 1), and MUST's deadlock detection.
+package verify
+
+import (
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/metrics"
+	"mpidetect/internal/mpi"
+	"mpidetect/internal/mpisim"
+)
+
+// Verdict is one tool's outcome on one code.
+type Verdict struct {
+	Flagged bool   // the tool reported an error
+	CE      bool   // compilation error
+	TO      bool   // timeout
+	RE      bool   // runtime/tool error
+	Reason  string // first diagnostic
+}
+
+// Tool is a verification tool under evaluation.
+type Tool interface {
+	Name() string
+	Check(c *dataset.Code) Verdict
+}
+
+// Evaluate runs a tool over a dataset and tallies Table III counts.
+func Evaluate(t Tool, d *dataset.Dataset) metrics.Confusion {
+	var c metrics.Confusion
+	for _, code := range d.Codes {
+		v := t.Check(code)
+		switch {
+		case v.CE:
+			c.CE++
+		case v.TO:
+			c.TO++
+		case v.RE:
+			c.RE++
+		default:
+			c.Record(code.Incorrect(), v.Flagged)
+		}
+	}
+	return c
+}
+
+func lower(c *dataset.Code) (*ir.Module, bool) {
+	m, err := irgen.Lower(c.Prog)
+	return m, err == nil
+}
+
+// ---------------------------------------------------------------------------
+// ITAC-like dynamic checker: execute with runtime checking; deadlocks hit
+// the tool's timeout (inconclusive), everything else produces a verdict.
+// ---------------------------------------------------------------------------
+
+// ITAC is the dynamic trace analyzer archetype.
+type ITAC struct{}
+
+// Name implements Tool.
+func (ITAC) Name() string { return "ITAC-like (dynamic)" }
+
+// Check implements Tool.
+func (ITAC) Check(c *dataset.Code) Verdict {
+	m, ok := lower(c)
+	if !ok {
+		return Verdict{CE: true}
+	}
+	res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+	switch {
+	case res.Deadlock || res.Timeout:
+		// The real tool waits for completion and gets killed by the
+		// harness timeout: inconclusive.
+		return Verdict{TO: true, Reason: "timeout"}
+	case res.Crashed:
+		return Verdict{RE: true, Reason: res.CrashMsg}
+	case len(res.Violations) > 0:
+		return Verdict{Flagged: true, Reason: res.Violations[0].String()}
+	}
+	return Verdict{}
+}
+
+// ---------------------------------------------------------------------------
+// MUST-like dynamic checker: same dynamic checks, but a wait-for-graph
+// deadlock detector turns deadlocks into diagnostics instead of timeouts.
+// ---------------------------------------------------------------------------
+
+// MUST is the runtime-correctness-tool archetype.
+type MUST struct{}
+
+// Name implements Tool.
+func (MUST) Name() string { return "MUST-like (dynamic)" }
+
+// Check implements Tool.
+func (MUST) Check(c *dataset.Code) Verdict {
+	m, ok := lower(c)
+	if !ok {
+		return Verdict{CE: true}
+	}
+	res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+	switch {
+	case res.Timeout:
+		return Verdict{TO: true}
+	case res.Crashed:
+		return Verdict{RE: true, Reason: res.CrashMsg}
+	case res.Deadlock:
+		return Verdict{Flagged: true, Reason: "deadlock detected"}
+	case len(res.Violations) > 0:
+		return Verdict{Flagged: true, Reason: res.Violations[0].String()}
+	}
+	return Verdict{}
+}
+
+// ---------------------------------------------------------------------------
+// PARCOACH-like static analysis: flags collective operations that are
+// control-dependent on rank-derived values. Deliberately over-approximate
+// (path-insensitive), reproducing the real tool's false-positive storm on
+// benchmarks whose correct codes also branch on the rank.
+// ---------------------------------------------------------------------------
+
+// PARCOACH is the static collective-verification archetype.
+type PARCOACH struct{}
+
+// Name implements Tool.
+func (PARCOACH) Name() string { return "PARCOACH-like (static)" }
+
+// Check implements Tool.
+func (PARCOACH) Check(c *dataset.Code) Verdict {
+	m, ok := lower(c)
+	if !ok {
+		return Verdict{CE: true}
+	}
+	for _, f := range m.Defined() {
+		tainted := rankTaintedValues(f)
+		hasTaintedBranch := false
+		for _, b := range f.Blocks {
+			if t := b.Term(); t != nil && t.Op == ir.OpCondBr {
+				if tainted[t.Args[0]] {
+					hasTaintedBranch = true
+				}
+			}
+		}
+		if !hasTaintedBranch {
+			continue
+		}
+		// Any blocking/collective MPI operation in a function with
+		// rank-dependent control flow is (conservatively) a potential
+		// mismatch.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				name := in.MPICallName()
+				if name == "" {
+					continue
+				}
+				op, _ := mpi.FromName(name)
+				if mpi.IsCollective(op) || op == mpi.OpFinalize {
+					return Verdict{Flagged: true,
+						Reason: "possible collective mismatch: " + name + " under rank-dependent control flow"}
+				}
+			}
+		}
+	}
+	// Secondary check: obviously mismatched collective sequences across
+	// sibling branches (the tool's core strength).
+	if mismatchedBranchCollectives(m) {
+		return Verdict{Flagged: true, Reason: "collective sequence differs between branches"}
+	}
+	return Verdict{}
+}
+
+// rankTaintedValues computes the set of values derived from the rank
+// output of MPI_Comm_rank via a simple forward data-flow closure.
+func rankTaintedValues(f *ir.Func) map[ir.Value]bool {
+	tainted := map[ir.Value]bool{}
+	// Seed: pointers passed to MPI_Comm_rank.
+	rankPtrs := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.MPICallName() == "MPI_Comm_rank" && len(in.Args) >= 2 {
+				rankPtrs[in.Args[1]] = true
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if tainted[in] {
+					continue
+				}
+				taint := false
+				switch in.Op {
+				case ir.OpLoad:
+					if rankPtrs[in.Args[0]] || tainted[in.Args[0]] {
+						taint = true
+					}
+				default:
+					for _, a := range in.Args {
+						if tainted[a] {
+							taint = true
+							break
+						}
+					}
+				}
+				if taint {
+					tainted[in] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+// mismatchedBranchCollectives detects condbr arms whose collective call
+// sequences differ (PARCOACH's classic check).
+func mismatchedBranchCollectives(m *ir.Module) bool {
+	for _, f := range m.Defined() {
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpCondBr {
+				continue
+			}
+			a := collectiveSeq(t.Blocks[0])
+			c := collectiveSeq(t.Blocks[1])
+			if len(a) != len(c) {
+				return true
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectiveSeq lists the collective calls of a single block.
+func collectiveSeq(b *ir.Block) []string {
+	var out []string
+	for _, in := range b.Instrs {
+		if name := in.MPICallName(); name != "" {
+			if op, ok := mpi.FromName(name); ok && mpi.IsCollective(op) {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// MPI-Checker-like static checks: AST-level argument validation plus
+// request usage checks, path-insensitive.
+// ---------------------------------------------------------------------------
+
+// MPIChecker is the Clang-Static-Analyzer-based archetype.
+type MPIChecker struct{}
+
+// Name implements Tool.
+func (MPIChecker) Name() string { return "MPI-Checker-like (static)" }
+
+// Check implements Tool.
+func (MPIChecker) Check(c *dataset.Code) Verdict {
+	m, ok := lower(c)
+	if !ok {
+		return Verdict{CE: true}
+	}
+	for _, f := range m.Defined() {
+		starts, waits := 0, 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				name := in.MPICallName()
+				if name == "" {
+					continue
+				}
+				op, _ := mpi.FromName(name)
+				sig, okSig := mpi.SignatureOf(op)
+				if okSig {
+					if v := constArg(in, sig.Arg.Count); v != nil && v.Int < 0 {
+						return Verdict{Flagged: true, Reason: "negative count in " + name}
+					}
+					if v := constArg(in, sig.Arg.Tag); v != nil &&
+						(v.Int > mpi.TagUB || (v.Int < 0 && v.Int != mpi.AnyTag)) {
+						return Verdict{Flagged: true, Reason: "invalid tag in " + name}
+					}
+					if v := constArg(in, sig.Arg.Datatype); v != nil &&
+						(v.Int <= 0 || (v.Int > int64(mpi.DTDerived) && v.Int < 100)) {
+						return Verdict{Flagged: true, Reason: "invalid datatype in " + name}
+					}
+					if v := constArg(in, sig.Arg.Comm); v != nil &&
+						v.Int != mpi.CommWorld && v.Int != mpi.CommSelf {
+						return Verdict{Flagged: true, Reason: "invalid communicator in " + name}
+					}
+					if idx := sig.Arg.Buf; idx >= 0 && idx < len(in.Args) {
+						if cv, okc := in.Args[idx].(*ir.Const); okc && cv.IsNull {
+							if cnt := constArg(in, sig.Arg.Count); cnt == nil || cnt.Int > 0 {
+								return Verdict{Flagged: true, Reason: "null buffer in " + name}
+							}
+						}
+					}
+				}
+				if mpi.StartsRequest(op) {
+					starts++
+				}
+				if op == mpi.OpWait || op == mpi.OpWaitall || op == mpi.OpTest || op == mpi.OpRequestFree {
+					waits++
+				}
+			}
+		}
+		if starts > waits {
+			return Verdict{Flagged: true, Reason: "nonblocking request without completion"}
+		}
+	}
+	return Verdict{}
+}
+
+func constArg(in *ir.Instr, idx int) *ir.Const {
+	if idx < 0 || idx >= len(in.Args) {
+		return nil
+	}
+	c, _ := in.Args[idx].(*ir.Const)
+	return c
+}

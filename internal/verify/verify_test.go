@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+)
+
+// slice returns a small label-stratified subset for fast tool runs.
+func slice(d *dataset.Dataset, per int) *dataset.Dataset {
+	out := &dataset.Dataset{Name: d.Name}
+	counts := map[dataset.Label]int{}
+	for _, c := range d.Codes {
+		if counts[c.Label] < per {
+			counts[c.Label]++
+			out.Codes = append(out.Codes, c)
+		}
+	}
+	return out
+}
+
+func TestITACPrecision(t *testing.T) {
+	d := slice(dataset.GenerateMBI(3), 6)
+	c := Evaluate(ITAC{}, d)
+	if c.Total()+c.Errors() != len(d.Codes) {
+		t.Fatalf("verdicts %d+%d != %d codes", c.Total(), c.Errors(), len(d.Codes))
+	}
+	// ITAC's archetype behaviour: near-perfect precision and a sizeable
+	// timeout column from deadlocking codes.
+	if c.FP > 1 {
+		t.Errorf("ITAC-like produced %d false positives", c.FP)
+	}
+	if c.TO == 0 {
+		t.Error("ITAC-like produced no timeouts on MBI deadlock codes")
+	}
+	if c.Conclusiveness() >= 1 {
+		t.Error("ITAC-like should be inconclusive on deadlocks")
+	}
+}
+
+func TestMUSTDetectsDeadlocks(t *testing.T) {
+	d := slice(dataset.GenerateMBI(3), 6)
+	must := Evaluate(MUST{}, d)
+	itac := Evaluate(ITAC{}, d)
+	// MUST converts ITAC's timeouts into diagnostics.
+	if must.TO >= itac.TO {
+		t.Errorf("MUST TO=%d not below ITAC TO=%d", must.TO, itac.TO)
+	}
+	if must.TP <= itac.TP {
+		t.Errorf("MUST TP=%d not above ITAC TP=%d", must.TP, itac.TP)
+	}
+}
+
+func TestPARCOACHOverApproximates(t *testing.T) {
+	d := slice(dataset.GenerateMBI(5), 10)
+	c := Evaluate(PARCOACH{}, d)
+	// The static tool must produce false positives (its defining trait —
+	// Table III reports specificity 0.088).
+	if c.FP == 0 {
+		t.Error("PARCOACH-like produced no false positives")
+	}
+	if c.Specificity() > 0.6 {
+		t.Errorf("PARCOACH-like specificity %.2f too high to match the archetype", c.Specificity())
+	}
+	// And it is fully conclusive (static, no timeouts).
+	if c.Errors() != 0 {
+		t.Errorf("static tool produced %d CE/TO/RE", c.Errors())
+	}
+}
+
+func TestMPICheckerFindsArgErrors(t *testing.T) {
+	d := dataset.GenerateCorrBench(7, false)
+	arg := d.Filter(func(c *dataset.Code) bool { return c.Label == dataset.ArgError })
+	arg.Codes = arg.Codes[:30]
+	c := Evaluate(MPIChecker{}, arg)
+	if c.TP < 15 {
+		t.Errorf("MPI-Checker-like caught only %d/30 ArgError codes", c.TP)
+	}
+}
+
+func TestToolsOnCorrectCodes(t *testing.T) {
+	d := dataset.GenerateCorrBench(9, false)
+	correct := d.Filter(func(c *dataset.Code) bool { return !c.Incorrect() })
+	correct.Codes = correct.Codes[:25]
+	// Dynamic tools must not flag correct codes.
+	for _, tool := range []Tool{ITAC{}, MUST{}} {
+		c := Evaluate(tool, correct)
+		if c.FP != 0 {
+			t.Errorf("%s flagged %d correct codes", tool.Name(), c.FP)
+		}
+	}
+}
+
+func TestVerdictNames(t *testing.T) {
+	for _, tool := range []Tool{ITAC{}, MUST{}, PARCOACH{}, MPIChecker{}} {
+		if tool.Name() == "" {
+			t.Error("tool without a name")
+		}
+	}
+}
