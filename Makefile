@@ -1,0 +1,34 @@
+# Mirrors .github/workflows/ci.yml so the tier-1 gate is reproducible
+# locally: `make ci` must pass before pushing.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench clean
+
+ci: fmt-check vet build race bench
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — catches bit-rot in the bench harness
+# without paying for a full measurement run.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,13 @@
 //	mpidetect -train mbi -check hypre
 //	mpidetect -train corrbench -check mbi:MBI_0003 -dynamic
 //	mpidetect -train mix -model gnn -check corrbench:ArgError -n 5
+//
+// Trained detectors can be persisted and reloaded, so the expensive
+// training step runs once and the artifact is shared with later runs and
+// with the mpidetectd inference server:
+//
+//	mpidetect -train mbi -save mbi.bin
+//	mpidetect -load mbi.bin -check hypre
 package main
 
 import (
@@ -29,35 +36,28 @@ var (
 	n       = flag.Int("n", 3, "max codes to classify")
 	dynamic = flag.Bool("dynamic", false, "also run the dynamic verifier on each code")
 	seed    = flag.Int64("seed", 1, "generation seed")
+	save    = flag.String("save", "", "save the trained detector artifact to this path")
+	load    = flag.String("load", "", "load a detector artifact instead of training (-train/-model are ignored)")
 )
 
 func main() {
 	flag.Parse()
-	var train *dataset.Dataset
-	switch *trainOn {
-	case "mbi":
-		train = dataset.GenerateMBI(*seed)
-	case "corrbench":
-		train = dataset.GenerateCorrBench(*seed, false)
-	case "mix":
-		train = dataset.Merge("Mix", dataset.GenerateMBI(*seed), dataset.GenerateCorrBench(*seed, false))
-	default:
-		fatal("unknown training suite %q", *trainOn)
-	}
-
-	fmt.Printf("training %s on %s (%d codes)...\n", *model, train.Name, len(train.Codes))
 	var det core.Detector
-	var err error
-	switch *model {
-	case "ir2vec":
-		det, err = core.TrainIR2Vec(train, core.DefaultIR2VecConfig())
-	case "gnn":
-		det, err = core.TrainGNN(train, core.DefaultGNNConfig())
-	default:
-		fatal("unknown model %q", *model)
+	if *load != "" {
+		var err error
+		det, err = core.LoadDetectorFile(*load)
+		if err != nil {
+			fatal("loading model: %v", err)
+		}
+		fmt.Printf("loaded %s from %s\n", det.Name(), *load)
+	} else {
+		det = trainDetector()
 	}
-	if err != nil {
-		fatal("training: %v", err)
+	if *save != "" {
+		if err := core.SaveDetectorFile(*save, det); err != nil {
+			fatal("saving model: %v", err)
+		}
+		fmt.Printf("saved %s to %s\n", det.Name(), *save)
 	}
 
 	var targets []*dataset.Code
@@ -123,6 +123,37 @@ func main() {
 			}
 		}
 	}
+}
+
+// trainDetector generates the requested suite and fits the chosen model.
+func trainDetector() core.Detector {
+	var train *dataset.Dataset
+	switch *trainOn {
+	case "mbi":
+		train = dataset.GenerateMBI(*seed)
+	case "corrbench":
+		train = dataset.GenerateCorrBench(*seed, false)
+	case "mix":
+		train = dataset.Merge("Mix", dataset.GenerateMBI(*seed), dataset.GenerateCorrBench(*seed, false))
+	default:
+		fatal("unknown training suite %q", *trainOn)
+	}
+
+	fmt.Printf("training %s on %s (%d codes)...\n", *model, train.Name, len(train.Codes))
+	var det core.Detector
+	var err error
+	switch *model {
+	case "ir2vec":
+		det, err = core.TrainIR2Vec(train, core.DefaultIR2VecConfig())
+	case "gnn":
+		det, err = core.TrainGNN(train, core.DefaultGNNConfig())
+	default:
+		fatal("unknown model %q", *model)
+	}
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	return det
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,92 @@
+// Command mpidetectd serves trained detectors over HTTP/JSON. Models are
+// artifacts written by `mpidetect -save` (or core.SaveDetectorFile);
+// classification requests carry textual IR and are executed on a shared
+// worker pool with a per-request timeout.
+//
+// Usage:
+//
+//	mpidetect -train mbi -save mbi.bin
+//	mpidetectd -model ir2vec=mbi.bin -addr :8080
+//
+//	curl -s localhost:8080/models
+//	curl -s -X POST localhost:8080/classify \
+//	  -d '{"model":"ir2vec","programs":[{"name":"p","ir":"..."}]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpidetect/internal/serve"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address")
+	workers  = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+	maxBatch = flag.Int("max-batch", 64, "max programs per /classify request")
+	timeout  = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
+	models   modelFlags
+)
+
+// modelFlags collects repeated -model name=path specs.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	flag.Var(&models, "model", "model to serve, as name=artifact-path (repeatable)")
+	flag.Parse()
+	if len(models) == 0 {
+		log.Fatal("mpidetectd: at least one -model name=path is required")
+	}
+
+	reg := serve.NewRegistry()
+	for _, spec := range models {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("mpidetectd: bad -model spec %q (want name=path)", spec)
+		}
+		if err := reg.LoadFile(name, path); err != nil {
+			log.Fatalf("mpidetectd: %v", err)
+		}
+		d, _ := reg.Get(name)
+		fmt.Printf("loaded %s: %s (trained at %s)\n", name, d.Name(), d.Opt())
+	}
+
+	eng := serve.NewEngine(reg, serve.Config{
+		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout})
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg, eng)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("mpidetectd: shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("mpidetectd listening on %s (%d models)\n", *addr, len(reg.Names()))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("mpidetectd: %v", err)
+	}
+	<-done      // in-flight requests drained by Shutdown
+	eng.Close() // then the worker pool
+}

@@ -1,0 +1,88 @@
+// Example serve: the full persistence + inference-service loop in one
+// process. A detector is trained and saved to a temp artifact, reloaded
+// into a model registry (exactly what cmd/mpidetectd does at startup), and
+// served over a local HTTP listener; the client side then posts a batch of
+// textual-IR programs to POST /classify and prints the verdicts next to
+// the ground truth.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/serve"
+)
+
+func main() {
+	// Train once, persist the artifact.
+	cfg := core.DefaultIR2VecConfig()
+	cfg.Dim = 64
+	train := dataset.GenerateCorrBench(1, false)
+	fmt.Printf("training IR2Vec+DT on %s (%d codes)...\n", train.Name, len(train.Codes))
+	det, err := core.TrainIR2Vec(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "mpidetect-serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifact := filepath.Join(dir, "model.bin")
+	if err := core.SaveDetectorFile(artifact, det); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved artifact (format v%d) to %s\n", core.ArtifactVersion, artifact)
+
+	// Reload into a registry and serve — the mpidetectd startup path.
+	reg := serve.NewRegistry()
+	if err := reg.LoadFile("ir2vec", artifact); err != nil {
+		log.Fatal(err)
+	}
+	eng := serve.NewEngine(reg, serve.Config{})
+	defer eng.Close()
+	srv := httptest.NewServer(serve.NewHandler(reg, eng))
+	defer srv.Close()
+	fmt.Printf("serving on %s\n", srv.URL)
+
+	// Client side: classify held-out programs as textual IR.
+	held := dataset.GenerateCorrBench(9, false)
+	req := serve.ClassifyRequest{Model: "ir2vec"}
+	codes := held.Codes[:6]
+	for _, c := range codes {
+		m := irgen.MustLower(c.Prog)
+		req.Programs = append(req.Programs, serve.Program{Name: c.Name, IR: ir.Print(m)})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range out.Results {
+		verdict := "CORRECT"
+		if r.Incorrect {
+			verdict = "INCORRECT"
+		}
+		match := "MATCH"
+		if r.Incorrect != codes[i].Incorrect() {
+			match = "MISS"
+		}
+		fmt.Printf("%-34s served verdict %-9s (truth incorrect=%v) %s\n",
+			r.Name, verdict, codes[i].Incorrect(), match)
+	}
+}

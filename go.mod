@@ -1,0 +1,3 @@
+module mpidetect
+
+go 1.24

@@ -43,6 +43,23 @@ type Detector interface {
 	CheckProgram(p *ast.Program) (Verdict, error)
 	// Name describes the detector.
 	Name() string
+	// Opt is the optimisation level the detector was trained at; callers
+	// classifying raw IR should optimise it to this level first.
+	Opt() passes.OptLevel
+}
+
+// CheckIR parses textual IR, optimises it at the detector's configured
+// level, and classifies it — the one-call entrypoint for clients holding
+// textual IR (the inference server's wire format). The server itself runs
+// the same parse → Optimize(d.Opt()) → CheckModule sequence in two stages,
+// so it can report per-program parse errors before scheduling work.
+func CheckIR(d Detector, src string) (Verdict, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("core: parsing IR: %w", err)
+	}
+	passes.Optimize(m, d.Opt())
+	return d.CheckModule(m)
 }
 
 // compile lowers and optimises a program.
@@ -86,6 +103,9 @@ type IR2VecDetector struct {
 // Name implements Detector.
 func (d *IR2VecDetector) Name() string { return "IR2Vec+DT" }
 
+// Opt implements Detector.
+func (d *IR2VecDetector) Opt() passes.OptLevel { return d.cfg.Opt }
+
 // TrainIR2Vec fits the detector on a labelled corpus.
 func TrainIR2Vec(corpus *dataset.Dataset, cfg IR2VecConfig) (*IR2VecDetector, error) {
 	if cfg.Dim <= 0 {
@@ -104,6 +124,7 @@ func TrainIR2Vec(corpus *dataset.Dataset, cfg IR2VecConfig) (*IR2VecDetector, er
 		sample = sample[:200]
 	}
 	enc := ir2vec.Train(sample, cfg.Dim, cfg.Seed, 30)
+	enc.FitVocab(mods)
 	x := make([][]float64, len(mods))
 	for i, m := range mods {
 		x[i] = enc.Encode(m)
@@ -180,6 +201,9 @@ type GNNDetector struct {
 
 // Name implements Detector.
 func (d *GNNDetector) Name() string { return "ProGraML+GATv2" }
+
+// Opt implements Detector.
+func (d *GNNDetector) Opt() passes.OptLevel { return d.cfg.Opt }
 
 // TrainGNN fits the graph detector (binary correct/incorrect).
 func TrainGNN(corpus *dataset.Dataset, cfg GNNDetectorConfig) (*GNNDetector, error) {

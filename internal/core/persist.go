@@ -1,0 +1,162 @@
+// Trained-detector persistence: a versioned gob artifact format so a model
+// trained once (CLI, CI, or a batch job) can be reloaded by any other
+// entrypoint — notably cmd/mpidetectd, which serves loaded detectors —
+// without retraining. The artifact layout is
+//
+//	artifactHeader{Magic, Version, Kind}  — gob, always decodable first
+//	kind-specific state                   — gob, layout owned by the model
+//
+// Version policy: ArtifactVersion is bumped on ANY incompatible change to
+// the serialized layout, and Load rejects artifacts whose version differs
+// from the running binary's — stale models fail loudly at load time with a
+// "retrain and re-save" error instead of mispredicting at inference time.
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/dtree"
+	"mpidetect/internal/gnn"
+	"mpidetect/internal/ir2vec"
+)
+
+// ArtifactVersion is the current on-disk model format version.
+const ArtifactVersion = 1
+
+const artifactMagic = "MPIDETECT-MODEL"
+
+// Model kinds stored in the artifact header.
+const (
+	kindIR2Vec = "ir2vec"
+	kindGNN    = "gnn"
+)
+
+// artifactHeader prefixes every model artifact.
+type artifactHeader struct {
+	Magic   string
+	Version int
+	Kind    string
+}
+
+// ir2vecState is the exported gob mirror of IR2VecDetector.
+type ir2vecState struct {
+	Cfg    IR2VecConfig
+	Enc    *ir2vec.Encoder
+	Norm   *ir2vec.Normalizer
+	Tree   *dtree.Tree
+	Labels []dataset.Label
+}
+
+// gnnState is the exported gob mirror of GNNDetector.
+type gnnState struct {
+	Cfg   GNNDetectorConfig
+	Model *gnn.Model
+}
+
+// SaveDetector serializes a trained detector to w in the versioned
+// artifact format.
+func SaveDetector(w io.Writer, d Detector) error {
+	enc := gob.NewEncoder(w)
+	switch det := d.(type) {
+	case *IR2VecDetector:
+		if err := enc.Encode(artifactHeader{artifactMagic, ArtifactVersion, kindIR2Vec}); err != nil {
+			return fmt.Errorf("core: writing model header: %w", err)
+		}
+		if err := enc.Encode(ir2vecState{det.cfg, det.enc, det.norm, det.tree, det.labels}); err != nil {
+			return fmt.Errorf("core: writing %s model: %w", det.Name(), err)
+		}
+	case *GNNDetector:
+		if err := enc.Encode(artifactHeader{artifactMagic, ArtifactVersion, kindGNN}); err != nil {
+			return fmt.Errorf("core: writing model header: %w", err)
+		}
+		if err := enc.Encode(gnnState{det.cfg, det.model}); err != nil {
+			return fmt.Errorf("core: writing %s model: %w", det.Name(), err)
+		}
+	default:
+		return fmt.Errorf("core: cannot serialize detector type %T", d)
+	}
+	return nil
+}
+
+// LoadDetector reads a detector artifact written by SaveDetector,
+// rejecting non-artifacts, stale versions, and unknown model kinds.
+func LoadDetector(r io.Reader) (Detector, error) {
+	dec := gob.NewDecoder(r)
+	var h artifactHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	if h.Magic != artifactMagic {
+		return nil, errors.New("core: not an mpidetect model artifact")
+	}
+	if h.Version != ArtifactVersion {
+		return nil, fmt.Errorf("core: model artifact version %d is not supported by this binary (want %d); retrain and re-save",
+			h.Version, ArtifactVersion)
+	}
+	switch h.Kind {
+	case kindIR2Vec:
+		var st ir2vecState
+		if err := dec.Decode(&st); err != nil {
+			return nil, fmt.Errorf("core: reading ir2vec model: %w", err)
+		}
+		if st.Enc == nil || st.Norm == nil || st.Tree == nil || len(st.Labels) == 0 {
+			return nil, errors.New("core: incomplete ir2vec model artifact")
+		}
+		// The tree indexes the concatenated [symbolic || flow-aware]
+		// vector; a tree consulting coordinates beyond it would panic at
+		// inference time.
+		if st.Tree.MaxFeature() >= 2*st.Enc.Dim {
+			return nil, errors.New("core: corrupt ir2vec model artifact: tree feature index exceeds embedding width")
+		}
+		if st.Tree.Classes > len(st.Labels) {
+			return nil, errors.New("core: corrupt ir2vec model artifact: tree classes exceed label table")
+		}
+		return &IR2VecDetector{cfg: st.Cfg, enc: st.Enc, norm: st.Norm,
+			tree: st.Tree, labels: st.Labels}, nil
+	case kindGNN:
+		var st gnnState
+		if err := dec.Decode(&st); err != nil {
+			return nil, fmt.Errorf("core: reading gnn model: %w", err)
+		}
+		if st.Model == nil {
+			return nil, errors.New("core: incomplete gnn model artifact")
+		}
+		return &GNNDetector{cfg: st.Cfg, model: st.Model}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q in artifact", h.Kind)
+	}
+}
+
+// SaveDetectorFile writes the artifact to path via a temp file + rename so
+// a crash mid-write never leaves a truncated model behind.
+func SaveDetectorFile(path string, d Detector) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".mpidetect-model-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveDetector(tmp, d); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadDetectorFile reads a detector artifact from path.
+func LoadDetectorFile(path string) (Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDetector(f)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/gnn"
+)
+
+// trainCorpus returns a small deterministic corpus plus a held-out set the
+// detector did not see during training (to exercise the fallback path of
+// the encoder after a reload).
+func trainCorpus(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train := dataset.GenerateCorrBench(1, false)
+	held := dataset.GenerateCorrBench(2, false)
+	if len(train.Codes) == 0 || len(held.Codes) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return train, held
+}
+
+func fastIR2VecConfig() IR2VecConfig {
+	cfg := DefaultIR2VecConfig()
+	cfg.Dim = 32
+	return cfg
+}
+
+func fastGNNConfig() GNNDetectorConfig {
+	cfg := DefaultGNNConfig()
+	cfg.Model.Epochs = 1
+	cfg.Model.Hidden = []int{8, 8}
+	cfg.Model.EmbedDim = 8
+	return cfg
+}
+
+// checkSameVerdicts asserts both detectors agree on every code of the set.
+func checkSameVerdicts(t *testing.T, want, got Detector, d *dataset.Dataset) {
+	t.Helper()
+	for _, c := range d.Codes {
+		vw, err := want.CheckProgram(c.Prog)
+		if err != nil {
+			t.Fatalf("original detector on %s: %v", c.Name, err)
+		}
+		vg, err := got.CheckProgram(c.Prog)
+		if err != nil {
+			t.Fatalf("reloaded detector on %s: %v", c.Name, err)
+		}
+		if vw != vg {
+			t.Fatalf("verdict drift on %s after reload: trained %+v, loaded %+v", c.Name, vw, vg)
+		}
+	}
+}
+
+func TestIR2VecRoundTrip(t *testing.T) {
+	train, held := trainCorpus(t)
+	det, err := TrainIR2Vec(train, fastIR2VecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ir2vec.bin")
+	if err := SaveDetectorFile(path, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetectorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != det.Name() {
+		t.Fatalf("loaded detector name %q, want %q", loaded.Name(), det.Name())
+	}
+	checkSameVerdicts(t, det, loaded, train)
+	checkSameVerdicts(t, det, loaded, held)
+}
+
+func TestIR2VecMultiClassRoundTrip(t *testing.T) {
+	train, _ := trainCorpus(t)
+	cfg := fastIR2VecConfig()
+	cfg.MultiClass = true
+	det, err := TrainIR2Vec(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameVerdicts(t, det, loaded, train)
+}
+
+func TestGNNRoundTrip(t *testing.T) {
+	train, held := trainCorpus(t)
+	det, err := TrainGNN(train, fastGNNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gnn.bin")
+	if err := SaveDetectorFile(path, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetectorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameVerdicts(t, det, loaded, train)
+	checkSameVerdicts(t, det, loaded, held)
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadDetector(strings.NewReader("not a model")); err == nil {
+		t.Fatal("expected an error loading garbage")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(artifactHeader{"SOMETHING-ELSE", ArtifactVersion, kindIR2Vec}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDetector(&buf)
+	if err == nil || !strings.Contains(err.Error(), "not an mpidetect model") {
+		t.Fatalf("want magic rejection, got %v", err)
+	}
+}
+
+func TestLoadRejectsStaleVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(artifactHeader{artifactMagic, ArtifactVersion + 1, kindIR2Vec}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDetector(&buf)
+	if err == nil || !strings.Contains(err.Error(), "retrain") {
+		t.Fatalf("want stale-version rejection, got %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(artifactHeader{artifactMagic, ArtifactVersion, "transformer"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDetector(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown model kind") {
+		t.Fatalf("want unknown-kind rejection, got %v", err)
+	}
+}
+
+func TestGNNModelGobValidation(t *testing.T) {
+	bad := gnn.Model{}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&bad); err == nil {
+		// An empty model has no layers; encoding succeeds but decoding the
+		// zero shape must fail rather than panic inside NewModel.
+		var out gnn.Model
+		if err := gob.NewDecoder(&buf).Decode(&out); err == nil {
+			t.Fatal("expected shape validation error decoding an empty model")
+		}
+	}
+}

@@ -5,6 +5,9 @@
 package dtree
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"math"
 	"sort"
 )
@@ -25,6 +28,129 @@ type node struct {
 	thresh  float64
 	left    *node
 	right   *node
+}
+
+// flatNode is the exported gob mirror of one tree node; children are
+// indices into the flattened node array (-1 for none).
+type flatNode struct {
+	Leaf        bool
+	Class       int
+	Feature     int
+	Thresh      float64
+	Left, Right int
+}
+
+// treeState is the exported gob mirror of Tree, with the recursive node
+// structure flattened in preorder (root at index 0).
+type treeState struct {
+	Nodes    []flatNode
+	Classes  int
+	Features []int
+}
+
+func flatten(n *node, out *[]flatNode) int {
+	idx := len(*out)
+	*out = append(*out, flatNode{Leaf: n.leaf, Class: n.class,
+		Feature: n.feature, Thresh: n.thresh, Left: -1, Right: -1})
+	if !n.leaf {
+		// The recursive calls append to *out and may reallocate its backing
+		// array, so index only after each call returns.
+		l := flatten(n.left, out)
+		(*out)[idx].Left = l
+		r := flatten(n.right, out)
+		(*out)[idx].Right = r
+	}
+	return idx
+}
+
+func unflatten(nodes []flatNode, idx int, visited []bool) (*node, error) {
+	if idx < 0 || idx >= len(nodes) {
+		return nil, errors.New("dtree: corrupt tree encoding: node index out of range")
+	}
+	// A preorder flattening of a tree visits every index exactly once and
+	// puts children strictly after their parent; revisits (DAG sharing) or
+	// backward edges (cycles) would blow up the reconstruction.
+	if visited[idx] {
+		return nil, errors.New("dtree: corrupt tree encoding: node referenced twice")
+	}
+	visited[idx] = true
+	fn := nodes[idx]
+	if !fn.Leaf && (fn.Left <= idx || fn.Right <= idx) {
+		return nil, errors.New("dtree: corrupt tree encoding: non-preorder child index")
+	}
+	n := &node{leaf: fn.Leaf, class: fn.Class, feature: fn.Feature, thresh: fn.Thresh}
+	if fn.Leaf {
+		return n, nil
+	}
+	var err error
+	if n.left, err = unflatten(nodes, fn.Left, visited); err != nil {
+		return nil, err
+	}
+	if n.right, err = unflatten(nodes, fn.Right, visited); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tree) GobEncode() ([]byte, error) {
+	if t.root == nil {
+		return nil, errors.New("dtree: cannot encode an untrained tree")
+	}
+	st := treeState{Classes: t.Classes, Features: t.Features}
+	flatten(t.root, &st.Nodes)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder. Corrupt encodings fail here, at
+// load time, rather than panicking later inside Predict on a worker
+// goroutine: the node graph must be a preorder tree, every node's class
+// must fall in [0, Classes), and feature indices must be non-negative
+// (their upper bound is the caller's feature dimension — see MaxFeature).
+func (t *Tree) GobDecode(b []byte) error {
+	var st treeState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Nodes) == 0 || st.Classes <= 0 {
+		return errors.New("dtree: corrupt tree encoding: empty tree")
+	}
+	for _, fn := range st.Nodes {
+		if fn.Leaf && (fn.Class < 0 || fn.Class >= st.Classes) {
+			return errors.New("dtree: corrupt tree encoding: leaf class out of range")
+		}
+		if !fn.Leaf && fn.Feature < 0 {
+			return errors.New("dtree: corrupt tree encoding: negative feature index")
+		}
+	}
+	root, err := unflatten(st.Nodes, 0, make([]bool, len(st.Nodes)))
+	if err != nil {
+		return err
+	}
+	t.Classes, t.Features, t.root = st.Classes, st.Features, root
+	return nil
+}
+
+// MaxFeature returns the largest feature index the tree consults, or -1
+// for a leaf-only tree. Artifact loaders use it to check a deserialized
+// tree against the feature dimension it will be applied to.
+func (t *Tree) MaxFeature() int {
+	max := -1
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		if n.feature > max {
+			max = n.feature
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return max
 }
 
 // Config controls tree growth; zero values reproduce sklearn defaults.

@@ -55,24 +55,42 @@ func NewExtractor(dim int) *Extractor {
 	}
 }
 
-// lowerAll compiles every code of the dataset at the given level,
-// parallelised across cores.
-func lowerAll(d *dataset.Dataset, lvl passes.OptLevel) []*ir.Module {
-	mods := make([]*ir.Module, len(d.Codes))
+// parallelMap runs fn(i) for every i in [0, n) across GOMAXPROCS workers,
+// striding the index space. fn must be safe to call concurrently for
+// distinct indices; writes to distinct slice elements are fine.
+func parallelMap(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(d.Codes); i += workers {
-				m := irgen.MustLower(d.Codes[i].Prog)
-				passes.Optimize(m, lvl)
-				mods[i] = m
+			for i := w; i < n; i += workers {
+				fn(i)
 			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// lowerAll compiles every code of the dataset at the given level,
+// parallelised across cores.
+func lowerAll(d *dataset.Dataset, lvl passes.OptLevel) []*ir.Module {
+	mods := make([]*ir.Module, len(d.Codes))
+	parallelMap(len(d.Codes), func(i int) {
+		m := irgen.MustLower(d.Codes[i].Prog)
+		passes.Optimize(m, lvl)
+		mods[i] = m
+	})
 	return mods
 }
 
@@ -94,6 +112,9 @@ func (e *Extractor) Encoder(d *dataset.Dataset, lvl passes.OptLevel, seed int64)
 		sample = sample[:200]
 	}
 	enc = ir2vec.Train(sample, e.Dim, seed, e.SeedEpoch)
+	// Second phase of the two-phase protocol: pin down fallback embeddings
+	// for the rest of the corpus so Encode stays a read-only map hit.
+	enc.FitVocab(mods)
 	e.mu.Lock()
 	e.encCache[key] = enc
 	e.mu.Unlock()
@@ -113,23 +134,11 @@ func (e *Extractor) IR2VecFeatures(d *dataset.Dataset, lvl passes.OptLevel, seed
 	}
 	mods := lowerAll(d, lvl)
 	x := make([][]float64, len(mods))
-	var mu sync.Mutex
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(mods); i += workers {
-				// Encoding mutates the encoder's fallback table; guard it.
-				mu.Lock()
-				v := enc.Encode(mods[i])
-				mu.Unlock()
-				x[i] = v
-			}
-		}(w)
-	}
-	wg.Wait()
+	// Encode is side-effect-free after training, so the corpus embeds
+	// lock-free across all cores.
+	parallelMap(len(mods), func(i int) {
+		x[i] = enc.Encode(mods[i])
+	})
 	f = &Features{X: x, Codes: d.Codes}
 	e.mu.Lock()
 	e.featCache[key] = f
@@ -149,18 +158,9 @@ func (e *Extractor) Graphs(d *dataset.Dataset, lvl passes.OptLevel) *GraphSet {
 	}
 	mods := lowerAll(d, lvl)
 	out := make([]*graphs.Graph, len(mods))
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(mods); i += workers {
-				out[i] = graphs.Build(mods[i])
-			}
-		}(w)
-	}
-	wg.Wait()
+	parallelMap(len(mods), func(i int) {
+		out[i] = graphs.Build(mods[i])
+	})
 	gs = &GraphSet{Gs: out, Codes: d.Codes}
 	e.mu.Lock()
 	e.graphCache[key] = gs

@@ -7,6 +7,9 @@
 package gnn
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -137,6 +140,61 @@ func NewModel(cfg Config, vocab *graphs.Vocab, classes int) *Model {
 
 func lname(base string, a, b int) string {
 	return base + string(rune('0'+a)) + "." + string(rune('0'+b))
+}
+
+var errGobShape = errors.New("gnn: corrupt model encoding: invalid layer shape")
+
+// modelState is the exported gob mirror of Model: the hyper-parameters and
+// vocabulary needed to rebuild the layer structure via NewModel, plus the
+// trained parameter values by name.
+type modelState struct {
+	Cfg      Config
+	VocabIDs map[string]int
+	VocabOOV int
+	Classes  int
+	Params   map[string][]float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.ps == nil || m.Vocab == nil {
+		return nil, errors.New("gnn: cannot encode an uninitialised model")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelState{
+		Cfg: m.Cfg, VocabIDs: m.Vocab.IDs, VocabOOV: m.Vocab.OOV,
+		Classes: m.Classes, Params: m.ps.State()})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder: it rebuilds an untrained model with
+// the encoded shape, then restores the trained weights into it. Workers is
+// re-derived from the decoding host so an artifact trained elsewhere uses
+// this machine's parallelism.
+func (m *Model) GobDecode(b []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Cfg.Hidden) == 0 || st.Cfg.EmbedDim <= 0 || st.Classes <= 0 {
+		return errGobShape
+	}
+	for _, h := range st.Cfg.Hidden {
+		if h <= 0 {
+			return errGobShape
+		}
+	}
+	st.Cfg.Workers = runtime.GOMAXPROCS(0)
+	vocab := &graphs.Vocab{IDs: st.VocabIDs, OOV: st.VocabOOV}
+	if vocab.IDs == nil {
+		vocab.IDs = map[string]int{}
+	}
+	fresh := NewModel(st.Cfg, vocab, st.Classes)
+	if err := fresh.ps.LoadState(st.Params); err != nil {
+		return err
+	}
+	*m = *fresh
+	return nil
 }
 
 // forward computes the class logits of one prepared graph.

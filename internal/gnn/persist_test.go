@@ -1,0 +1,26 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestGobDecodeRejectsBadHidden(t *testing.T) {
+	for _, hidden := range [][]int{nil, {}, {-1}, {8, 0}} {
+		st := modelState{
+			Cfg:      Config{EmbedDim: 8, Hidden: hidden, Epochs: 1},
+			VocabIDs: map[string]int{"tok": 1},
+			Classes:  2,
+			Params:   map[string][]float64{},
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		var m Model
+		if err := m.GobDecode(buf.Bytes()); err == nil {
+			t.Fatalf("Hidden=%v accepted", hidden)
+		}
+	}
+}

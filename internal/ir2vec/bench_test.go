@@ -1,0 +1,80 @@
+package ir2vec_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/ir2vec"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+// benchCorpus lowers a slice of the MBI suite and trains a small encoder
+// over it, with the corpus vocabulary pre-fitted so Encode runs read-only.
+func benchCorpus(b *testing.B) ([]*ir.Module, *ir2vec.Encoder) {
+	b.Helper()
+	d := dataset.GenerateMBI(1)
+	n := len(d.Codes)
+	if n > 64 {
+		n = 64
+	}
+	mods := make([]*ir.Module, n)
+	for i := 0; i < n; i++ {
+		m := irgen.MustLower(d.Codes[i].Prog)
+		passes.Optimize(m, passes.Os)
+		mods[i] = m
+	}
+	sample := mods
+	if len(sample) > 16 {
+		sample = sample[:16]
+	}
+	enc := ir2vec.Train(sample, 64, 1, 5)
+	enc.FitVocab(mods)
+	return mods, enc
+}
+
+// BenchmarkEncodeSerial is the single-goroutine baseline.
+func BenchmarkEncodeSerial(b *testing.B) {
+	mods, enc := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(mods[i%len(mods)])
+	}
+}
+
+// BenchmarkEncodeParallel drives Encode from GOMAXPROCS goroutines with no
+// synchronisation: ns/op should shrink roughly linearly with the
+// parallelism, demonstrating that the two-phase encoder no longer
+// serializes on a mutex.
+func BenchmarkEncodeParallel(b *testing.B) {
+	mods, enc := benchCorpus(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			enc.Encode(mods[int(i)%len(mods)])
+		}
+	})
+}
+
+// BenchmarkEncodeParallelMutex reproduces the seed's pre-refactor
+// discipline — every Encode guarded by one global mutex — as the
+// contention reference point for BenchmarkEncodeParallel.
+func BenchmarkEncodeParallelMutex(b *testing.B) {
+	mods, enc := benchCorpus(b)
+	var mu sync.Mutex
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			mu.Lock()
+			enc.Encode(mods[int(i)%len(mods)])
+			mu.Unlock()
+		}
+	})
+}

@@ -8,6 +8,8 @@
 package ir2vec
 
 import (
+	"bytes"
+	"encoding/gob"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -32,12 +34,46 @@ const (
 	flowBeta = 0.3
 )
 
-// Encoder holds trained seed embeddings.
+// Encoder holds trained seed embeddings. Encoding is two-phase: Train (or
+// Load) and optionally FitVocab mutate the entity table; after that, Encode
+// is read-only and safe for concurrent use from any number of goroutines.
 type Encoder struct {
 	Dim  int
 	Seed int64
 	ent  map[string][]float64
 	rel  map[string][]float64
+}
+
+// encoderState is the exported gob mirror of Encoder.
+type encoderState struct {
+	Dim  int
+	Seed int64
+	Ent  map[string][]float64
+	Rel  map[string][]float64
+}
+
+// GobEncode implements gob.GobEncoder, exposing the trained tables.
+func (e *Encoder) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(encoderState{
+		Dim: e.Dim, Seed: e.Seed, Ent: e.ent, Rel: e.rel})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *Encoder) GobDecode(b []byte) error {
+	var st encoderState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	e.Dim, e.Seed, e.ent, e.rel = st.Dim, st.Seed, st.Ent, st.Rel
+	if e.ent == nil {
+		e.ent = map[string][]float64{}
+	}
+	if e.rel == nil {
+		e.rel = map[string][]float64{}
+	}
+	return nil
 }
 
 // instrTokens extracts the (opcode, type, args) entity tokens of an
@@ -186,27 +222,69 @@ func randUnit(rng *rand.Rand, dim int) []float64 {
 
 // lookup returns the entity embedding, falling back to a deterministic
 // hash-seeded vector for entities unseen during seed training (so encoding
-// never fails on new programs).
-func (e *Encoder) lookup(tok string) []float64 {
+// never fails on new programs). Fallbacks are memoised in the caller's
+// per-Encode map rather than the shared table, keeping lookup — and hence
+// Encode — free of side effects on the encoder.
+func (e *Encoder) lookup(tok string, memo map[string][]float64) []float64 {
 	if v, ok := e.ent[tok]; ok {
 		return v
 	}
-	hash := fnv.New64a()
-	_, _ = hash.Write([]byte(tok))
-	rng := rand.New(rand.NewSource(int64(hash.Sum64()) ^ e.Seed))
-	v := randUnit(rng, e.Dim)
-	e.ent[tok] = v
+	if v, ok := memo[tok]; ok {
+		return v
+	}
+	v := e.fallback(tok)
+	memo[tok] = v
 	return v
 }
 
+// fallback derives the deterministic embedding of an out-of-vocabulary
+// entity from its FNV hash and the encoder seed.
+func (e *Encoder) fallback(tok string) []float64 {
+	hash := fnv.New64a()
+	_, _ = hash.Write([]byte(tok))
+	rng := rand.New(rand.NewSource(int64(hash.Sum64()) ^ e.Seed))
+	return randUnit(rng, e.Dim)
+}
+
+// FitVocab precomputes fallback embeddings for every entity of the corpus
+// that seed training did not cover, so subsequent Encode calls resolve all
+// tokens with pure map hits. This is the optional second phase of the
+// two-phase protocol: train (or load) the encoder, fit the corpus
+// vocabulary once, then encode lock-free from any number of goroutines.
+// FitVocab mutates the encoder and must not run concurrently with Encode.
+func (e *Encoder) FitVocab(mods []*ir.Module) {
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if f.Decl {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					opc, typ, args := instrTokens(in)
+					for _, tok := range args {
+						if _, ok := e.ent[tok]; !ok {
+							e.ent[tok] = e.fallback(tok)
+						}
+					}
+					for _, tok := range [...]string{opc, typ} {
+						if _, ok := e.ent[tok]; !ok {
+							e.ent[tok] = e.fallback(tok)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // symbolic computes the symbolic per-instruction vector.
-func (e *Encoder) symbolic(in *ir.Instr) []float64 {
+func (e *Encoder) symbolic(in *ir.Instr, memo map[string][]float64) []float64 {
 	opc, typ, args := instrTokens(in)
 	v := make([]float64, e.Dim)
-	tensor.VecAddScaled(v, wOpc, e.lookup(opc))
-	tensor.VecAddScaled(v, wType, e.lookup(typ))
+	tensor.VecAddScaled(v, wOpc, e.lookup(opc, memo))
+	tensor.VecAddScaled(v, wType, e.lookup(typ, memo))
 	for _, a := range args {
-		tensor.VecAddScaled(v, wArg, e.lookup(a))
+		tensor.VecAddScaled(v, wArg, e.lookup(a, memo))
 	}
 	return v
 }
@@ -252,6 +330,10 @@ func (e *Encoder) EncodeMode(m *ir.Module, mode Encoding) []float64 {
 func (e *Encoder) Encode(m *ir.Module) []float64 {
 	sym := make([]float64, e.Dim)
 	flow := make([]float64, e.Dim)
+	// Out-of-vocabulary fallbacks are memoised for this call only, so
+	// repeated OOV tokens cost one computation without mutating the
+	// encoder's shared table.
+	memo := map[string][]float64{}
 	for _, f := range m.Funcs {
 		if f.Decl {
 			continue
@@ -260,7 +342,7 @@ func (e *Encoder) Encode(m *ir.Module) []float64 {
 		symOf := map[*ir.Instr][]float64{}
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
-				v := e.symbolic(in)
+				v := e.symbolic(in, memo)
 				symOf[in] = v
 				tensor.VecAdd(sym, v)
 			}
@@ -321,6 +403,29 @@ func (n Norm) String() string {
 type Normalizer struct {
 	Mode  Norm
 	scale []float64 // per-coordinate, for NormIndex
+}
+
+// normalizerState is the exported gob mirror of Normalizer.
+type normalizerState struct {
+	Mode  Norm
+	Scale []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (n *Normalizer) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(normalizerState{Mode: n.Mode, Scale: n.scale})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (n *Normalizer) GobDecode(b []byte) error {
+	var st normalizerState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	n.Mode, n.scale = st.Mode, st.Scale
+	return nil
 }
 
 // FitNormalizer prepares a normalizer from training features.

@@ -4,6 +4,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -39,6 +40,38 @@ func (ps *ParamSet) ZeroGrads() {
 	for _, p := range ps.List {
 		p.Grad.Zero()
 	}
+}
+
+// State snapshots every parameter's values by name, for model
+// serialization. Adam moments and gradients are not captured: a restored
+// model is ready for inference (or fresh fine-tuning), not for resuming an
+// optimiser run mid-flight.
+func (ps *ParamSet) State() map[string][]float64 {
+	out := make(map[string][]float64, len(ps.List))
+	for _, p := range ps.List {
+		out[p.Name] = append([]float64(nil), p.Val.Data...)
+	}
+	return out
+}
+
+// LoadState restores parameter values captured by State into an
+// identically-structured ParamSet, matching by name and verifying sizes.
+func (ps *ParamSet) LoadState(state map[string][]float64) error {
+	if len(state) != len(ps.List) {
+		return fmt.Errorf("nn: state has %d params, model has %d", len(state), len(ps.List))
+	}
+	for _, p := range ps.List {
+		vals, ok := state[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: state missing param %q", p.Name)
+		}
+		if len(vals) != len(p.Val.Data) {
+			return fmt.Errorf("nn: param %q has %d values, model expects %d",
+				p.Name, len(vals), len(p.Val.Data))
+		}
+		copy(p.Val.Data, vals)
+	}
+	return nil
 }
 
 // NumParams returns the total scalar parameter count.

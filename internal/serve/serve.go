@@ -1,0 +1,342 @@
+// Package serve turns trained detectors into a concurrent inference
+// service: a model Registry, a batched worker-pool classification Engine
+// with per-request timeouts, and an HTTP/JSON front end (POST /classify,
+// GET /healthz, GET /models) used by cmd/mpidetectd.
+//
+// The wire format for programs is the repo's textual IR (ir.Print /
+// ir.Parse); each submitted program is parsed, optimised to the serving
+// model's training level, and classified on the shared worker pool, so one
+// oversized request cannot monopolise the server and many small requests
+// interleave fairly.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/passes"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handler.
+var (
+	ErrUnknownModel  = errors.New("serve: unknown model")
+	ErrEmptyBatch    = errors.New("serve: empty batch")
+	ErrBatchTooLarge = errors.New("serve: batch too large")
+	ErrTimeout       = errors.New("serve: request timed out")
+	ErrCanceled      = errors.New("serve: request canceled")
+)
+
+// ctxErr classifies an expired context: a blown deadline is a timeout, any
+// other cause (caller cancellation, client disconnect) is a cancel.
+func ctxErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+	return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+// Registry is a concurrency-safe name -> trained detector table.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]core.Detector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[string]core.Detector{}}
+}
+
+// Register installs (or replaces) a detector under name.
+func (r *Registry) Register(name string, d core.Detector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = d
+}
+
+// LoadFile loads a saved artifact (core.SaveDetectorFile format) and
+// registers it under name.
+func (r *Registry) LoadFile(name, path string) error {
+	d, err := core.LoadDetectorFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: loading model %q from %s: %w", name, path, err)
+	}
+	r.Register(name, d)
+	return nil
+}
+
+// Get resolves a model by name.
+func (r *Registry) Get(name string) (core.Detector, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.models[name]
+	return d, ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------------
+
+// Config sizes the engine; zero values take the documented defaults.
+type Config struct {
+	Workers  int           // classification goroutines (default GOMAXPROCS)
+	MaxBatch int           // max programs per request (default 64)
+	Timeout  time.Duration // per-request budget (default 30s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Program is one classification item.
+type Program struct {
+	Name string `json:"name,omitempty"`
+	IR   string `json:"ir"`
+}
+
+// Result is the verdict for one program. Err is per-item: a program that
+// fails to parse poisons neither the batch nor the request.
+type Result struct {
+	Name       string  `json:"name,omitempty"`
+	Incorrect  bool    `json:"incorrect"`
+	Label      string  `json:"label"`
+	Confidence float64 `json:"confidence"`
+	Err        string  `json:"error,omitempty"`
+}
+
+type job struct {
+	ctx context.Context
+	det core.Detector
+	mod *ir.Module
+	idx int
+	out chan<- outcome
+}
+
+type outcome struct {
+	idx int
+	res Result
+}
+
+// Engine classifies programs on a fixed worker pool shared by all
+// requests: each request's batch is fanned out one job per program, so
+// concurrent requests interleave instead of queueing head-to-tail.
+type Engine struct {
+	cfg  Config
+	reg  *Registry
+	jobs chan job
+	wg   sync.WaitGroup
+}
+
+// NewEngine starts the worker pool over the registry.
+func NewEngine(reg *Registry, cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults(), reg: reg}
+	e.jobs = make(chan job, 2*e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close drains the pool. It must not be called concurrently with Classify;
+// the HTTP server is shut down first.
+func (e *Engine) Close() {
+	close(e.jobs)
+	e.wg.Wait()
+}
+
+// MaxBatch reports the per-request batch cap.
+func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.out <- outcome{j.idx, Result{Err: "canceled: " + err.Error()}}
+			continue
+		}
+		passes.Optimize(j.mod, j.det.Opt())
+		v, err := j.det.CheckModule(j.mod)
+		if err != nil {
+			j.out <- outcome{j.idx, Result{Err: err.Error()}}
+			continue
+		}
+		j.out <- outcome{j.idx, Result{Incorrect: v.Incorrect,
+			Label: v.Label.String(), Confidence: v.Confidence}}
+	}
+}
+
+// Classify runs a batch of programs against a registered model. The batch
+// is subject to the engine's per-request timeout unless ctx already
+// carries a sooner deadline.
+func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([]Result, error) {
+	if len(progs) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(progs) > e.cfg.MaxBatch {
+		return nil, fmt.Errorf("%w: %d programs (max %d)", ErrBatchTooLarge, len(progs), e.cfg.MaxBatch)
+	}
+	det, ok := e.reg.Get(model)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	results := make([]Result, len(progs))
+	// Buffered to the batch size so workers never block on delivery even
+	// after a timed-out Classify has returned.
+	out := make(chan outcome, len(progs))
+	pending := 0
+	for i, p := range progs {
+		results[i].Name = p.Name
+		m, err := ir.Parse(p.IR)
+		if err != nil {
+			results[i].Err = "parse: " + err.Error()
+			continue
+		}
+		select {
+		case e.jobs <- job{ctx: ctx, det: det, mod: m, idx: i, out: out}:
+			pending++
+		case <-ctx.Done():
+			return nil, ctxErr(ctx)
+		}
+	}
+	for pending > 0 {
+		select {
+		case o := <-out:
+			name := results[o.idx].Name
+			results[o.idx] = o.res
+			results[o.idx].Name = name
+			pending--
+		case <-ctx.Done():
+			return nil, ctxErr(ctx)
+		}
+	}
+	return results, nil
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end.
+// ---------------------------------------------------------------------------
+
+// ClassifyRequest is the POST /classify body.
+type ClassifyRequest struct {
+	Model    string    `json:"model"`
+	Programs []Program `json:"programs"`
+}
+
+// ClassifyResponse is the POST /classify reply.
+type ClassifyResponse struct {
+	Model   string   `json:"model"`
+	Results []Result `json:"results"`
+}
+
+// ModelInfo describes one registered model for GET /models.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Detector string `json:"detector"`
+	Opt      string `json:"opt"`
+}
+
+// maxBodyBytes bounds a /classify request body.
+const maxBodyBytes = 32 << 20
+
+// NewHandler wires the three endpoints over the registry and engine.
+func NewHandler(reg *Registry, eng *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		var req ClassifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, "decoding request: "+err.Error())
+				return
+			}
+			httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			return
+		}
+		results, err := eng.Classify(r.Context(), req.Model, req.Programs)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, ClassifyResponse{Model: req.Model, Results: results})
+		case errors.Is(err, ErrUnknownModel):
+			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrEmptyBatch):
+			httpError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, ErrBatchTooLarge):
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, ErrTimeout):
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+		case errors.Is(err, ErrCanceled):
+			// The client is gone; 499 is the de-facto (nginx) status for
+			// client-closed requests.
+			httpError(w, 499, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"models": len(reg.Names()),
+		})
+	})
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		infos := []ModelInfo{}
+		for _, name := range reg.Names() {
+			if d, ok := reg.Get(name); ok {
+				infos = append(infos, ModelInfo{Name: name,
+					Detector: d.Name(), Opt: d.Opt().String()})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/passes"
+)
+
+var (
+	trainedOnce sync.Once
+	trainedDet  core.Detector
+	trainedErr  error
+)
+
+// trained returns one shared small detector for the whole test package.
+func trained(t *testing.T) core.Detector {
+	t.Helper()
+	trainedOnce.Do(func() {
+		cfg := core.DefaultIR2VecConfig()
+		cfg.Dim = 32
+		trainedDet, trainedErr = core.TrainIR2Vec(dataset.GenerateCorrBench(1, false), cfg)
+	})
+	if trainedErr != nil {
+		t.Fatal(trainedErr)
+	}
+	return trainedDet
+}
+
+// corpusIR lowers n held-out programs to textual IR.
+func corpusIR(t *testing.T, n int) ([]Program, []*dataset.Code) {
+	t.Helper()
+	d := dataset.GenerateCorrBench(7, false)
+	if len(d.Codes) < n {
+		n = len(d.Codes)
+	}
+	progs := make([]Program, n)
+	codes := d.Codes[:n]
+	for i, c := range codes {
+		m := irgen.MustLower(c.Prog)
+		progs[i] = Program{Name: c.Name, IR: ir.Print(m)}
+	}
+	return progs, codes
+}
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Registry, *Engine) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	eng := NewEngine(reg, cfg)
+	srv := httptest.NewServer(NewHandler(reg, eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, reg, eng
+}
+
+func postClassify(t *testing.T, url string, req ClassifyRequest) (*http.Response, ClassifyResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ClassifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestSavedArtifactServesConcurrently is the acceptance path: a detector
+// trained and saved through the CLI's code path (core.SaveDetectorFile) is
+// loaded by the server's registry and serves concurrent /classify traffic
+// with verdicts identical to the in-process detector.
+func TestSavedArtifactServesConcurrently(t *testing.T) {
+	det := trained(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := core.SaveDetectorFile(path, det); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	if err := reg.LoadFile("ir2vec", path); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(reg, Config{})
+	srv := httptest.NewServer(NewHandler(reg, eng))
+	defer func() {
+		srv.Close()
+		eng.Close()
+	}()
+
+	progs, codes := corpusIR(t, 12)
+	want := make([]core.Verdict, len(codes))
+	for i, c := range codes {
+		v, err := core.CheckIR(det, progs[i].IR)
+		if err != nil {
+			t.Fatalf("direct check of %s: %v", c.Name, err)
+		}
+		want[i] = v
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if len(out.Results) != len(progs) {
+				errs <- fmt.Errorf("got %d results, want %d", len(out.Results), len(progs))
+				return
+			}
+			for i, r := range out.Results {
+				if r.Err != "" {
+					errs <- fmt.Errorf("%s: %s", r.Name, r.Err)
+					return
+				}
+				if r.Incorrect != want[i].Incorrect || r.Label != want[i].Label.String() {
+					errs <- fmt.Errorf("%s: served (%v,%s) != direct (%v,%s)",
+						r.Name, r.Incorrect, r.Label, want[i].Incorrect, want[i].Label)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	progs, _ := corpusIR(t, 1)
+	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "nope", Programs: progs})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestOversizedBatch(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{MaxBatch: 2})
+	progs, _ := corpusIR(t, 3)
+	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestEmptyBatchAndBadJSON(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	raw, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", raw.StatusCode)
+	}
+}
+
+func TestParseErrorIsPerItem(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	progs, _ := corpusIR(t, 1)
+	progs = append(progs, Program{Name: "broken", IR: "define garbage {"})
+	resp, out := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if out.Results[0].Err != "" {
+		t.Fatalf("healthy program errored: %s", out.Results[0].Err)
+	}
+	if out.Results[1].Err == "" {
+		t.Fatal("broken program did not report a parse error")
+	}
+}
+
+// slowDetector stalls long enough to trip the engine timeout.
+type slowDetector struct{ d time.Duration }
+
+func (s slowDetector) CheckModule(*ir.Module) (core.Verdict, error) {
+	time.Sleep(s.d)
+	return core.Verdict{}, nil
+}
+func (s slowDetector) CheckProgram(*ast.Program) (core.Verdict, error) {
+	return s.CheckModule(nil)
+}
+func (s slowDetector) Name() string         { return "slow" }
+func (s slowDetector) Opt() passes.OptLevel { return passes.O0 }
+
+func TestRequestTimeout(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("slow", slowDetector{500 * time.Millisecond})
+	eng := NewEngine(reg, Config{Timeout: 30 * time.Millisecond, Workers: 1})
+	defer eng.Close()
+	progs, _ := corpusIR(t, 2)
+	_, err := eng.Classify(context.Background(), "slow", progs)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestCallerCancellationIsNotATimeout(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("slow", slowDetector{500 * time.Millisecond})
+	eng := NewEngine(reg, Config{Workers: 1})
+	defer eng.Close()
+	progs, _ := corpusIR(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := eng.Classify(ctx, "slow", progs)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("cancellation misreported as timeout: %v", err)
+	}
+}
+
+func TestHealthzAndModels(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var models struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 1 || models.Models[0].Name != "ir2vec" ||
+		models.Models[0].Detector != "IR2Vec+DT" {
+		t.Fatalf("unexpected model listing: %+v", models.Models)
+	}
+}
