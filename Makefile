@@ -26,9 +26,13 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark — catches bit-rot in the bench harness
-# without paying for a full measurement run.
+# without paying for a full measurement run — and emits machine-readable
+# BENCH_serve.json (ns/op, B/op, allocs/op, custom metrics per benchmark)
+# so the perf trajectory is tracked across PRs; CI uploads it as an
+# artifact.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_serve.json ./...
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_serve.json

@@ -1,0 +1,156 @@
+// Command benchjson runs the repo's benchmarks and emits a machine-
+// readable summary so the perf trajectory is tracked across PRs: it
+// executes `go test -bench . -benchmem -run ^$` over the given packages,
+// streams the human output through unchanged, and writes every parsed
+// benchmark line (ns/op, B/op, allocs/op, and any b.ReportMetric extras)
+// to a JSON file. CI runs it via `make bench` and uploads the JSON as a
+// workflow artifact.
+//
+// Usage:
+//
+//	benchjson [-benchtime 1x] [-out BENCH_serve.json] [packages...]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+var (
+	out       = flag.String("out", "BENCH_serve.json", "JSON output path")
+	benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg         string   `json:"pkg"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric units (e.g. programs/s).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_serve.json schema.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := append([]string{"test", "-bench", ".", "-benchtime", *benchtime,
+		"-benchmem", "-run", "^$"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS,
+		GOARCH: runtime.GOARCH, Benchtime: *benchtime,
+		Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream intact
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if b, ok := parseBenchLine(pkg, line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("go test: %v", err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8  	5712	396024 ns/op	20201 programs/s	313661 B/op	3646 allocs/op
+//
+// After the name and iteration count, measurements come in value/unit
+// pairs; ns/op, B/op, and allocs/op get dedicated fields, anything else
+// (custom b.ReportMetric units) lands in Metrics.
+func parseBenchLine(pkg, line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the trailing -GOMAXPROCS suffix go test appends.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Pkg: pkg, Name: name, Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, sawNs
+}

@@ -9,8 +9,14 @@
 //	mpidetectd -model ir2vec=mbi.bin -addr :8080
 //
 //	curl -s localhost:8080/models
+//	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/classify \
 //	  -d '{"model":"ir2vec","programs":[{"name":"p","ir":"..."}]}'
+//
+// A content-addressed verdict cache (-cache-size / -cache-ttl) fronts the
+// classification pipeline: identical programs — resubmitted or concurrent
+// — cost one pipeline execution; GET /stats reports live hit/miss/
+// eviction/coalesce counters.
 package main
 
 import (
@@ -29,11 +35,13 @@ import (
 )
 
 var (
-	addr     = flag.String("addr", ":8080", "listen address")
-	workers  = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
-	maxBatch = flag.Int("max-batch", 64, "max programs per /classify request")
-	timeout  = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
-	models   modelFlags
+	addr      = flag.String("addr", ":8080", "listen address")
+	workers   = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+	maxBatch  = flag.Int("max-batch", 64, "max programs per /classify request")
+	timeout   = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
+	cacheSize = flag.Int("cache-size", 4096, "verdict cache capacity in entries (0 disables caching and coalescing)")
+	cacheTTL  = flag.Duration("cache-ttl", 15*time.Minute, "verdict cache entry lifetime (0 = no expiry)")
+	models    modelFlags
 )
 
 // modelFlags collects repeated -model name=path specs.
@@ -66,7 +74,14 @@ func main() {
 	}
 
 	eng := serve.NewEngine(reg, serve.Config{
-		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout})
+		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout,
+		CacheSize: *cacheSize, CacheTTL: *cacheTTL})
+	if *cacheSize > 0 {
+		fmt.Printf("verdict cache: %d entries, ttl %s (GET /stats for live counters)\n",
+			*cacheSize, *cacheTTL)
+	} else {
+		fmt.Println("verdict cache: disabled")
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg, eng)}
 	done := make(chan struct{})

@@ -1,9 +1,10 @@
 // Example serve: the full persistence + inference-service loop in one
 // process. A detector is trained and saved to a temp artifact, reloaded
 // into a model registry (exactly what cmd/mpidetectd does at startup), and
-// served over a local HTTP listener; the client side then posts a batch of
-// textual-IR programs to POST /classify and prints the verdicts next to
-// the ground truth.
+// served over a local HTTP listener with the content-addressed verdict
+// cache enabled; the client side then posts a batch of textual-IR
+// programs to POST /classify twice — the resubmission is served entirely
+// from the cache — and reads the live counters back from GET /stats.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mpidetect/internal/core"
 	"mpidetect/internal/dataset"
@@ -49,7 +51,7 @@ func main() {
 	if err := reg.LoadFile("ir2vec", artifact); err != nil {
 		log.Fatal(err)
 	}
-	eng := serve.NewEngine(reg, serve.Config{})
+	eng := serve.NewEngine(reg, serve.Config{CacheSize: 1024, CacheTTL: 15 * time.Minute})
 	defer eng.Close()
 	srv := httptest.NewServer(serve.NewHandler(reg, eng))
 	defer srv.Close()
@@ -64,15 +66,21 @@ func main() {
 		req.Programs = append(req.Programs, serve.Program{Name: c.Name, IR: ir.Print(m)})
 	}
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
+	classify := func(pass string) serve.ClassifyResponse {
+		start := time.Now()
+		resp, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out serve.ClassifyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s pass took %v\n", pass, time.Since(start).Round(time.Microsecond))
+		return out
 	}
-	defer resp.Body.Close()
-	var out serve.ClassifyResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatal(err)
-	}
+	out := classify("cold")
 	for i, r := range out.Results {
 		verdict := "CORRECT"
 		if r.Incorrect {
@@ -85,4 +93,26 @@ func main() {
 		fmt.Printf("%-34s served verdict %-9s (truth incorrect=%v) %s\n",
 			r.Name, verdict, codes[i].Incorrect(), match)
 	}
+
+	// Resubmit the identical batch: every program is a cache hit — the
+	// content-addressed cache skips the parse→optimise→embed→predict
+	// pipeline entirely — then read the live counters from /stats.
+	again := classify("warm (cached)")
+	for i := range out.Results {
+		if out.Results[i] != again.Results[i] {
+			log.Fatalf("cached verdict diverged for %s", out.Results[i].Name)
+		}
+	}
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats serve.StatsSnapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("/stats: %d requests, %d programs, %d pipeline execs; cache %d hits / %d misses (%d entries)\n",
+		stats.Engine.Requests, stats.Engine.Programs, stats.Engine.PipelineExecs,
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Size)
 }

@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHit is the steady-state serving cost of a cached verdict:
+// shard pick, map lookup, LRU bump.
+func BenchmarkHit(b *testing.B) {
+	c := New[int](Config{Capacity: 4096})
+	c.Put("key", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("key"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkHitParallel contends many goroutines on the sharded table.
+func BenchmarkHitParallel(b *testing.B) {
+	c := New[int](Config{Capacity: 4096})
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := c.Get(keys[i%len(keys)]); !ok {
+				b.Fatal("miss")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPutEvict exercises insertion with the LRU at capacity.
+func BenchmarkPutEvict(b *testing.B) {
+	c := New[int](Config{Capacity: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+}
+
+// BenchmarkGetOrComputeHit measures the coalescing wrapper on the hit
+// path (the common case once the cache is warm).
+func BenchmarkGetOrComputeHit(b *testing.B) {
+	c := New[int](Config{Capacity: 4096})
+	c.Put("key", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrCompute("key", func() (int, error) { return 1, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package cache is a sharded, content-addressed result cache for the
+// serving path: LRU+TTL eviction, singleflight request coalescing, and
+// atomic hit/miss/eviction/coalesce counters cheap enough to read from a
+// live /stats endpoint.
+//
+// Keys are opaque strings; the serving layer builds them from a canonical
+// program digest (core.DigestIR) prefixed by the model name, so
+// per-model invalidation is a prefix sweep (InvalidatePrefix) and two
+// textually different but canonically identical programs share one entry.
+//
+// Coalescing uses a leader/follower protocol exposed as Join/Complete so
+// a caller that schedules work on its own pool (the serve engine) can
+// hold flight leadership across the hand-off: the first caller for a key
+// becomes the leader and computes, every concurrent caller for the same
+// key waits on the leader's Flight, and the computed value is stored and
+// broadcast exactly once. GetOrCompute wraps the protocol for callers
+// that compute inline.
+package cache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpidetect/internal/par"
+)
+
+// Config sizes a cache; zero values take the documented defaults.
+type Config struct {
+	Capacity int           // max entries across all shards (default 4096)
+	TTL      time.Duration // entry lifetime; 0 = entries never expire
+	Shards   int           // shard count (default 16; use 1 for deterministic LRU tests)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Shards > c.Capacity {
+		c.Shards = c.Capacity
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the cache counters, shaped for
+// direct JSON encoding by GET /stats.
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Evictions     int64 `json:"evictions"`
+	Expirations   int64 `json:"expirations"`
+	Invalidations int64 `json:"invalidations"`
+	Inflight      int64 `json:"inflight"`
+	Size          int64 `json:"size"`
+	Capacity      int64 `json:"capacity"`
+}
+
+// JoinState is the outcome of Join for a key.
+type JoinState int
+
+const (
+	// Hit: the value was served from the cache; no flight is involved.
+	Hit JoinState = iota
+	// Lead: the caller owns the computation for this key and MUST call
+	// Complete on the returned flight, on every path, or followers hang.
+	Lead
+	// Wait: another caller is already computing this key; wait on the
+	// returned flight's Done channel and read Result.
+	Wait
+)
+
+// Flight is one in-progress computation shared by a leader and any
+// number of followers.
+type Flight[V any] struct {
+	key     string
+	done    chan struct{}
+	val     V
+	err     error
+	noStore bool // set under the shard lock when the key is invalidated mid-flight
+}
+
+// Done is closed when the leader completes the flight.
+func (f *Flight[V]) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the flight completes and returns its outcome.
+func (f *Flight[V]) Result() (V, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+type entry[V any] struct {
+	key     string
+	val     V
+	expires time.Time // zero = never
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // -> *entry[V], also linked into lru
+	lru     *list.List               // front = most recently used
+	flights map[string]*Flight[V]
+}
+
+// Cache is a sharded LRU+TTL cache with singleflight coalescing. The
+// zero value is not usable; construct with New.
+type Cache[V any] struct {
+	cfg    Config
+	shards []*shard[V]
+	now    func() time.Time // overridable in tests
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	expirations   atomic.Int64
+	invalidations atomic.Int64
+	inflight      atomic.Int64
+	size          atomic.Int64
+}
+
+// New builds a cache.
+func New[V any](cfg Config) *Cache[V] {
+	cfg = cfg.withDefaults()
+	c := &Cache[V]{cfg: cfg, now: time.Now}
+	c.shards = make([]*shard[V], cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			entries: map[string]*list.Element{},
+			lru:     list.New(),
+			flights: map[string]*Flight[V]{},
+		}
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// lookupLocked serves key from the shard if present and fresh, expiring
+// a stale entry in passing. Caller holds s.mu.
+func (c *Cache[V]) lookupLocked(s *shard[V], key string) (V, bool) {
+	var zero V
+	el, ok := s.entries[key]
+	if !ok {
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		s.lru.Remove(el)
+		delete(s.entries, key)
+		c.size.Add(-1)
+		c.expirations.Add(1)
+		return zero, false
+	}
+	s.lru.MoveToFront(el)
+	return e.val, true
+}
+
+// storeLocked inserts (or refreshes) key, evicting from the shard's LRU
+// tail past capacity. Caller holds s.mu.
+func (c *Cache[V]) storeLocked(s *shard[V], key string, v V) {
+	if el, ok := s.entries[key]; ok {
+		e := el.Value.(*entry[V])
+		e.val = v
+		e.expires = c.expiry()
+		s.lru.MoveToFront(el)
+		return
+	}
+	perShard := (c.cfg.Capacity + len(c.shards) - 1) / len(c.shards)
+	for s.lru.Len() >= perShard {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		evicted := back.Value.(*entry[V])
+		s.lru.Remove(back)
+		delete(s.entries, evicted.key)
+		c.size.Add(-1)
+		c.evictions.Add(1)
+	}
+	s.entries[key] = s.lru.PushFront(&entry[V]{key: key, val: v, expires: c.expiry()})
+	c.size.Add(1)
+}
+
+func (c *Cache[V]) expiry() time.Time {
+	if c.cfg.TTL <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.cfg.TTL)
+}
+
+// Get serves key if cached and fresh.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	v, ok := c.lookupLocked(s, key)
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores key unconditionally (no coalescing bookkeeping).
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	c.storeLocked(s, key, v)
+	s.mu.Unlock()
+}
+
+// Join looks up key and, on a miss, either joins the in-flight
+// computation (Wait) or makes the caller its leader (Lead). A Lead
+// caller must call Complete on the flight on every path.
+func (c *Cache[V]) Join(key string) (V, *Flight[V], JoinState) {
+	var zero V
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if v, ok := c.lookupLocked(s, key); ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil, Hit
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		return zero, f, Wait
+	}
+	f := &Flight[V]{key: key, done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+	c.inflight.Add(1)
+	return zero, f, Lead
+}
+
+// Complete finishes a flight obtained from Join with state Lead: the
+// value is stored (unless err is non-nil or the key was invalidated
+// mid-flight) and broadcast to every waiting follower.
+func (c *Cache[V]) Complete(f *Flight[V], v V, err error) {
+	s := c.shardFor(f.key)
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	if err == nil && !f.noStore {
+		c.storeLocked(s, f.key, v)
+	}
+	s.mu.Unlock()
+	f.val, f.err = v, err
+	close(f.done)
+	c.inflight.Add(-1)
+}
+
+// GetOrCompute serves key from the cache, coalescing concurrent callers:
+// the first caller computes fn inline, everyone else blocks on the same
+// flight. fn errors are broadcast but never cached.
+func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, error) {
+	v, f, st := c.Join(key)
+	switch st {
+	case Hit:
+		return v, nil
+	case Wait:
+		return f.Result()
+	}
+	v, err := fn()
+	c.Complete(f, v, err)
+	return v, err
+}
+
+// Prime warms the cache across cores (par.Map): compute(key) runs once
+// for every distinct key not already cached, and concurrent identical
+// keys coalesce like any other lookup. Returns the number of entries
+// actually computed and stored (hits and failed computes don't count).
+func (c *Cache[V]) Prime(keys []string, compute func(key string) (V, error)) int {
+	var stored atomic.Int64
+	par.Map(len(keys), func(i int) {
+		_, f, st := c.Join(keys[i])
+		switch st {
+		case Lead:
+			v, err := compute(keys[i])
+			c.Complete(f, v, err)
+			if err == nil {
+				stored.Add(1)
+			}
+		case Wait:
+			_, _ = f.Result()
+		}
+	})
+	return int(stored.Load())
+}
+
+// InvalidatePrefix removes every cached entry whose key starts with
+// prefix and marks matching in-flight computations no-store, so a
+// verdict computed against a model that was since replaced is broadcast
+// to its waiters but never cached. Returns the number of stored entries
+// removed.
+func (c *Cache[V]) InvalidatePrefix(prefix string) int {
+	removed := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, el := range s.entries {
+			if strings.HasPrefix(key, prefix) {
+				s.lru.Remove(el)
+				delete(s.entries, key)
+				c.size.Add(-1)
+				removed++
+			}
+		}
+		for key, f := range s.flights {
+			if strings.HasPrefix(key, prefix) {
+				f.noStore = true
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(int64(removed))
+	return removed
+}
+
+// Len reports the number of stored entries.
+func (c *Cache[V]) Len() int { return int(c.size.Load()) }
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Expirations:   c.expirations.Load(),
+		Invalidations: c.invalidations.Load(),
+		Inflight:      c.inflight.Load(),
+		Size:          c.size.Load(),
+		Capacity:      int64(c.cfg.Capacity),
+	}
+}

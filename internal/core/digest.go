@@ -1,0 +1,119 @@
+// Canonical content digests for the serving path's content-addressed
+// cache. Two programs are "the same" — and may share one cached verdict —
+// exactly when their normalized textual IR is byte-identical AND they are
+// judged by the same detector family at the same optimisation level under
+// the same artifact format version:
+//
+//	digest = sha256("v" ArtifactVersion "|" detector.Name() "|" detector.Opt() "|" NormalizeIR(src))
+//
+// Normalization is purely lexical (whitespace- and comment-insensitive),
+// so it never changes what the detector sees: every program still parses
+// and classifies from its original text. What the digest deliberately
+// does NOT include is model weights — retraining a detector of the same
+// family produces identical digests, which is why the serving layer
+// invalidates a model's cache entries whenever its registry slot is
+// replaced (Registry.Register / LoadFile).
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"mpidetect/internal/ast"
+)
+
+// NormalizeIR canonicalizes textual IR for digesting: comment lines (";")
+// and blank lines are dropped, and every run of spaces/tabs collapses to
+// a single space. The result is NOT parseable IR — it exists only to make
+// digests insensitive to formatting.
+func NormalizeIR(src string) string {
+	return string(appendNormalizedIR(make([]byte, 0, len(src)), src))
+}
+
+// appendNormalizedIR is a single-pass, allocation-free (modulo dst
+// growth) normalizer; digesting runs on the serving hot path for every
+// program of every request, so it must stay cheap next to a map lookup.
+// Bytes inside double-quoted literals (IR c"..." constants, C string
+// literals) are copied verbatim — whitespace there is program content,
+// not formatting — with backslash escapes honoured so an escaped quote
+// cannot end the literal. Quote state resets at end of line, since
+// neither representation carries a literal across lines.
+func appendNormalizedIR(dst []byte, src string) []byte {
+	atLineStart := true   // no non-blank byte seen on this line yet
+	skipLine := false     // comment line: discard until '\n'
+	pendingSpace := false // a whitespace run awaits the next non-blank byte
+	wrote := false        // this line contributed output
+	inQuote := false      // inside a "..." literal: copy verbatim
+	escaped := false      // previous in-quote byte was a backslash
+	for i := 0; i < len(src); i++ {
+		ch := src[i]
+		if ch == '\n' {
+			if wrote {
+				dst = append(dst, '\n')
+			}
+			atLineStart, skipLine, pendingSpace, wrote = true, false, false, false
+			inQuote, escaped = false, false
+			continue
+		}
+		switch {
+		case skipLine:
+		case inQuote:
+			dst = append(dst, ch)
+			switch {
+			case escaped:
+				escaped = false
+			case ch == '\\':
+				escaped = true
+			case ch == '"':
+				inQuote = false
+			}
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			pendingSpace = wrote
+		default:
+			if atLineStart && ch == ';' {
+				skipLine = true
+				continue
+			}
+			atLineStart = false
+			if pendingSpace {
+				dst = append(dst, ' ')
+				pendingSpace = false
+			}
+			dst = append(dst, ch)
+			wrote = true
+			if ch == '"' {
+				inQuote = true
+				escaped = false
+			}
+		}
+	}
+	if wrote { // final line without trailing newline
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// digest hashes the detector identity header plus normalized body.
+func digest(d Detector, namespace, body string) string {
+	buf := make([]byte, 0, len(body)+64)
+	buf = fmt.Appendf(buf, "v%d|%s|%s|%s|", ArtifactVersion, d.Name(), d.Opt(), namespace)
+	buf = appendNormalizedIR(buf, body)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+// DigestIR returns the canonical cache digest of a textual-IR program as
+// judged by detector d (hex sha256). It requires no parse, so a cache hit
+// skips the whole parse→optimise→embed→predict pipeline.
+func DigestIR(d Detector, src string) string {
+	return digest(d, "ir", src)
+}
+
+// DigestProgram is DigestIR for an MPI-C AST program: the digest is taken
+// over the rendered C source (same lexical normalization), so re-slicing
+// tools that generate identical units (fault localisation, CI re-checks)
+// address the same cache entry.
+func DigestProgram(d Detector, p *ast.Program) string {
+	return digest(d, "c", ast.RenderC(p))
+}

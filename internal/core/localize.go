@@ -2,9 +2,12 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"mpidetect/internal/ast"
+	"mpidetect/internal/cache"
 	"mpidetect/internal/ir"
+	"mpidetect/internal/par"
 )
 
 // FunctionSuspicion scores one function of a program.
@@ -16,6 +19,26 @@ type FunctionSuspicion struct {
 	Score float64
 }
 
+// VerdictCache is a content-addressed verdict cache keyed by
+// DigestProgram/DigestIR digests; LocalizeErrorCached routes every
+// per-unit classification through one, so repeated localisations of the
+// same program (CI re-checks, per-commit fault scans) pay the pipeline
+// once per distinct unit.
+//
+// A VerdictCache is bound to the training state of the detectors used
+// with it: digests deliberately exclude model weights (see the digest
+// contract in digest.go), so after retraining or reloading a detector
+// the caller MUST discard the cache (or sweep it with InvalidatePrefix)
+// — reusing it would serve the predecessor model's verdicts as hits.
+// internal/serve automates exactly this via Registry.OnReplace.
+type VerdictCache = cache.Cache[Verdict]
+
+// NewVerdictCache builds a verdict cache. capacity <= 0 and ttl <= 0
+// take the cache package defaults (4096 entries, no expiry).
+func NewVerdictCache(capacity int, ttl time.Duration) *VerdictCache {
+	return cache.New[Verdict](cache.Config{Capacity: capacity, TTL: ttl})
+}
+
 // LocalizeError implements the paper's §VI direction: "applying our models
 // at different code granularities by extracting the code into different
 // compilation units — whether or not an error is detected across the
@@ -25,28 +48,57 @@ type FunctionSuspicion struct {
 // calling it); the detector classifies every unit, and functions whose
 // units are flagged are returned first.
 func LocalizeError(d Detector, p *ast.Program) ([]FunctionSuspicion, error) {
-	var out []FunctionSuspicion
+	return localize(d, p, nil)
+}
+
+// LocalizeErrorCached is LocalizeError with every per-unit verdict served
+// through c: units already judged (by digest, not by pointer identity)
+// skip the compile→embed→predict pipeline entirely, and concurrent
+// localisations of the same program coalesce on one execution per unit.
+func LocalizeErrorCached(d Detector, p *ast.Program, c *VerdictCache) ([]FunctionSuspicion, error) {
+	return localize(d, p, c)
+}
+
+func localize(d Detector, p *ast.Program, c *VerdictCache) ([]FunctionSuspicion, error) {
+	type unit struct {
+		name string
+		prog *ast.Program
+	}
+	var units []unit
 	for _, f := range p.Funcs {
 		if f.Name == "main" {
 			continue
 		}
-		unit := sliceUnit(p, f)
-		v, err := d.CheckProgram(unit)
+		units = append(units, unit{f.Name, sliceUnit(p, f)})
+	}
+	// Whole-program verdict for main itself.
+	units = append(units, unit{"main", p})
+
+	// One classification per unit, fanned across cores; the detector is
+	// read-only after training so concurrent CheckProgram calls are safe.
+	scored := make([]*FunctionSuspicion, len(units))
+	par.Map(len(units), func(i int) {
+		u := units[i]
+		check := func() (Verdict, error) { return d.CheckProgram(u.prog) }
+		var v Verdict
+		var err error
+		if c != nil {
+			v, err = c.GetOrCompute(DigestProgram(d, u.prog), check)
+		} else {
+			v, err = check()
+		}
 		if err != nil {
 			// Units that fail to compile in isolation are skipped (the
 			// paper's granularity study tolerates partial units).
-			continue
+			return
 		}
-		score := v.Confidence
-		if !v.Incorrect {
-			score = -v.Confidence
+		scored[i] = &FunctionSuspicion{Function: u.name, Incorrect: v.Incorrect, Score: condScore(v)}
+	})
+	var out []FunctionSuspicion
+	for _, s := range scored {
+		if s != nil {
+			out = append(out, *s)
 		}
-		out = append(out, FunctionSuspicion{Function: f.Name, Incorrect: v.Incorrect, Score: score})
-	}
-	// Whole-program verdict for main itself.
-	if v, err := d.CheckProgram(p); err == nil {
-		out = append(out, FunctionSuspicion{Function: "main", Incorrect: v.Incorrect,
-			Score: condScore(v)})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	return out, nil

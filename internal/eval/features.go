@@ -8,7 +8,6 @@ package eval
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"mpidetect/internal/dataset"
@@ -16,6 +15,7 @@ import (
 	"mpidetect/internal/ir"
 	"mpidetect/internal/ir2vec"
 	"mpidetect/internal/irgen"
+	"mpidetect/internal/par"
 	"mpidetect/internal/passes"
 )
 
@@ -55,38 +55,11 @@ func NewExtractor(dim int) *Extractor {
 	}
 }
 
-// parallelMap runs fn(i) for every i in [0, n) across GOMAXPROCS workers,
-// striding the index space. fn must be safe to call concurrently for
-// distinct indices; writes to distinct slice elements are fine.
-func parallelMap(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				fn(i)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
 // lowerAll compiles every code of the dataset at the given level,
-// parallelised across cores.
+// parallelised across cores (par.Map, the shared worker-pool helper).
 func lowerAll(d *dataset.Dataset, lvl passes.OptLevel) []*ir.Module {
 	mods := make([]*ir.Module, len(d.Codes))
-	parallelMap(len(d.Codes), func(i int) {
+	par.Map(len(d.Codes), func(i int) {
 		m := irgen.MustLower(d.Codes[i].Prog)
 		passes.Optimize(m, lvl)
 		mods[i] = m
@@ -136,7 +109,7 @@ func (e *Extractor) IR2VecFeatures(d *dataset.Dataset, lvl passes.OptLevel, seed
 	x := make([][]float64, len(mods))
 	// Encode is side-effect-free after training, so the corpus embeds
 	// lock-free across all cores.
-	parallelMap(len(mods), func(i int) {
+	par.Map(len(mods), func(i int) {
 		x[i] = enc.Encode(mods[i])
 	})
 	f = &Features{X: x, Codes: d.Codes}
@@ -158,7 +131,7 @@ func (e *Extractor) Graphs(d *dataset.Dataset, lvl passes.OptLevel) *GraphSet {
 	}
 	mods := lowerAll(d, lvl)
 	out := make([]*graphs.Graph, len(mods))
-	parallelMap(len(mods), func(i int) {
+	par.Map(len(mods), func(i int) {
 		out[i] = graphs.Build(mods[i])
 	})
 	gs = &GraphSet{Gs: out, Codes: d.Codes}

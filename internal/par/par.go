@@ -1,0 +1,38 @@
+// Package par holds the repo's one shared worker-pool primitive. It was
+// extracted from internal/eval so every subsystem that fans indexed work
+// across cores (feature extraction, cache warm-up, error localisation)
+// uses the same strided loop instead of re-rolling goroutine scaffolding.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(i) for every i in [0, n) across GOMAXPROCS workers,
+// striding the index space. fn must be safe to call concurrently for
+// distinct indices; writes to distinct slice elements are fine. Map
+// returns once every call has finished.
+func Map(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 1000} {
+		counts := make([]int32, n)
+		Map(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestMapWritesToDistinctElements(t *testing.T) {
+	out := make([]int, 500)
+	Map(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"mpidetect/internal/core"
+	"testing"
+	"time"
+)
+
+// benchEngine builds an engine over the shared trained detector.
+func benchEngine(b *testing.B, cfg Config) *Engine {
+	b.Helper()
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(b))
+	eng := NewEngine(reg, cfg)
+	b.Cleanup(eng.Close)
+	return eng
+}
+
+// BenchmarkRepeatedWorkload is the PR's headline claim: a CI-style
+// repetitive stream (the same batch resubmitted every iteration, as a CI
+// system re-checking unchanged MPI codes would) with the content-
+// addressed cache off vs on. The acceptance bar is >= 5x throughput with
+// the cache enabled; in practice a hit skips parse, optimisation,
+// embedding, and prediction entirely, so the observed gap is far larger.
+func BenchmarkRepeatedWorkload(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"nocache", Config{}},
+		{"cache", Config{CacheSize: 4096, CacheTTL: time.Hour}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := benchEngine(b, mode.cfg)
+			progs, _ := corpusIR(b, 8)
+			ctx := context.Background()
+			// One warm pass so the cached mode measures the steady state.
+			if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(progs))*float64(b.N)/b.Elapsed().Seconds(), "programs/s")
+		})
+	}
+}
+
+// BenchmarkCoalescedClients: many concurrent clients submitting the same
+// program. With coalescing, contended identical requests ride one
+// pipeline execution (or a cache hit) instead of queueing N executions.
+func BenchmarkCoalescedClients(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"nocache", Config{}},
+		{"coalesced", Config{CacheSize: 4096, CacheTTL: time.Hour}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := benchEngine(b, mode.cfg)
+			progs, _ := corpusIR(b, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				for pb.Next() {
+					if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDigest isolates the per-request cost the cache adds on the hot
+// path: digesting a program's textual IR without parsing it.
+func BenchmarkDigest(b *testing.B) {
+	det := trained(b)
+	progs, _ := corpusIR(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := core.DigestIR(det, progs[0].IR); d == "" {
+			b.Fatal("empty digest")
+		}
+	}
+}

@@ -1,13 +1,25 @@
 // Package serve turns trained detectors into a concurrent inference
 // service: a model Registry, a batched worker-pool classification Engine
-// with per-request timeouts, and an HTTP/JSON front end (POST /classify,
-// GET /healthz, GET /models) used by cmd/mpidetectd.
+// with per-request timeouts, a content-addressed verdict cache with
+// request coalescing in front of the pipeline, and an HTTP/JSON front end
+// (POST /classify, GET /healthz, GET /models, GET /stats) used by
+// cmd/mpidetectd.
 //
 // The wire format for programs is the repo's textual IR (ir.Print /
 // ir.Parse); each submitted program is parsed, optimised to the serving
 // model's training level, and classified on the shared worker pool, so one
 // oversized request cannot monopolise the server and many small requests
 // interleave fairly.
+//
+// Caching: before a program is even parsed, the engine computes its
+// canonical digest (core.DigestIR — whitespace/comment-insensitive) and
+// consults the cache under the key model + digest. A hit skips the whole
+// parse→optimise→embed→predict pipeline; a miss makes the request the
+// flight leader for that key, and any concurrent identical program — in
+// the same batch or in another client's request — coalesces onto the
+// leader's single pipeline execution. Replacing a model in the Registry
+// (Register or LoadFile) invalidates exactly that model's cached
+// verdicts, so a retrained artifact never serves stale results.
 package serve
 
 import (
@@ -18,9 +30,12 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mpidetect/internal/cache"
 	"mpidetect/internal/core"
 	"mpidetect/internal/ir"
 	"mpidetect/internal/passes"
@@ -48,22 +63,43 @@ func ctxErr(ctx context.Context) error {
 // Registry.
 // ---------------------------------------------------------------------------
 
-// Registry is a concurrency-safe name -> trained detector table.
+// Registry is a concurrency-safe name -> trained detector table. Every
+// write to a slot bumps that slot's generation; the serving engine folds
+// the generation into cache keys so a Classify that captured a detector
+// just before a reload can only ever store under the old generation —
+// never under keys the reloaded model serves from.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]core.Detector
+	mu        sync.RWMutex
+	models    map[string]core.Detector
+	gens      map[string]uint64
+	onReplace []func(name string)
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: map[string]core.Detector{}}
+	return &Registry{models: map[string]core.Detector{}, gens: map[string]uint64{}}
+}
+
+// OnReplace installs a hook invoked (outside the registry lock) every
+// time a model slot is written by Register or LoadFile. The serving
+// engine uses it to invalidate the replaced model's cached verdicts.
+func (r *Registry) OnReplace(fn func(name string)) {
+	r.mu.Lock()
+	r.onReplace = append(r.onReplace, fn)
+	r.mu.Unlock()
 }
 
 // Register installs (or replaces) a detector under name.
 func (r *Registry) Register(name string, d core.Detector) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.models[name] = d
+	r.gens[name]++
+	hooks := make([]func(string), len(r.onReplace))
+	copy(hooks, r.onReplace)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // LoadFile loads a saved artifact (core.SaveDetectorFile format) and
@@ -83,6 +119,16 @@ func (r *Registry) Get(name string) (core.Detector, bool) {
 	defer r.mu.RUnlock()
 	d, ok := r.models[name]
 	return d, ok
+}
+
+// getWithGen resolves a model together with its slot generation, under
+// one lock acquisition, so caller-side detector and generation can never
+// straddle a reload.
+func (r *Registry) getWithGen(name string) (core.Detector, uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.models[name]
+	return d, r.gens[name], ok
 }
 
 // Names lists the registered model names, sorted.
@@ -106,6 +152,12 @@ type Config struct {
 	Workers  int           // classification goroutines (default GOMAXPROCS)
 	MaxBatch int           // max programs per request (default 64)
 	Timeout  time.Duration // per-request budget (default 30s)
+
+	// CacheSize is the verdict-cache capacity in entries; 0 disables the
+	// cache (every program pays the full pipeline, no coalescing).
+	CacheSize int
+	// CacheTTL bounds a cached verdict's lifetime; 0 = no expiry.
+	CacheTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,11 +190,12 @@ type Result struct {
 }
 
 type job struct {
-	ctx context.Context
-	det core.Detector
-	mod *ir.Module
-	idx int
-	out chan<- outcome
+	ctx    context.Context
+	det    core.Detector
+	mod    *ir.Module
+	idx    int
+	out    chan<- outcome
+	flight *cache.Flight[Result] // non-nil when this job leads a cache flight
 }
 
 type outcome struct {
@@ -150,19 +203,41 @@ type outcome struct {
 	res Result
 }
 
+// keySep joins the cache-key components (model name, registry slot
+// generation, program digest); see cacheKey.
+const keySep = "\x1f"
+
 // Engine classifies programs on a fixed worker pool shared by all
 // requests: each request's batch is fanned out one job per program, so
-// concurrent requests interleave instead of queueing head-to-tail.
+// concurrent requests interleave instead of queueing head-to-tail. With
+// caching enabled, each program first consults the verdict cache and
+// coalesces with any identical in-flight program across all requests.
 type Engine struct {
-	cfg  Config
-	reg  *Registry
-	jobs chan job
-	wg   sync.WaitGroup
+	cfg   Config
+	reg   *Registry
+	jobs  chan job
+	wg    sync.WaitGroup
+	cache *cache.Cache[Result] // nil when disabled
+
+	requests      atomic.Int64
+	programs      atomic.Int64
+	pipelineExecs atomic.Int64
+	parseErrors   atomic.Int64
 }
 
-// NewEngine starts the worker pool over the registry.
+// NewEngine starts the worker pool over the registry. When cfg.CacheSize
+// is positive the engine fronts the pipeline with a verdict cache and
+// registers an OnReplace hook so reloading a model invalidates only that
+// model's entries.
 func NewEngine(reg *Registry, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), reg: reg}
+	if e.cfg.CacheSize > 0 {
+		e.cache = cache.New[Result](cache.Config{
+			Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
+		reg.OnReplace(func(name string) {
+			e.cache.InvalidatePrefix(name + keySep)
+		})
+	}
 	e.jobs = make(chan job, 2*e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
 		e.wg.Add(1)
@@ -172,7 +247,8 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 }
 
 // Close drains the pool. It must not be called concurrently with Classify;
-// the HTTP server is shut down first.
+// the HTTP server is shut down first. Every queued job is still executed
+// (workers drain the channel), so no cache flight is left incomplete.
 func (e *Engine) Close() {
 	close(e.jobs)
 	e.wg.Wait()
@@ -181,22 +257,53 @@ func (e *Engine) Close() {
 // MaxBatch reports the per-request batch cap.
 func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
 
+// CacheStats snapshots the verdict-cache counters; ok is false when the
+// engine runs uncached.
+func (e *Engine) CacheStats() (cache.Stats, bool) {
+	if e.cache == nil {
+		return cache.Stats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// finish delivers a job's result to its request and, when the job leads a
+// cache flight, completes the flight: success stores + broadcasts, err
+// broadcasts without storing.
+func (e *Engine) finish(j job, res Result, err error) {
+	if j.flight != nil {
+		e.cache.Complete(j.flight, res, err)
+	}
+	j.out <- outcome{j.idx, res}
+}
+
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.jobs {
-		if err := j.ctx.Err(); err != nil {
-			j.out <- outcome{j.idx, Result{Err: "canceled: " + err.Error()}}
+		// A dead context only skips work for uncoalesced jobs: a job that
+		// leads a flight runs to completion regardless, because followers
+		// from other, healthy requests are waiting on its verdict (and the
+		// stored entry serves every future resubmission).
+		if err := j.ctx.Err(); err != nil && j.flight == nil {
+			e.finish(j, Result{Err: "canceled: " + err.Error()}, err)
 			continue
 		}
+		e.pipelineExecs.Add(1)
 		passes.Optimize(j.mod, j.det.Opt())
 		v, err := j.det.CheckModule(j.mod)
 		if err != nil {
-			j.out <- outcome{j.idx, Result{Err: err.Error()}}
+			e.finish(j, Result{Err: err.Error()}, err)
 			continue
 		}
-		j.out <- outcome{j.idx, Result{Incorrect: v.Incorrect,
-			Label: v.Label.String(), Confidence: v.Confidence}}
+		e.finish(j, Result{Incorrect: v.Incorrect,
+			Label: v.Label.String(), Confidence: v.Confidence}, nil)
 	}
+}
+
+// flightWait is one batch item parked on another request's (or an earlier
+// batch item's) in-flight computation.
+type flightWait struct {
+	idx int
+	f   *cache.Flight[Result]
 }
 
 // Classify runs a batch of programs against a registered model. The batch
@@ -209,7 +316,7 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 	if len(progs) > e.cfg.MaxBatch {
 		return nil, fmt.Errorf("%w: %d programs (max %d)", ErrBatchTooLarge, len(progs), e.cfg.MaxBatch)
 	}
-	det, ok := e.reg.Get(model)
+	det, gen, ok := e.reg.getWithGen(model)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
 	}
@@ -218,16 +325,102 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
 		defer cancel()
 	}
+	e.requests.Add(1)
+	e.programs.Add(int64(len(progs)))
+
 	results := make([]Result, len(progs))
 	// Buffered to the batch size so workers never block on delivery even
 	// after a timed-out Classify has returned.
 	out := make(chan outcome, len(progs))
 	pending := 0
+	var waits []flightWait
 	for i, p := range progs {
-		results[i].Name = p.Name
+		// Cache front: digest the raw text (no parse needed), then either
+		// serve the hit, park on an existing flight, or lead a new one.
+		// The registry generation in the key pins this request's entries
+		// to the detector instance captured above: a reload concurrent
+		// with this Classify bumps the generation, so whatever this
+		// request computes and stores is unreachable from the new model.
+		var flight *cache.Flight[Result]
+		if e.cache != nil {
+			key := cacheKey(model, gen, core.DigestIR(det, p.IR))
+			v, f, st := e.cache.Join(key)
+			switch st {
+			case cache.Hit:
+				results[i] = v
+				continue
+			case cache.Wait:
+				waits = append(waits, flightWait{i, f})
+				continue
+			}
+			flight = f // cache.Lead: this item executes for everyone waiting
+		}
+
 		m, err := ir.Parse(p.IR)
 		if err != nil {
+			e.parseErrors.Add(1)
 			results[i].Err = "parse: " + err.Error()
+			if flight != nil {
+				// Broadcast the parse failure to coalesced followers; it is
+				// never cached, so a corrected resubmission recomputes.
+				e.cache.Complete(flight, Result{}, fmt.Errorf("parse: %w", err))
+			}
+			continue
+		}
+		select {
+		case e.jobs <- job{ctx: ctx, det: det, mod: m, idx: i, out: out, flight: flight}:
+			pending++
+		case <-ctx.Done():
+			if flight != nil {
+				e.cache.Complete(flight, Result{}, ctxErr(ctx))
+			}
+			return nil, ctxErr(ctx)
+		}
+	}
+	collect := func() error {
+		for pending > 0 {
+			select {
+			case o := <-out:
+				results[o.idx] = o.res
+				pending--
+			case <-ctx.Done():
+				// Enqueued jobs are worker-owned: workers run led flights to
+				// completion even under a dead context, so followers never
+				// hang and never inherit this request's cancellation.
+				return ctxErr(ctx)
+			}
+		}
+		return nil
+	}
+	if err := collect(); err != nil {
+		return nil, err
+	}
+	var retry []int
+	for _, w := range waits {
+		select {
+		case <-w.f.Done():
+			v, err := w.f.Result()
+			switch {
+			case err == nil:
+				results[w.idx] = v
+			case isCancellation(err):
+				// The flight's leader died before its job was enqueued (the
+				// only path left that cancels a flight). That request's
+				// deadline says nothing about ours: re-run the item on our
+				// own budget, uncoalesced.
+				retry = append(retry, w.idx)
+			default:
+				results[w.idx] = Result{Err: err.Error()}
+			}
+		case <-ctx.Done():
+			return nil, ctxErr(ctx)
+		}
+	}
+	for _, i := range retry {
+		m, err := ir.Parse(progs[i].IR)
+		if err != nil {
+			e.parseErrors.Add(1)
+			results[i] = Result{Err: "parse: " + err.Error()}
 			continue
 		}
 		select {
@@ -237,18 +430,29 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 			return nil, ctxErr(ctx)
 		}
 	}
-	for pending > 0 {
-		select {
-		case o := <-out:
-			name := results[o.idx].Name
-			results[o.idx] = o.res
-			results[o.idx].Name = name
-			pending--
-		case <-ctx.Done():
-			return nil, ctxErr(ctx)
-		}
+	if err := collect(); err != nil {
+		return nil, err
+	}
+	// Names are per-request, never part of a cached or shared Result:
+	// stamp them once, after every merge path has run.
+	for i := range results {
+		results[i].Name = progs[i].Name
 	}
 	return results, nil
+}
+
+// cacheKey namespaces a program digest by model slot and generation; the
+// model prefix (everything before the digest) is what per-model
+// invalidation sweeps on, generations included.
+func cacheKey(model string, gen uint64, digest string) string {
+	return model + keySep + strconv.FormatUint(gen, 36) + keySep + digest
+}
+
+// isCancellation reports whether a flight failed because of some
+// request's expired context rather than a real pipeline error.
+func isCancellation(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // ---------------------------------------------------------------------------
@@ -274,10 +478,47 @@ type ModelInfo struct {
 	Opt      string `json:"opt"`
 }
 
+// EngineStats is the engine half of GET /stats.
+type EngineStats struct {
+	Requests      int64 `json:"requests"`
+	Programs      int64 `json:"programs"`
+	PipelineExecs int64 `json:"pipeline_execs"`
+	ParseErrors   int64 `json:"parse_errors"`
+	Workers       int   `json:"workers"`
+	MaxBatch      int   `json:"max_batch"`
+}
+
+// StatsSnapshot is the GET /stats body: live engine counters plus, when
+// caching is enabled, the cache counters.
+type StatsSnapshot struct {
+	Engine EngineStats  `json:"engine"`
+	Cache  *cache.Stats `json:"cache,omitempty"`
+	Models int          `json:"models"`
+}
+
+// Stats snapshots the engine (and cache) counters.
+func (e *Engine) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Engine: EngineStats{
+			Requests:      e.requests.Load(),
+			Programs:      e.programs.Load(),
+			PipelineExecs: e.pipelineExecs.Load(),
+			ParseErrors:   e.parseErrors.Load(),
+			Workers:       e.cfg.Workers,
+			MaxBatch:      e.cfg.MaxBatch,
+		},
+		Models: len(e.reg.Names()),
+	}
+	if cs, ok := e.CacheStats(); ok {
+		s.Cache = &cs
+	}
+	return s
+}
+
 // maxBodyBytes bounds a /classify request body.
 const maxBodyBytes = 32 << 20
 
-// NewHandler wires the three endpoints over the registry and engine.
+// NewHandler wires the endpoints over the registry and engine.
 func NewHandler(reg *Registry, eng *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
@@ -327,6 +568,9 @@ func NewHandler(reg *Registry, eng *Engine) http.Handler {
 			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
 	})
 	return mux
 }
