@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench clean
+.PHONY: ci fmt-check vet build test race bench bench-diff clean
 
-ci: fmt-check vet build race bench
+# bench-diff both gates regressions and emits the fresh numbers
+# (BENCH_diff.json), so ci does not need a second full benchmark run;
+# `make bench` is the deliberate act of rebaselining BENCH_serve.json.
+ci: fmt-check vet build race bench-diff
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -33,6 +36,18 @@ race:
 bench:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_serve.json ./...
 
+# Perf gate: rerun the benchmarks and fail (exit 1) when any benchmark
+# regresses >20% ns/op against the committed BENCH_serve.json. Benchmarks
+# whose committed time is under 10ms are skipped — at -benchtime 1x those
+# are noise-dominated. Writes the fresh numbers next to the baseline
+# without overwriting it.
+bench-diff:
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_diff.json \
+		-baseline BENCH_serve.json -regress 20 -floor-ms 10 ./...
+
+# BENCH_serve.json is the committed perf baseline (bench-diff gates
+# against it), so clean must not delete it — only the gate's scratch
+# output.
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_serve.json
+	rm -f BENCH_diff.json

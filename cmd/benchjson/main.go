@@ -6,9 +6,18 @@
 // to a JSON file. CI runs it via `make bench` and uploads the JSON as a
 // workflow artifact.
 //
+// With -baseline it additionally diffs the fresh run against a previous
+// report (the committed BENCH_serve.json) and exits 1 when any benchmark
+// present in both regresses more than -regress percent in ns/op — the
+// perf gate `make bench-diff` runs in CI. Benchmarks whose baseline is
+// faster than -floor-ms are skipped: sub-floor timings at -benchtime 1x
+// are noise, and gating on them would make CI flaky.
+//
 // Usage:
 //
-//	benchjson [-benchtime 1x] [-out BENCH_serve.json] [packages...]
+//	benchjson [-benchtime 1x] [-out BENCH_serve.json]
+//	          [-baseline BENCH_serve.json] [-regress 20] [-floor-ms 10]
+//	          [packages...]
 package main
 
 import (
@@ -27,6 +36,9 @@ import (
 var (
 	out       = flag.String("out", "BENCH_serve.json", "JSON output path")
 	benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+	baseline  = flag.String("baseline", "", "previous report to diff against (exit 1 on regression)")
+	regress   = flag.Float64("regress", 20, "ns/op regression threshold, percent")
+	floorMS   = flag.Float64("floor-ms", 10, "skip benchmarks whose baseline ns/op is below this many milliseconds")
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -103,6 +115,63 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(rep.Benchmarks), *out)
+
+	if *baseline != "" {
+		regressions, err := diffBaseline(*baseline, rep, *regress, *floorMS*1e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(regressions) > 0 {
+			log.Printf("FAIL: %d benchmark(s) regressed more than %.0f%% ns/op vs %s:",
+				len(regressions), *regress, *baseline)
+			for _, r := range regressions {
+				log.Print("  " + r)
+			}
+			os.Exit(1)
+		}
+		log.Printf("no regressions above %.0f%% vs %s", *regress, *baseline)
+	}
+}
+
+// diffBaseline compares the fresh report against a stored one, printing a
+// delta line per benchmark present in both and returning descriptions of
+// those that regressed beyond threshPct. Baselines faster than floorNs
+// are skipped as noise-dominated at smoke benchtimes.
+func diffBaseline(path string, fresh Report, threshPct, floorNs float64) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Pkg+"."+b.Name] = b
+	}
+	var regressions []string
+	for _, b := range fresh.Benchmarks {
+		prev, ok := old[b.Pkg+"."+b.Name]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (b.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+		status := "ok"
+		switch {
+		case prev.NsPerOp < floorNs:
+			status = "skipped (below floor)"
+		case deltaPct > threshPct:
+			status = "REGRESSED"
+		}
+		line := fmt.Sprintf("%-60s %14.0f -> %14.0f ns/op  %+7.1f%%  %s",
+			b.Pkg+"."+b.Name, prev.NsPerOp, b.NsPerOp, deltaPct, status)
+		fmt.Println(line)
+		if status == "REGRESSED" {
+			regressions = append(regressions, line)
+		}
+	}
+	return regressions, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line:

@@ -4,6 +4,12 @@
 // softmax, segment sums, max pooling). The GNN of the paper (§IV-B) is
 // built entirely from these primitives, and the gradients are
 // property-tested against numerical differentiation.
+//
+// Tapes own an arena: node structs, matrix headers and float storage are
+// slab-allocated and recycled by Reset, so a training loop that reuses
+// one tape per worker runs its forward and backward passes with near-zero
+// heap allocation — the GC pressure of allocating every intermediate
+// matrix fresh used to dominate GNN training time.
 package autodiff
 
 import (
@@ -20,32 +26,135 @@ type Node struct {
 	tape *Tape
 }
 
-// Tape records operations so Backward can replay them in reverse.
+// Tape records operations so Backward can replay them in reverse. The
+// zero value (via NewTape) allocates lazily; Reset recycles everything the
+// tape handed out, invalidating all nodes and matrices from the previous
+// pass.
 type Tape struct {
 	nodes []*Node
+	live  int
+
+	mats     []*tensor.Mat
+	matsUsed int
+
+	slabs [][]float64
+	slab  int
+	off   int
+
+	// inference skips gradient storage and backward closures: forward-only
+	// passes (Predict) do half the arena traffic and no closure allocation.
+	// It never changes forward arithmetic.
+	inference bool
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-func (t *Tape) node(val *tensor.Mat, back func()) *Node {
-	n := &Node{Val: val, Grad: tensor.New(val.R, val.C), back: back, tape: t}
-	t.nodes = append(t.nodes, n)
+// Reset recycles the tape's arena for a fresh pass. Every *Node and every
+// matrix previously returned by this tape's operations becomes invalid:
+// callers must copy out any value (logits, predictions) they need before
+// resetting.
+func (t *Tape) Reset() {
+	t.live = 0
+	t.matsUsed = 0
+	t.slab = 0
+	t.off = 0
+}
+
+// slabFloats is the arena granularity (64k floats = 512KiB per slab).
+const slabFloats = 1 << 16
+
+// alloc hands out n floats of arena memory, zeroed when clearMem is set
+// (accumulation targets need it; fully-overwritten buffers skip it).
+func (t *Tape) alloc(n int, clearMem bool) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if t.slab < len(t.slabs) {
+			s := t.slabs[t.slab]
+			if t.off+n <= len(s) {
+				out := s[t.off : t.off+n : t.off+n]
+				t.off += n
+				if clearMem {
+					for i := range out {
+						out[i] = 0
+					}
+				}
+				return out
+			}
+			t.slab++
+			t.off = 0
+			continue
+		}
+		size := slabFloats
+		if n > size {
+			size = n
+		}
+		t.slabs = append(t.slabs, make([]float64, size))
+	}
+}
+
+// newMat returns an arena-backed r×c matrix (zeroed when clearMem).
+func (t *Tape) newMat(r, c int, clearMem bool) *tensor.Mat {
+	var m *tensor.Mat
+	if t.matsUsed < len(t.mats) {
+		m = t.mats[t.matsUsed]
+	} else {
+		m = &tensor.Mat{}
+		t.mats = append(t.mats, m)
+	}
+	t.matsUsed++
+	m.R, m.C = r, c
+	m.Data = t.alloc(r*c, clearMem)
+	return m
+}
+
+// cloneMat copies a into arena storage.
+func (t *Tape) cloneMat(a *tensor.Mat) *tensor.Mat {
+	m := t.newMat(a.R, a.C, false)
+	copy(m.Data, a.Data)
+	return m
+}
+
+func (t *Tape) node(val *tensor.Mat) *Node {
+	var n *Node
+	if t.live < len(t.nodes) {
+		n = t.nodes[t.live]
+		n.Val, n.back = val, nil
+	} else {
+		n = &Node{Val: val, tape: t}
+		t.nodes = append(t.nodes, n)
+	}
+	if t.inference {
+		n.Grad = nil
+	} else {
+		n.Grad = t.newMat(val.R, val.C, true)
+	}
+	t.live++
 	return n
 }
 
 // Input registers a leaf value (input or parameter).
 func (t *Tape) Input(val *tensor.Mat) *Node {
-	return t.node(val, nil)
+	return t.node(val)
 }
+
+// SetInference switches the tape into (or out of) forward-only mode from
+// the next Reset onward: no gradient matrices, no backward closures.
+// Backward panics on an inference tape.
+func (t *Tape) SetInference(on bool) { t.inference = on }
 
 // Backward seeds d(loss)=1 and propagates gradients to every node.
 func (t *Tape) Backward(loss *Node) {
+	if t.inference {
+		panic("autodiff: Backward on an inference tape")
+	}
 	if loss.Val.R != 1 || loss.Val.C != 1 {
 		panic("autodiff: Backward needs a scalar loss")
 	}
 	loss.Grad.Data[0] = 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
+	for i := t.live - 1; i >= 0; i-- {
 		if t.nodes[i].back != nil {
 			t.nodes[i].back()
 		}
@@ -54,24 +163,31 @@ func (t *Tape) Backward(loss *Node) {
 
 // MatMul returns a @ b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	val := tensor.MatMul(a.Val, b.Val)
-	var out *Node
-	out = t.node(val, func() {
-		tensor.AddInPlace(a.Grad, tensor.MatMulABT(out.Grad, b.Val))
-		tensor.AddInPlace(b.Grad, tensor.MatMulATB(a.Val, out.Grad))
-	})
+	val := t.newMat(a.Val.R, b.Val.C, true)
+	tensor.MatMulInto(val, a.Val, b.Val)
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			tensor.MatMulABTAddInto(a.Grad, out.Grad, b.Val)
+			tmp := t.newMat(a.Val.C, out.Grad.C, true)
+			tensor.MatMulATBInto(tmp, a.Val, out.Grad)
+			tensor.AddInPlace(b.Grad, tmp)
+		}
+	}
 	return out
 }
 
 // Add returns a + b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	tensor.AddInPlace(val, b.Val)
-	var out *Node
-	out = t.node(val, func() {
-		tensor.AddInPlace(a.Grad, out.Grad)
-		tensor.AddInPlace(b.Grad, out.Grad)
-	})
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			tensor.AddInPlace(a.Grad, out.Grad)
+			tensor.AddInPlace(b.Grad, out.Grad)
+		}
+	}
 	return out
 }
 
@@ -80,57 +196,66 @@ func (t *Tape) AddRow(a, b *Node) *Node {
 	if b.Val.R != 1 || b.Val.C != a.Val.C {
 		panic("autodiff: AddRow shape mismatch")
 	}
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	for i := 0; i < val.R; i++ {
 		row := val.Row(i)
 		for j, v := range b.Val.Data {
 			row[j] += v
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		tensor.AddInPlace(a.Grad, out.Grad)
-		for i := 0; i < out.Grad.R; i++ {
-			row := out.Grad.Row(i)
-			for j, v := range row {
-				b.Grad.Data[j] += v
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			tensor.AddInPlace(a.Grad, out.Grad)
+			for i := 0; i < out.Grad.R; i++ {
+				row := out.Grad.Row(i)
+				for j, v := range row {
+					b.Grad.Data[j] += v
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
 // Scale returns s * a for a constant s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	tensor.ScaleInPlace(val, s)
-	var out *Node
-	out = t.node(val, func() {
-		for i, g := range out.Grad.Data {
-			a.Grad.Data[i] += s * g
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i, g := range out.Grad.Data {
+				a.Grad.Data[i] += s * g
+			}
 		}
-	})
+	}
 	return out
 }
 
 // LeakyReLU applies max(x, alpha*x) elementwise.
 func (t *Tape) LeakyReLU(a *Node, alpha float64) *Node {
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	for i, v := range val.Data {
 		if v < 0 {
 			val.Data[i] = alpha * v
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i, g := range out.Grad.Data {
-			if a.Val.Data[i] < 0 {
-				a.Grad.Data[i] += alpha * g
-			} else {
-				a.Grad.Data[i] += g
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			og := out.Grad.Data
+			av := a.Val.Data[:len(og)]
+			ag := a.Grad.Data[:len(og)]
+			for i, g := range og {
+				if av[i] < 0 {
+					ag[i] += alpha * g
+				} else {
+					ag[i] += g
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
@@ -139,64 +264,74 @@ func (t *Tape) ReLU(a *Node) *Node { return t.LeakyReLU(a, 0) }
 
 // ELU applies x>=0 ? x : exp(x)-1 elementwise.
 func (t *Tape) ELU(a *Node) *Node {
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	for i, v := range val.Data {
 		if v < 0 {
 			val.Data[i] = math.Exp(v) - 1
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i, g := range out.Grad.Data {
-			if a.Val.Data[i] < 0 {
-				a.Grad.Data[i] += g * (out.Val.Data[i] + 1) // d/dx (e^x - 1) = e^x
-			} else {
-				a.Grad.Data[i] += g
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			og := out.Grad.Data
+			av := a.Val.Data[:len(og)]
+			ag := a.Grad.Data[:len(og)]
+			ov := out.Val.Data[:len(og)]
+			for i, g := range og {
+				if av[i] < 0 {
+					ag[i] += g * (ov[i] + 1) // d/dx (e^x - 1) = e^x
+				} else {
+					ag[i] += g
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
 // Gather selects rows of a by index (duplicates allowed).
 func (t *Tape) Gather(a *Node, idx []int) *Node {
-	val := tensor.New(len(idx), a.Val.C)
+	val := t.newMat(len(idx), a.Val.C, false)
 	for i, r := range idx {
 		copy(val.Row(i), a.Val.Row(r))
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i, r := range idx {
-			dst := a.Grad.Row(r)
-			src := out.Grad.Row(i)
-			for j, v := range src {
-				dst[j] += v
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i, r := range idx {
+				src := out.Grad.Row(i)
+				dst := a.Grad.Row(r)[:len(src)]
+				for j, v := range src {
+					dst[j] += v
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
 // SegmentSum sums rows of a into nSeg buckets chosen by seg.
 func (t *Tape) SegmentSum(a *Node, seg []int, nSeg int) *Node {
-	val := tensor.New(nSeg, a.Val.C)
+	val := t.newMat(nSeg, a.Val.C, true)
 	for i, s := range seg {
-		dst := val.Row(s)
 		src := a.Val.Row(i)
+		dst := val.Row(s)[:len(src)]
 		for j, v := range src {
 			dst[j] += v
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i, s := range seg {
-			dst := a.Grad.Row(i)
-			src := out.Grad.Row(s)
-			for j, v := range src {
-				dst[j] += v
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i, s := range seg {
+				src := out.Grad.Row(s)
+				dst := a.Grad.Row(i)[:len(src)]
+				for j, v := range src {
+					dst[j] += v
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
@@ -206,7 +341,7 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 	if a.Val.C != 1 {
 		panic("autodiff: SegmentSoftmax needs an E×1 column")
 	}
-	maxs := make([]float64, nSeg)
+	maxs := t.alloc(nSeg, false)
 	for i := range maxs {
 		maxs[i] = math.Inf(-1)
 	}
@@ -215,8 +350,8 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 			maxs[s] = v
 		}
 	}
-	sums := make([]float64, nSeg)
-	val := tensor.New(a.Val.R, 1)
+	sums := t.alloc(nSeg, true)
+	val := t.newMat(a.Val.R, 1, false)
 	for i, s := range seg {
 		e := math.Exp(a.Val.Data[i] - maxs[s])
 		val.Data[i] = e
@@ -227,17 +362,19 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 			val.Data[i] /= sums[s]
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		// dL/dx_i = y_i * (g_i - sum_j in seg y_j g_j)
-		dots := make([]float64, nSeg)
-		for i, s := range seg {
-			dots[s] += out.Val.Data[i] * out.Grad.Data[i]
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			// dL/dx_i = y_i * (g_i - sum_j in seg y_j g_j)
+			dots := t.alloc(nSeg, true)
+			for i, s := range seg {
+				dots[s] += out.Val.Data[i] * out.Grad.Data[i]
+			}
+			for i, s := range seg {
+				a.Grad.Data[i] += out.Val.Data[i] * (out.Grad.Data[i] - dots[s])
+			}
 		}
-		for i, s := range seg {
-			a.Grad.Data[i] += out.Val.Data[i] * (out.Grad.Data[i] - dots[s])
-		}
-	})
+	}
 	return out
 }
 
@@ -246,7 +383,7 @@ func (t *Tape) MulCol(a, col *Node) *Node {
 	if col.Val.C != 1 || col.Val.R != a.Val.R {
 		panic("autodiff: MulCol shape mismatch")
 	}
-	val := a.Val.Clone()
+	val := t.cloneMat(a.Val)
 	for i := 0; i < val.R; i++ {
 		s := col.Val.Data[i]
 		row := val.Row(i)
@@ -254,29 +391,31 @@ func (t *Tape) MulCol(a, col *Node) *Node {
 			row[j] *= s
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i := 0; i < a.Val.R; i++ {
-			s := col.Val.Data[i]
-			gRow := out.Grad.Row(i)
-			aRow := a.Val.Row(i)
-			aG := a.Grad.Row(i)
-			dot := 0.0
-			for j, g := range gRow {
-				aG[j] += s * g
-				dot += aRow[j] * g
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i := 0; i < a.Val.R; i++ {
+				s := col.Val.Data[i]
+				gRow := out.Grad.Row(i)
+				aRow := a.Val.Row(i)
+				aG := a.Grad.Row(i)
+				dot := 0.0
+				for j, g := range gRow {
+					aG[j] += s * g
+					dot += aRow[j] * g
+				}
+				col.Grad.Data[i] += dot
 			}
-			col.Grad.Data[i] += dot
 		}
-	})
+	}
 	return out
 }
 
 // MaxRows pools an R×C matrix to 1×C by taking the columnwise maximum
 // (adaptive max pooling over all nodes of a graph).
 func (t *Tape) MaxRows(a *Node) *Node {
-	val := tensor.New(1, a.Val.C)
-	arg := make([]int, a.Val.C)
+	val := t.newMat(1, a.Val.C, false)
+	arg := t.allocInts(a.Val.C)
 	for j := 0; j < a.Val.C; j++ {
 		best := math.Inf(-1)
 		bi := 0
@@ -289,18 +428,29 @@ func (t *Tape) MaxRows(a *Node) *Node {
 		val.Data[j] = best
 		arg[j] = bi
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for j, i := range arg {
-			a.Grad.Set(i, j, a.Grad.At(i, j)+out.Grad.Data[j])
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for j, i := range arg {
+				a.Grad.Set(i, j, a.Grad.At(i, j)+out.Grad.Data[j])
+			}
 		}
-	})
+	}
 	return out
+}
+
+// allocInts hands out the argmax index buffer for MaxRows. It allocates
+// plainly (not from the arena), so the buffer survives Reset; it is one
+// small allocation per MaxRows call.
+func (t *Tape) allocInts(n int) []int {
+	// A separate tiny int arena is not worth the bookkeeping: allocate
+	// plainly but through one place so a pooled alternative stays easy.
+	return make([]int, n)
 }
 
 // MeanRows pools an R×C matrix to 1×C by the columnwise mean.
 func (t *Tape) MeanRows(a *Node) *Node {
-	val := tensor.New(1, a.Val.C)
+	val := t.newMat(1, a.Val.C, true)
 	inv := 1.0 / float64(a.Val.R)
 	for i := 0; i < a.Val.R; i++ {
 		row := a.Val.Row(i)
@@ -308,15 +458,17 @@ func (t *Tape) MeanRows(a *Node) *Node {
 			val.Data[j] += v * inv
 		}
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i := 0; i < a.Val.R; i++ {
-			row := a.Grad.Row(i)
-			for j := range row {
-				row[j] += out.Grad.Data[j] * inv
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i := 0; i < a.Val.R; i++ {
+				row := a.Grad.Row(i)
+				for j := range row {
+					row[j] += out.Grad.Data[j] * inv
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
@@ -325,25 +477,27 @@ func (t *Tape) Concat(a, b *Node) *Node {
 	if a.Val.R != b.Val.R {
 		panic("autodiff: Concat row mismatch")
 	}
-	val := tensor.New(a.Val.R, a.Val.C+b.Val.C)
+	val := t.newMat(a.Val.R, a.Val.C+b.Val.C, false)
 	for i := 0; i < val.R; i++ {
 		copy(val.Row(i)[:a.Val.C], a.Val.Row(i))
 		copy(val.Row(i)[a.Val.C:], b.Val.Row(i))
 	}
-	var out *Node
-	out = t.node(val, func() {
-		for i := 0; i < val.R; i++ {
-			g := out.Grad.Row(i)
-			ag := a.Grad.Row(i)
-			bg := b.Grad.Row(i)
-			for j := range ag {
-				ag[j] += g[j]
-			}
-			for j := range bg {
-				bg[j] += g[a.Val.C+j]
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i := 0; i < val.R; i++ {
+				g := out.Grad.Row(i)
+				ag := a.Grad.Row(i)
+				bg := b.Grad.Row(i)
+				for j := range ag {
+					ag[j] += g[j]
+				}
+				for j := range bg {
+					bg[j] += g[a.Val.C+j]
+				}
 			}
 		}
-	})
+	}
 	return out
 }
 
@@ -358,7 +512,7 @@ func (t *Tape) CrossEntropyLogits(logits *Node, label int) *Node {
 		}
 	}
 	sum := 0.0
-	probs := make([]float64, c)
+	probs := t.alloc(c, false)
 	for i, v := range logits.Val.Data {
 		probs[i] = math.Exp(v - maxv)
 		sum += probs[i]
@@ -367,18 +521,21 @@ func (t *Tape) CrossEntropyLogits(logits *Node, label int) *Node {
 		probs[i] /= sum
 	}
 	loss := -math.Log(math.Max(probs[label], 1e-12))
-	val := tensor.FromSlice(1, 1, []float64{loss})
-	var out *Node
-	out = t.node(val, func() {
-		g := out.Grad.Data[0]
-		for i := 0; i < c; i++ {
-			d := probs[i]
-			if i == label {
-				d -= 1
+	val := t.newMat(1, 1, false)
+	val.Data[0] = loss
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			g := out.Grad.Data[0]
+			for i := 0; i < c; i++ {
+				d := probs[i]
+				if i == label {
+					d -= 1
+				}
+				logits.Grad.Data[i] += g * d
 			}
-			logits.Grad.Data[i] += g * d
 		}
-	})
+	}
 	return out
 }
 
@@ -398,6 +555,171 @@ func Softmax(row []float64) []float64 {
 	}
 	for i := range out {
 		out[i] /= sum
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fused operations. Each is bit-identical to the two-op composition it
+// replaces (same per-element arithmetic in the same order); the fusion
+// removes whole passes over edge-sized matrices — an intermediate clone,
+// its gradient buffer, and a closure per call.
+// ---------------------------------------------------------------------------
+
+// MatMulAddRow returns a @ w + bias, with bias a 1×C row broadcast over
+// the rows of the product: the dense-layer forward, fused so the product
+// never materialises twice.
+func (t *Tape) MatMulAddRow(a, w, bias *Node) *Node {
+	if bias.Val.R != 1 || bias.Val.C != w.Val.C {
+		panic("autodiff: MatMulAddRow bias shape mismatch")
+	}
+	val := t.newMat(a.Val.R, w.Val.C, true)
+	tensor.MatMulInto(val, a.Val, w.Val)
+	for i := 0; i < val.R; i++ {
+		row := val.Row(i)
+		for j, v := range bias.Val.Data {
+			row[j] += v
+		}
+	}
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			tensor.MatMulABTAddInto(a.Grad, out.Grad, w.Val)
+			tmp := t.newMat(a.Val.C, out.Grad.C, true)
+			tensor.MatMulATBInto(tmp, a.Val, out.Grad)
+			tensor.AddInPlace(w.Grad, tmp)
+			for i := 0; i < out.Grad.R; i++ {
+				row := out.Grad.Row(i)
+				for j, v := range row {
+					bias.Grad.Data[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddLeakyReLU returns LeakyReLU(a + b, alpha) without materialising the
+// sum node. The backward branch recomputes a+b, which is exactly the
+// value the unfused sum node held.
+func (t *Tape) AddLeakyReLU(a, b *Node, alpha float64) *Node {
+	if a.Val.R != b.Val.R || a.Val.C != b.Val.C {
+		panic("autodiff: AddLeakyReLU shape mismatch")
+	}
+	val := t.newMat(a.Val.R, a.Val.C, false)
+	av := a.Val.Data
+	bv := b.Val.Data[:len(av)]
+	vd := val.Data[:len(av)]
+	for i, x := range av {
+		sum := x + bv[i]
+		if sum < 0 {
+			sum = alpha * sum
+		}
+		vd[i] = sum
+	}
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			og := out.Grad.Data
+			ag := a.Grad.Data[:len(og)]
+			bg := b.Grad.Data[:len(og)]
+			av := a.Val.Data[:len(og)]
+			bv := b.Val.Data[:len(og)]
+			for i, g := range og {
+				if av[i]+bv[i] < 0 {
+					g = alpha * g
+				}
+				ag[i] += g
+				bg[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSumMulCol sums rows of a, each scaled by its col entry, into
+// nSeg buckets: SegmentSum(MulCol(a, col), seg, nSeg) without the scaled
+// intermediate.
+func (t *Tape) SegmentSumMulCol(a, col *Node, seg []int, nSeg int) *Node {
+	if col.Val.C != 1 || col.Val.R != a.Val.R {
+		panic("autodiff: SegmentSumMulCol shape mismatch")
+	}
+	val := t.newMat(nSeg, a.Val.C, true)
+	for i, sg := range seg {
+		s := col.Val.Data[i]
+		src := a.Val.Row(i)
+		dst := val.Row(sg)[:len(src)]
+		for j, v := range src {
+			dst[j] += v * s
+		}
+	}
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for i, sg := range seg {
+				s := col.Val.Data[i]
+				g := out.Grad.Row(sg)
+				aRow := a.Val.Row(i)[:len(g)]
+				aG := a.Grad.Row(i)[:len(g)]
+				dot := 0.0
+				for j, gv := range g {
+					aG[j] += s * gv
+					dot += aRow[j] * gv
+				}
+				col.Grad.Data[i] += dot
+			}
+		}
+	}
+	return out
+}
+
+// ELUAddN returns ELU(ins[0] + ins[1] + ... + ins[k-1]), fusing the GNN
+// layer's message-accumulation chain (a left-associated Add per relation,
+// then the activation) into one pass. The sum accumulates in argument
+// order, exactly like the chain of two-input Adds it replaces; the
+// backward branch keys on the stored output, which is negative exactly
+// when the pre-activation sum was (exp(s)-1 is sign-preserving, and the
+// boundary rounding cases collapse to the same gradient value).
+func (t *Tape) ELUAddN(ins ...*Node) *Node {
+	if len(ins) == 0 {
+		panic("autodiff: ELUAddN needs at least one input")
+	}
+	r, c := ins[0].Val.R, ins[0].Val.C
+	for _, in := range ins {
+		if in.Val.R != r || in.Val.C != c {
+			panic("autodiff: ELUAddN shape mismatch")
+		}
+	}
+	val := t.newMat(r, c, false)
+	vd := val.Data
+	copy(vd, ins[0].Val.Data)
+	for _, in := range ins[1:] {
+		src := in.Val.Data[:len(vd)]
+		for i := range vd {
+			vd[i] += src[i]
+		}
+	}
+	for i, v := range vd {
+		if v < 0 {
+			vd[i] = math.Exp(v) - 1
+		}
+	}
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			og := out.Grad.Data
+			ov := out.Val.Data[:len(og)]
+			for _, in := range ins {
+				ig := in.Grad.Data[:len(og)]
+				for i, g := range og {
+					if ov[i] < 0 {
+						ig[i] += g * (ov[i] + 1) // d/dx (e^x - 1) = e^x
+					} else {
+						ig[i] += g
+					}
+				}
+			}
+		}
 	}
 	return out
 }

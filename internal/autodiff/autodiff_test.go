@@ -218,3 +218,201 @@ func TestGradChain(t *testing.T) {
 		return sumAll(tp, out)
 	})
 }
+
+// runPass builds a graph over fresh inputs, backprops the scalar loss and
+// returns (loss value, input grads) for fused-vs-unfused comparisons.
+func runPass(xs []*tensor.Mat, build func(tp *Tape, ins []*Node) *Node) (float64, []*tensor.Mat) {
+	tp := NewTape()
+	ins := make([]*Node, len(xs))
+	for i, x := range xs {
+		ins[i] = tp.Input(x)
+	}
+	loss := build(tp, ins)
+	tp.Backward(loss)
+	grads := make([]*tensor.Mat, len(ins))
+	for i, in := range ins {
+		grads[i] = in.Grad.Clone()
+	}
+	return loss.Val.Data[0], grads
+}
+
+// TestFusedOpsBitIdentical pins each fused op to the exact composition it
+// replaces: same loss bits, same input-gradient bits. The GNN's training
+// determinism across hosts depends on this.
+func TestFusedOpsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randn := func(r, c int) *tensor.Mat { return tensor.Randn(rng, r, c, 1) }
+	seg := []int{0, 2, 1, 2, 0, 2, 1, 1}
+
+	cases := []struct {
+		name    string
+		xs      []*tensor.Mat
+		fused   func(tp *Tape, ins []*Node) *Node
+		unfused func(tp *Tape, ins []*Node) *Node
+	}{
+		{
+			name: "MatMulAddRow",
+			xs:   []*tensor.Mat{randn(6, 4), randn(4, 3), randn(1, 3)},
+			fused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.MatMulAddRow(ins[0], ins[1], ins[2]))
+			},
+			unfused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.AddRow(tp.MatMul(ins[0], ins[1]), ins[2]))
+			},
+		},
+		{
+			name: "AddLeakyReLU",
+			xs:   []*tensor.Mat{randn(8, 5), randn(8, 5)},
+			fused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.AddLeakyReLU(ins[0], ins[1], 0.2))
+			},
+			unfused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.LeakyReLU(tp.Add(ins[0], ins[1]), 0.2))
+			},
+		},
+		{
+			name: "SegmentSumMulCol",
+			xs:   []*tensor.Mat{randn(8, 5), randn(8, 1)},
+			fused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.SegmentSumMulCol(ins[0], ins[1], seg, 3))
+			},
+			unfused: func(tp *Tape, ins []*Node) *Node {
+				return sumAll(tp, tp.SegmentSum(tp.MulCol(ins[0], ins[1]), seg, 3))
+			},
+		},
+	}
+	for _, c := range cases {
+		lf, gf := runPass(c.xs, c.fused)
+		lu, gu := runPass(c.xs, c.unfused)
+		if lf != lu {
+			t.Errorf("%s: fused loss %v != unfused %v", c.name, lf, lu)
+		}
+		for i := range gf {
+			for j := range gf[i].Data {
+				if gf[i].Data[j] != gu[i].Data[j] {
+					t.Fatalf("%s: input %d grad[%d] fused %v != unfused %v",
+						c.name, i, j, gf[i].Data[j], gu[i].Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestGradFusedOps property-checks the fused gradients against numerical
+// differentiation directly.
+func TestGradFusedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Randn(rng, 5, 4, 1)
+	w := tensor.Randn(rng, 4, 3, 1)
+	bias := tensor.Randn(rng, 1, 3, 1)
+	checkGrad(t, "MatMulAddRow", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.MatMulAddRow(in, tp.Input(w), tp.Input(bias)))
+	})
+	other := tensor.Randn(rng, 5, 4, 1)
+	checkGrad(t, "AddLeakyReLU", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.AddLeakyReLU(in, tp.Input(other), 0.2))
+	})
+	col := tensor.Randn(rng, 5, 1, 1)
+	seg := []int{1, 0, 1, 2, 0}
+	checkGrad(t, "SegmentSumMulCol.a", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.SegmentSumMulCol(in, tp.Input(col), seg, 3))
+	})
+	checkGrad(t, "SegmentSumMulCol.col", col, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.SegmentSumMulCol(tp.Input(x), in, seg, 3))
+	})
+}
+
+// TestInferenceTapeMatchesTraining checks a forward-only tape produces the
+// same values as a recording tape and allocates no gradient storage.
+func TestInferenceTapeMatchesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := tensor.Randn(rng, 6, 4, 1)
+	w := tensor.Randn(rng, 4, 3, 1)
+	build := func(tp *Tape) *Node {
+		in := tp.Input(x)
+		h := tp.ELU(tp.MatMul(in, tp.Input(w)))
+		return tp.MaxRows(h)
+	}
+	train := build(NewTape())
+	inf := NewTape()
+	inf.SetInference(true)
+	got := build(inf)
+	for i := range train.Val.Data {
+		if got.Val.Data[i] != train.Val.Data[i] {
+			t.Fatalf("inference value %d: %v != %v", i, got.Val.Data[i], train.Val.Data[i])
+		}
+	}
+	if got.Grad != nil {
+		t.Error("inference node carries gradient storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Backward on an inference tape did not panic")
+		}
+	}()
+	inf.Backward(got)
+}
+
+// TestTapeResetReusesArena checks that a reused tape allocates (almost)
+// nothing after warm-up and keeps producing identical results.
+func TestTapeResetReusesArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Randn(rng, 10, 8, 1)
+	w := tensor.Randn(rng, 8, 6, 1)
+	tp := NewTape()
+	pass := func() float64 {
+		tp.Reset()
+		in := tp.Input(x)
+		loss := sumAll(tp, tp.ELU(tp.MatMul(in, tp.Input(w))))
+		tp.Backward(loss)
+		return loss.Val.Data[0]
+	}
+	first := pass()
+	allocs := testing.AllocsPerRun(20, func() {
+		if pass() != first {
+			t.Fatal("reused tape changed the result")
+		}
+	})
+	// Backward closures still allocate; matrices and nodes must not.
+	if allocs > 24 {
+		t.Errorf("reused tape allocates %v times per pass, want <= 24", allocs)
+	}
+}
+
+// TestELUAddNBitIdentical pins the fused accumulate+activate against the
+// Add-chain + ELU composition it replaces.
+func TestELUAddNBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	xs := []*tensor.Mat{
+		tensor.Randn(rng, 7, 5, 1),
+		tensor.Randn(rng, 7, 5, 1),
+		tensor.Randn(rng, 7, 5, 1),
+	}
+	lf, gf := runPass(xs, func(tp *Tape, ins []*Node) *Node {
+		return sumAll(tp, tp.ELUAddN(ins[0], ins[1], ins[2]))
+	})
+	lu, gu := runPass(xs, func(tp *Tape, ins []*Node) *Node {
+		return sumAll(tp, tp.ELU(tp.Add(tp.Add(ins[0], ins[1]), ins[2])))
+	})
+	if lf != lu {
+		t.Errorf("fused loss %v != unfused %v", lf, lu)
+	}
+	for i := range gf {
+		for j := range gf[i].Data {
+			if gf[i].Data[j] != gu[i].Data[j] {
+				t.Fatalf("input %d grad[%d]: fused %v != unfused %v",
+					i, j, gf[i].Data[j], gu[i].Data[j])
+			}
+		}
+	}
+	// Single-input degenerate form equals plain ELU.
+	l1, _ := runPass(xs[:1], func(tp *Tape, ins []*Node) *Node {
+		return sumAll(tp, tp.ELUAddN(ins[0]))
+	})
+	l2, _ := runPass(xs[:1], func(tp *Tape, ins []*Node) *Node {
+		return sumAll(tp, tp.ELU(ins[0]))
+	})
+	if l1 != l2 {
+		t.Errorf("single-input ELUAddN %v != ELU %v", l1, l2)
+	}
+}

@@ -7,9 +7,19 @@
 //	kind-specific state                   — gob, layout owned by the model
 //
 // Version policy: ArtifactVersion is bumped on ANY incompatible change to
-// the serialized layout, and Load rejects artifacts whose version differs
-// from the running binary's — stale models fail loudly at load time with a
-// "retrain and re-save" error instead of mispredicting at inference time.
+// the serialized layout. Load accepts the current version plus the listed
+// compatible older versions (converting on read); anything else fails
+// loudly at load time with a "retrain and re-save" error instead of
+// mispredicting at inference time.
+//
+// Version history:
+//
+//	1 — map-keyed ir2vec entity tables (Ent map[string][]float64),
+//	    map-keyed GNN vocab. Still readable: the gob decoders convert the
+//	    maps into the interned flat layout.
+//	2 — interned feature pipeline: ir2vec entities as an id-ordered token
+//	    list + one flat value array; GNN vocab re-keyed on intern ids
+//	    (persisted in the legacy map shape for bidirectional clarity).
 package core
 
 import (
@@ -27,7 +37,10 @@ import (
 )
 
 // ArtifactVersion is the current on-disk model format version.
-const ArtifactVersion = 1
+const ArtifactVersion = 2
+
+// compatibleArtifactVersions lists older versions Load still converts.
+var compatibleArtifactVersions = map[int]bool{1: true}
 
 const artifactMagic = "MPIDETECT-MODEL"
 
@@ -95,8 +108,8 @@ func LoadDetector(r io.Reader) (Detector, error) {
 	if h.Magic != artifactMagic {
 		return nil, errors.New("core: not an mpidetect model artifact")
 	}
-	if h.Version != ArtifactVersion {
-		return nil, fmt.Errorf("core: model artifact version %d is not supported by this binary (want %d); retrain and re-save",
+	if h.Version != ArtifactVersion && !compatibleArtifactVersions[h.Version] {
+		return nil, fmt.Errorf("core: model artifact version %d is not supported by this binary (want %d or a compatible older version); retrain and re-save",
 			h.Version, ArtifactVersion)
 	}
 	switch h.Kind {

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -67,6 +68,17 @@ var relations = []relation{
 	{graphs.EdgeCall, graphs.KindInstr, graphs.KindInstr},
 }
 
+// maxLayerTerms bounds the fixed term buffer in forward (self transform
+// plus one message per relation); the init check keeps a future schema
+// extension from silently overflowing it.
+const maxLayerTerms = 8
+
+func init() {
+	if 1+len(relations) > maxLayerTerms {
+		panic("gnn: relation schema exceeds maxLayerTerms; grow the forward term buffer")
+	}
+}
+
 // prepared is a graph preprocessed for the model: per-kind token ids and
 // per-relation local edge lists.
 type prepared struct {
@@ -107,17 +119,19 @@ type Model struct {
 	Vocab   *graphs.Vocab
 	Classes int
 
-	ps     *nn.ParamSet
-	embed  *nn.Embedding
-	layers []*heteroLayer
-	fc1    *nn.Linear
-	fc2    *nn.Linear
+	ps      *nn.ParamSet
+	embed   *nn.Embedding
+	layers  []*heteroLayer
+	fc1     *nn.Linear
+	fc2     *nn.Linear
+	ctxPool *sync.Pool // *nn.Ctx, reused across Predict calls
 }
 
 // NewModel builds an untrained model over the vocabulary.
 func NewModel(cfg Config, vocab *graphs.Vocab, classes int) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{Cfg: cfg, Vocab: vocab, Classes: classes, ps: &nn.ParamSet{}}
+	m := &Model{Cfg: cfg, Vocab: vocab, Classes: classes, ps: &nn.ParamSet{},
+		ctxPool: &sync.Pool{}}
 	m.embed = nn.NewEmbedding(m.ps, rng, "embed", vocab.Size(), cfg.EmbedDim)
 	in := cfg.EmbedDim
 	for li, h := range cfg.Hidden {
@@ -162,7 +176,7 @@ func (m *Model) GobEncode() ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(modelState{
-		Cfg: m.Cfg, VocabIDs: m.Vocab.IDs, VocabOOV: m.Vocab.OOV,
+		Cfg: m.Cfg, VocabIDs: m.Vocab.TokenIDs(), VocabOOV: m.Vocab.OOV,
 		Classes: m.Classes, Params: m.ps.State()})
 	return buf.Bytes(), err
 }
@@ -185,10 +199,11 @@ func (m *Model) GobDecode(b []byte) error {
 		}
 	}
 	st.Cfg.Workers = runtime.GOMAXPROCS(0)
-	vocab := &graphs.Vocab{IDs: st.VocabIDs, OOV: st.VocabOOV}
-	if vocab.IDs == nil {
-		vocab.IDs = map[string]int{}
+	vocab, err := graphs.VocabFromTokenIDs(st.VocabIDs)
+	if err != nil {
+		return fmt.Errorf("gnn: corrupt model encoding: %w", err)
 	}
+	vocab.OOV = st.VocabOOV
 	fresh := NewModel(st.Cfg, vocab, st.Classes)
 	if err := fresh.ps.LoadState(st.Params); err != nil {
 		return err
@@ -214,7 +229,13 @@ func (m *Model) forward(c *nn.Ctx, p *prepared) *autodiff.Node {
 			if h[k] == nil {
 				continue
 			}
-			acc := layer.self[k].Forward(c, h[k])
+			// Self transform plus one message per active relation, summed
+			// and activated in a single fused pass (same left-to-right
+			// accumulation order as the former Add chain).
+			var terms [maxLayerTerms]*autodiff.Node
+			n := 0
+			terms[n] = layer.self[k].Forward(c, h[k])
+			n++
 			for ri, rel := range relations {
 				if rel.dst != k || h[rel.src] == nil {
 					continue
@@ -222,11 +243,11 @@ func (m *Model) forward(c *nn.Ctx, p *prepared) *autodiff.Node {
 				if len(p.edges[ri][0]) == 0 {
 					continue
 				}
-				msg := layer.convs[ri].Forward(c, h[rel.src], h[k],
+				terms[n] = layer.convs[ri].Forward(c, h[rel.src], h[k],
 					p.edges[ri][0], p.edges[ri][1], len(p.tokens[k]))
-				acc = c.T.Add(acc, msg)
+				n++
 			}
-			next[k] = c.T.ELU(acc)
+			next[k] = c.T.ELUAddN(terms[:n]...)
 		}
 		h = next
 	}
@@ -250,7 +271,9 @@ func (m *Model) forward(c *nn.Ctx, p *prepared) *autodiff.Node {
 	return m.fc2.Forward(c, hidden)
 }
 
-// Train fits the model on the samples.
+// Train fits the model on the samples. Each worker owns one reusable
+// context: the tape arena is recycled per sample, so the steady-state
+// training loop performs almost no heap allocation.
 func (m *Model) Train(samples []Sample) {
 	rng := rand.New(rand.NewSource(m.Cfg.Seed + 17))
 	prep := make([]*prepared, len(samples))
@@ -263,8 +286,18 @@ func (m *Model) Train(samples []Sample) {
 		workers = 1
 	}
 	bufs := make([]*nn.GradBuffer, workers)
+	ctxs := make([]*nn.Ctx, workers)
 	for i := range bufs {
 		bufs[i] = m.ps.NewGradBuffer()
+		ctxs[i] = nn.NewCtx(m.ps, bufs[i])
+	}
+	trainOne := func(w, bi int, batch []int) {
+		p := prep[batch[bi]]
+		c := ctxs[w]
+		c.Reset(bufs[w])
+		logits := m.forward(c, p)
+		loss := c.T.CrossEntropyLogits(logits, p.label)
+		c.Backward(loss)
 	}
 	order := make([]int, len(prep))
 	for i := range order {
@@ -278,21 +311,24 @@ func (m *Model) Train(samples []Sample) {
 				end = len(order)
 			}
 			batch := order[start:end]
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for bi := w; bi < len(batch); bi += workers {
-						p := prep[batch[bi]]
-						c := nn.NewCtx(m.ps, bufs[w])
-						logits := m.forward(c, p)
-						loss := c.T.CrossEntropyLogits(logits, p.label)
-						c.Backward(loss)
-					}
-				}(w)
+			if workers == 1 {
+				// Single-worker hosts skip the goroutine fan-out entirely.
+				for bi := range batch {
+					trainOne(0, bi, batch)
+				}
+			} else {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for bi := w; bi < len(batch); bi += workers {
+							trainOne(w, bi, batch)
+						}
+					}(w)
+				}
+				wg.Wait()
 			}
-			wg.Wait()
 			for _, gb := range bufs {
 				m.ps.ReduceInto(gb)
 				gb.Zero()
@@ -306,13 +342,35 @@ func (m *Model) Train(samples []Sample) {
 	}
 }
 
+// getCtx borrows a reusable inference context (concurrent Predict calls
+// each get their own; the pool recycles tape arenas between calls). The
+// tapes run forward-only: no gradient storage, no backward closures.
+func (m *Model) getCtx() *nn.Ctx {
+	if c, ok := m.ctxPool.Get().(*nn.Ctx); ok {
+		c.Reset(nil)
+		return c
+	}
+	c := nn.NewCtx(m.ps, nil)
+	c.T.SetInference(true)
+	return c
+}
+
+// logitsOf runs one inference forward pass, copying the logits out of the
+// tape arena so the context can be recycled.
+func (m *Model) logitsOf(g *graphs.Graph, dst []float64) []float64 {
+	p := m.prepare(g, 0)
+	c := m.getCtx()
+	logits := m.forward(c, p)
+	dst = append(dst[:0], logits.Val.Data...)
+	m.ctxPool.Put(c)
+	return dst
+}
+
 // Predict returns the class with the highest logit for the graph.
 func (m *Model) Predict(g *graphs.Graph) int {
-	p := m.prepare(g, 0)
-	c := nn.NewCtx(m.ps, nil)
-	logits := m.forward(c, p)
-	best, bi := logits.Val.Data[0], 0
-	for i, v := range logits.Val.Data {
+	logits := m.logitsOf(g, nil)
+	best, bi := logits[0], 0
+	for i, v := range logits {
 		if v > best {
 			best, bi = v, i
 		}
@@ -322,10 +380,7 @@ func (m *Model) Predict(g *graphs.Graph) int {
 
 // PredictProbs returns the softmax class distribution.
 func (m *Model) PredictProbs(g *graphs.Graph) []float64 {
-	p := m.prepare(g, 0)
-	c := nn.NewCtx(m.ps, nil)
-	logits := m.forward(c, p)
-	return autodiff.Softmax(logits.Val.Data)
+	return autodiff.Softmax(m.logitsOf(g, nil))
 }
 
 // NumParams reports the trainable parameter count.

@@ -7,7 +7,9 @@ package graphs
 
 import (
 	"fmt"
+	"strconv"
 
+	"mpidetect/internal/intern"
 	"mpidetect/internal/ir"
 )
 
@@ -98,6 +100,16 @@ func (g *Graph) EdgesByKind() [NumEdgeKinds][]Edge {
 	return out
 }
 
+// smallConstTokens pre-renders the "const:0" … "const:16" spellings so the
+// common small-integer bucket costs neither a Sprintf nor an allocation.
+var smallConstTokens = func() [17]string {
+	var out [17]string
+	for i := range out {
+		out[i] = "const:" + strconv.Itoa(i)
+	}
+	return out
+}()
+
 // ConstToken buckets a constant for feature purposes: small integers keep
 // their value (so datatype/tag/count literals are distinguishable), large
 // and negative values collapse into buckets. This mirrors ProGraML's
@@ -113,12 +125,17 @@ func ConstToken(c *ir.Const) string {
 	case c.Int < 0:
 		return "const:neg"
 	case c.Int <= 16:
-		return fmt.Sprintf("const:%d", c.Int)
+		return smallConstTokens[c.Int]
 	case c.Int <= 256:
 		return "const:medium"
 	default:
 		return "const:large"
 	}
+}
+
+// AppendConstToken appends ConstToken(c) to dst without allocating.
+func AppendConstToken(dst []byte, c *ir.Const) []byte {
+	return append(dst, ConstToken(c)...)
 }
 
 // InstrToken returns the instruction node token.
@@ -132,8 +149,27 @@ func InstrToken(in *ir.Instr) string {
 	return in.Op.String()
 }
 
+// AppendInstrToken appends InstrToken(in) to dst without allocating, for
+// resolvers that look tokens up in a reusable byte buffer.
+func AppendInstrToken(dst []byte, in *ir.Instr) []byte {
+	if in.Op == ir.OpCall {
+		return append(append(dst, "call:"...), in.Callee...)
+	}
+	if in.Op == ir.OpICmp || in.Op == ir.OpFCmp {
+		dst = append(dst, in.Op.String()...)
+		dst = append(dst, ':')
+		return append(dst, in.Cmp.String()...)
+	}
+	return append(dst, in.Op.String()...)
+}
+
 // VarToken returns the variable node token (its type).
 func VarToken(t *ir.Type) string { return "var:" + t.String() }
+
+// AppendVarToken appends VarToken(t) to dst without allocating.
+func AppendVarToken(dst []byte, t *ir.Type) []byte {
+	return t.AppendString(append(dst, "var:"...))
+}
 
 // Build constructs the program graph of a module.
 func Build(m *ir.Module) *Graph {
@@ -245,34 +281,74 @@ func Build(m *ir.Module) *Graph {
 }
 
 // Vocab maps node tokens to dense ids, shared across a corpus so the GNN
-// embedding table is consistent between training and validation.
+// embedding table is consistent between training and validation. It is
+// keyed on an intern table: token i of the table gets vocabulary id i+1,
+// id 0 being the out-of-vocabulary slot, so the embedding matrix is a flat
+// (Len+1)×dim array addressed without string hashing after the build
+// phase.
 type Vocab struct {
-	IDs map[string]int
-	OOV int // the id reserved for unseen tokens
+	Tab *intern.Table
+	OOV int // the id reserved for unseen tokens (always 0)
 }
+
+// NewVocab returns an empty vocabulary ready for interning.
+func NewVocab() *Vocab { return &Vocab{Tab: intern.New(), OOV: 0} }
 
 // BuildVocab scans graphs and assigns token ids (id 0 is out-of-vocabulary).
 func BuildVocab(gs []*Graph) *Vocab {
-	v := &Vocab{IDs: map[string]int{}, OOV: 0}
-	next := 1
+	v := NewVocab()
 	for _, g := range gs {
 		for _, n := range g.Nodes {
-			if _, ok := v.IDs[n.Token]; !ok {
-				v.IDs[n.Token] = next
-				next++
-			}
+			v.Tab.Intern(n.Token)
 		}
 	}
 	return v
 }
 
 // Size returns the vocabulary size including the OOV slot.
-func (v *Vocab) Size() int { return len(v.IDs) + 1 }
+func (v *Vocab) Size() int { return v.Tab.Len() + 1 }
 
 // ID resolves a token (OOV for unknown).
 func (v *Vocab) ID(tok string) int {
-	if id, ok := v.IDs[tok]; ok {
-		return id
+	if id, ok := v.Tab.Resolve(tok); ok {
+		return int(id) + 1
 	}
 	return v.OOV
+}
+
+// TokenIDs exports the vocabulary as the legacy token→id map — the shape
+// persisted in gob model artifacts since ArtifactVersion 1.
+func (v *Vocab) TokenIDs() map[string]int {
+	out := make(map[string]int, v.Tab.Len())
+	for i, tok := range v.Tab.Tokens() {
+		out[tok] = i + 1
+	}
+	return out
+}
+
+// VocabFromTokenIDs rebuilds a vocabulary from the legacy map shape,
+// preserving the persisted ids (token with map id i+1 gets table id i). It
+// rejects maps whose ids are not a dense 1..n assignment, since those
+// cannot index a flat embedding table.
+func VocabFromTokenIDs(ids map[string]int) (*Vocab, error) {
+	toks := make([]string, len(ids))
+	taken := make([]bool, len(ids))
+	for tok, id := range ids {
+		if id < 1 || id > len(ids) {
+			return nil, fmt.Errorf("graphs: vocab id %d for token %q outside dense range 1..%d", id, tok, len(ids))
+		}
+		if taken[id-1] {
+			return nil, fmt.Errorf("graphs: vocab id %d assigned to both %q and %q", id, toks[id-1], tok)
+		}
+		taken[id-1] = true
+		toks[id-1] = tok
+	}
+	v := NewVocab()
+	for _, tok := range toks {
+		v.Tab.Intern(tok)
+	}
+	if v.Tab.Len() != len(ids) {
+		return nil, fmt.Errorf("graphs: vocab map has duplicate tokens (%d ids, %d distinct tokens)", len(ids), v.Tab.Len())
+	}
+	return v, nil
 }

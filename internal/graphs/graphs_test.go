@@ -3,6 +3,7 @@ package graphs
 import (
 	"testing"
 
+	"mpidetect/internal/intern"
 	"mpidetect/internal/ir"
 )
 
@@ -99,5 +100,95 @@ func TestConstantsDeduplicated(t *testing.T) {
 	}
 	if count != 1 {
 		t.Errorf("const:4 appears %d times, want 1 (deduplicated)", count)
+	}
+}
+
+// TestAppendTokensMatchStringTokens pins the zero-alloc appenders to the
+// string builders byte-for-byte — interned vocabularies depend on both
+// paths producing identical spellings.
+func TestAppendTokensMatchStringTokens(t *testing.T) {
+	consts := []*ir.Const{
+		ir.ConstInt(ir.I32, 0), ir.ConstInt(ir.I32, 7), ir.ConstInt(ir.I32, 16),
+		ir.ConstInt(ir.I32, 17), ir.ConstInt(ir.I32, 300), ir.ConstInt(ir.I32, -2),
+		ir.ConstFloat(2.5), ir.ConstNull(ir.PtrTo(ir.I8)),
+	}
+	buf := make([]byte, 0, 64)
+	for _, c := range consts {
+		buf = AppendConstToken(buf[:0], c)
+		if string(buf) != ConstToken(c) {
+			t.Errorf("AppendConstToken = %q, ConstToken = %q", buf, ConstToken(c))
+		}
+	}
+	for _, typ := range []*ir.Type{ir.I32, ir.PtrTo(ir.I8), ir.ArrayOf(4, ir.I32)} {
+		buf = AppendVarToken(buf[:0], typ)
+		if string(buf) != VarToken(typ) {
+			t.Errorf("AppendVarToken = %q, VarToken = %q", buf, VarToken(typ))
+		}
+	}
+	m := ir.NewModule("tok")
+	f := m.AddFunc(&ir.Func{Name: "f", Sig: ir.FuncOf(ir.I32)})
+	b := ir.NewBuilder(f)
+	x := b.Bin(ir.OpAdd, ir.ConstInt(ir.I32, 1), ir.ConstInt(ir.I32, 2))
+	b.ICmp(ir.PredSLT, x, ir.ConstInt(ir.I32, 5))
+	b.Call("MPI_Finalize", ir.Void)
+	b.Ret(x)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			buf = AppendInstrToken(buf[:0], in)
+			if string(buf) != InstrToken(in) {
+				t.Errorf("AppendInstrToken = %q, InstrToken = %q", buf, InstrToken(in))
+			}
+		}
+	}
+}
+
+func TestVocabInternedIDs(t *testing.T) {
+	m := ir.NewModule("v")
+	f := m.AddFunc(&ir.Func{Name: "f", Sig: ir.FuncOf(ir.I32)})
+	b := ir.NewBuilder(f)
+	b.Ret(b.Bin(ir.OpAdd, ir.ConstInt(ir.I32, 1), ir.ConstInt(ir.I32, 2)))
+	g := Build(m)
+	v := BuildVocab([]*Graph{g})
+	if v.ID("definitely-not-a-token") != v.OOV {
+		t.Error("unknown token did not map to OOV")
+	}
+	if v.Size() != v.Tab.Len()+1 {
+		t.Errorf("Size = %d, want %d", v.Size(), v.Tab.Len()+1)
+	}
+	for _, n := range g.Nodes {
+		id := v.ID(n.Token)
+		if id == v.OOV {
+			t.Fatalf("token %q mapped to OOV", n.Token)
+		}
+		if v.Tab.TokenOf(intern.ID(id-1)) != n.Token {
+			t.Errorf("id %d round-trips to %q, want %q", id, v.Tab.TokenOf(intern.ID(id-1)), n.Token)
+		}
+	}
+	// Legacy map round trip preserves every id.
+	back, err := VocabFromTokenIDs(v.TokenIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if back.ID(n.Token) != v.ID(n.Token) {
+			t.Errorf("round-tripped vocab id mismatch for %q", n.Token)
+		}
+	}
+}
+
+func TestVocabFromTokenIDsRejectsCorruptMaps(t *testing.T) {
+	cases := []map[string]int{
+		{"a": 1, "b": 1},         // duplicate id
+		{"a": 0, "b": 1},         // id below the dense range
+		{"a": 1, "b": 3},         // hole / id beyond the range
+		{"a": 2, "b": 2, "c": 1}, // duplicate id in a bigger map
+	}
+	for i, m := range cases {
+		if _, err := VocabFromTokenIDs(m); err == nil {
+			t.Errorf("case %d (%v): corrupt vocab map accepted", i, m)
+		}
+	}
+	if v, err := VocabFromTokenIDs(map[string]int{"a": 2, "b": 1}); err != nil || v.ID("a") != 2 || v.ID("b") != 1 {
+		t.Errorf("valid map rejected or ids shuffled: %v", err)
 	}
 }

@@ -1,0 +1,83 @@
+// Package intern provides a dense string↔id table shared by the feature
+// pipeline: the IR2Vec tokeniser and the ProGraML vocabulary both resolve
+// program-entity tokens (opcodes, types, bucketed constants) to small
+// integer ids exactly once, so every later stage — embedding lookups,
+// graph construction, GNN message passing — runs over contiguous arrays
+// instead of hashing strings in inner loops.
+//
+// The table follows the same two-phase discipline as the encoder it
+// serves: a mutating fit phase (Intern / InternBytes, single goroutine or
+// externally synchronised) followed by a read-only serve phase (Resolve /
+// ResolveBytes / TokenOf / Len), which is safe for any number of
+// concurrent readers with no locking at all.
+package intern
+
+// ID is a dense table index. Ids are assigned sequentially from 0 in
+// first-Intern order, so a Table with n tokens uses exactly ids 0..n-1 and
+// any id-indexed side array (embedding rows, counts) can be flat.
+type ID int32
+
+// Table maps tokens to dense ids and back.
+type Table struct {
+	ids  map[string]ID
+	toks []string
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{ids: map[string]ID{}}
+}
+
+// FromTokens rebuilds a table whose token i gets id i — the inverse of
+// Tokens, used when decoding persisted artifacts.
+func FromTokens(toks []string) *Table {
+	t := &Table{ids: make(map[string]ID, len(toks)), toks: make([]string, 0, len(toks))}
+	for _, tok := range toks {
+		t.Intern(tok)
+	}
+	return t
+}
+
+// Intern resolves tok, adding it with the next id when absent. Mutating:
+// fit phase only.
+func (t *Table) Intern(tok string) ID {
+	if id, ok := t.ids[tok]; ok {
+		return id
+	}
+	id := ID(len(t.toks))
+	t.ids[tok] = id
+	t.toks = append(t.toks, tok)
+	return id
+}
+
+// InternBytes is Intern for a byte-buffer token; the string copy is made
+// only when the token is new. Mutating: fit phase only.
+func (t *Table) InternBytes(tok []byte) ID {
+	if id, ok := t.ids[string(tok)]; ok { // compiler elides the conversion
+		return id
+	}
+	return t.Intern(string(tok))
+}
+
+// Resolve looks a token up without mutating the table.
+func (t *Table) Resolve(tok string) (ID, bool) {
+	id, ok := t.ids[tok]
+	return id, ok
+}
+
+// ResolveBytes is the zero-allocation lookup for tokens assembled in a
+// reusable byte buffer (the map access through string(tok) does not copy).
+func (t *Table) ResolveBytes(tok []byte) (ID, bool) {
+	id, ok := t.ids[string(tok)]
+	return id, ok
+}
+
+// TokenOf returns the token of a valid id.
+func (t *Table) TokenOf(id ID) string { return t.toks[id] }
+
+// Len returns the number of interned tokens.
+func (t *Table) Len() int { return len(t.toks) }
+
+// Tokens returns the id-ordered token slice. The slice is shared with the
+// table: callers must not mutate it.
+func (t *Table) Tokens() []string { return t.toks }

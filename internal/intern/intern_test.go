@@ -1,0 +1,113 @@
+package intern
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	tab := New()
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d, %d, want 0, 1", a, b)
+	}
+	if got := tab.Intern("alpha"); got != a {
+		t.Errorf("re-interning returned %d, want %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+	if tab.TokenOf(b) != "beta" {
+		t.Errorf("TokenOf(%d) = %q", b, tab.TokenOf(b))
+	}
+}
+
+func TestResolveDoesNotMutate(t *testing.T) {
+	tab := New()
+	tab.Intern("known")
+	if _, ok := tab.Resolve("unknown"); ok {
+		t.Fatal("Resolve invented an id")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Resolve mutated the table: Len = %d", tab.Len())
+	}
+	id, ok := tab.ResolveBytes([]byte("known"))
+	if !ok || id != 0 {
+		t.Fatalf("ResolveBytes = %d, %v", id, ok)
+	}
+}
+
+func TestInternBytesCopiesKey(t *testing.T) {
+	tab := New()
+	buf := []byte("token")
+	id := tab.InternBytes(buf)
+	buf[0] = 'X' // the table must not alias the caller's buffer
+	if tab.TokenOf(id) != "token" {
+		t.Fatalf("table aliased caller buffer: %q", tab.TokenOf(id))
+	}
+	if got, ok := tab.Resolve("token"); !ok || got != id {
+		t.Fatalf("Resolve(token) = %d, %v", got, ok)
+	}
+}
+
+func TestFromTokensRoundTrip(t *testing.T) {
+	tab := New()
+	for _, tok := range []string{"a", "b", "c"} {
+		tab.Intern(tok)
+	}
+	clone := FromTokens(tab.Tokens())
+	if clone.Len() != tab.Len() {
+		t.Fatalf("Len = %d, want %d", clone.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if clone.TokenOf(ID(i)) != tab.TokenOf(ID(i)) {
+			t.Errorf("id %d: %q vs %q", i, clone.TokenOf(ID(i)), tab.TokenOf(ID(i)))
+		}
+	}
+}
+
+// TestConcurrentResolve exercises the read-only serve phase from many
+// goroutines; `go test -race` verifies it is lock-free safe.
+func TestConcurrentResolve(t *testing.T) {
+	tab := New()
+	toks := []string{"add", "sub", "mul", "call:MPI_Send", "type:i32"}
+	for _, tok := range toks {
+		tab.Intern(tok)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, 32)
+			for i := 0; i < 1000; i++ {
+				tok := toks[i%len(toks)]
+				if id, ok := tab.Resolve(tok); !ok || tab.TokenOf(id) != tok {
+					t.Errorf("Resolve(%q) failed", tok)
+					return
+				}
+				buf = append(buf[:0], tok...)
+				if _, ok := tab.ResolveBytes(buf); !ok {
+					t.Errorf("ResolveBytes(%q) failed", tok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestResolveBytesZeroAlloc(t *testing.T) {
+	tab := New()
+	tab.Intern("call:MPI_Reduce")
+	buf := []byte("call:MPI_Reduce")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := tab.ResolveBytes(buf); !ok {
+			t.Fatal("lost token")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ResolveBytes allocates %v times per call, want 0", allocs)
+	}
+}

@@ -85,6 +85,24 @@ func TestTypeString(t *testing.T) {
 	}
 }
 
+// TestTypeAppendString pins AppendString to String byte-for-byte: the
+// tokeniser's zero-alloc path must produce the exact vocabulary strings the
+// map-based path produced, or interned ids would not match trained tables.
+func TestTypeAppendString(t *testing.T) {
+	var nilType *Type
+	types := []*Type{nilType, Void, I1, I8, I32, I64, F64, LabelTy,
+		PtrTo(I8), PtrTo(PtrTo(I32)), ArrayOf(10, F64), ArrayOf(3, PtrTo(I8)),
+		StatusType, &Type{Kind: KStruct, Fields: []*Type{I32, PtrTo(I8)}},
+		FuncOf(Void, I32, PtrTo(I8)), FuncOf(I64)}
+	buf := make([]byte, 0, 64)
+	for _, typ := range types {
+		buf = typ.AppendString(buf[:0])
+		if string(buf) != typ.String() {
+			t.Errorf("AppendString = %q, String = %q", buf, typ.String())
+		}
+	}
+}
+
 func TestParseTypeRoundTrip(t *testing.T) {
 	types := []*Type{I1, I8, I32, I64, F64, PtrTo(I32), ArrayOf(3, PtrTo(I8)),
 		PtrTo(ArrayOf(2, I64)), StatusType, PtrTo(StatusType)}

@@ -13,6 +13,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -144,6 +145,62 @@ func (t *Type) Equal(o *Type) bool {
 		return true
 	}
 	return false
+}
+
+// AppendString appends t's String() rendering to dst without any interior
+// allocation, for hot paths that assemble type-derived tokens in a
+// reusable buffer (the IR2Vec tokeniser, the ProGraML vocabulary).
+func (t *Type) AppendString(dst []byte) []byte {
+	if t == nil {
+		return append(dst, "<nil-type>"...)
+	}
+	switch t.Kind {
+	case KVoid:
+		return append(dst, "void"...)
+	case KInt1:
+		return append(dst, "i1"...)
+	case KInt8:
+		return append(dst, "i8"...)
+	case KInt32:
+		return append(dst, "i32"...)
+	case KInt64:
+		return append(dst, "i64"...)
+	case KFloat64:
+		return append(dst, "double"...)
+	case KLabel:
+		return append(dst, "label"...)
+	case KPtr:
+		return append(t.Elem.AppendString(dst), '*')
+	case KArray:
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(t.Len), 10)
+		dst = append(dst, " x "...)
+		dst = t.Elem.AppendString(dst)
+		return append(dst, ']')
+	case KStruct:
+		if t.SName != "" {
+			return append(append(dst, "%struct."...), t.SName...)
+		}
+		dst = append(dst, '{')
+		for i, f := range t.Fields {
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = f.AppendString(dst)
+		}
+		return append(dst, '}')
+	case KFunc:
+		dst = t.Ret.AppendString(dst)
+		dst = append(dst, " ("...)
+		for i, p := range t.Params {
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = p.AppendString(dst)
+		}
+		return append(dst, ')')
+	}
+	return append(dst, "<?>"...)
 }
 
 // String renders the type in LLVM-like syntax.

@@ -66,13 +66,12 @@ func TestSeedChangesEmbedding(t *testing.T) {
 func TestFallbackLookupIsDeterministic(t *testing.T) {
 	e1 := Train(nil, 16, 5, 1)
 	e2 := Train(nil, 16, 5, 1)
-	memo := map[string][]float64{}
-	a := e1.lookup("some-unseen-token", memo)
-	b := e2.lookup("some-unseen-token", map[string][]float64{})
+	a := e1.lookupToken("some-unseen-token")
+	b := e2.lookupToken("some-unseen-token")
 	if tensor.VecDist(a, b) != 0 {
 		t.Error("fallback embedding not deterministic across encoders")
 	}
-	c := e1.lookup("other-token", memo)
+	c := e1.lookupToken("other-token")
 	if tensor.VecDist(a, c) == 0 {
 		t.Error("distinct tokens share a fallback embedding")
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ir2vec
+
+const raceEnabled = false

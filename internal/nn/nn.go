@@ -18,6 +18,7 @@ type Param struct {
 	Val  *tensor.Mat
 	Grad *tensor.Mat
 	m, v *tensor.Mat
+	idx  int // position in the owning ParamSet's list
 }
 
 // ParamSet owns all parameters of a model.
@@ -30,7 +31,8 @@ func (ps *ParamSet) New(name string, val *tensor.Mat) *Param {
 	p := &Param{Name: name, Val: val,
 		Grad: tensor.New(val.R, val.C),
 		m:    tensor.New(val.R, val.C),
-		v:    tensor.New(val.R, val.C)}
+		v:    tensor.New(val.R, val.C),
+		idx:  len(ps.List)}
 	ps.List = append(ps.List, p)
 	return p
 }
@@ -113,51 +115,59 @@ func (ps *ParamSet) ReduceInto(gb *GradBuffer) {
 }
 
 // Ctx couples a tape with the parameter bindings of one forward pass.
+// Contexts are reusable: Reset recycles the tape arena and bindings so a
+// training or serving loop can run every pass allocation-free.
 type Ctx struct {
-	T     *autodiff.Tape
-	binds []bind
-	gb    *GradBuffer
-	ps    *ParamSet
-}
-
-type bind struct {
-	idx  int
-	node *autodiff.Node
+	T       *autodiff.Tape
+	binds   []*autodiff.Node // dense, indexed by Param.idx; nil = unbound
+	touched []int32          // bound param indices, in first-use order
+	gb      *GradBuffer
+	ps      *ParamSet
 }
 
 // NewCtx starts a fresh forward pass. If gb is non-nil, gradients flush
 // into it; otherwise they flush into the parameters directly.
 func NewCtx(ps *ParamSet, gb *GradBuffer) *Ctx {
-	return &Ctx{T: autodiff.NewTape(), ps: ps, gb: gb}
+	return &Ctx{T: autodiff.NewTape(), ps: ps, gb: gb,
+		binds: make([]*autodiff.Node, len(ps.List))}
 }
 
-// P wraps a parameter as a tape node (cached per context).
-func (c *Ctx) P(p *Param) *autodiff.Node {
-	idx := -1
-	for i, q := range c.ps.List {
-		if q == p {
-			idx = i
-			break
-		}
+// Reset recycles the context for another pass over the same parameters,
+// invalidating every node of the previous pass. If gb is non-nil it
+// becomes the new gradient sink.
+func (c *Ctx) Reset(gb *GradBuffer) {
+	c.T.Reset()
+	for _, idx := range c.touched {
+		c.binds[idx] = nil
 	}
-	for _, b := range c.binds {
-		if b.idx == idx {
-			return b.node
-		}
+	c.touched = c.touched[:0]
+	c.gb = gb
+	if len(c.binds) < len(c.ps.List) {
+		c.binds = make([]*autodiff.Node, len(c.ps.List))
+	}
+}
+
+// P wraps a parameter as a tape node (cached per context, O(1) by the
+// parameter's registration index).
+func (c *Ctx) P(p *Param) *autodiff.Node {
+	if n := c.binds[p.idx]; n != nil {
+		return n
 	}
 	n := c.T.Input(p.Val)
-	c.binds = append(c.binds, bind{idx: idx, node: n})
+	c.binds[p.idx] = n
+	c.touched = append(c.touched, int32(p.idx))
 	return n
 }
 
 // Backward runs backprop from loss and flushes parameter gradients.
 func (c *Ctx) Backward(loss *autodiff.Node) {
 	c.T.Backward(loss)
-	for _, b := range c.binds {
+	for _, idx := range c.touched {
+		node := c.binds[idx]
 		if c.gb != nil {
-			tensor.AddInPlace(c.gb.mats[b.idx], b.node.Grad)
+			tensor.AddInPlace(c.gb.mats[idx], node.Grad)
 		} else {
-			tensor.AddInPlace(c.ps.List[b.idx].Grad, b.node.Grad)
+			tensor.AddInPlace(c.ps.List[idx].Grad, node.Grad)
 		}
 	}
 }
@@ -206,9 +216,9 @@ func NewLinear(ps *ParamSet, rng *rand.Rand, name string, in, out int) *Linear {
 	}
 }
 
-// Forward applies the layer.
+// Forward applies the layer (fused matmul + bias broadcast).
 func (l *Linear) Forward(c *Ctx, x *autodiff.Node) *autodiff.Node {
-	return c.T.AddRow(c.T.MatMul(x, c.P(l.W)), c.P(l.B))
+	return c.T.MatMulAddRow(x, c.P(l.W), c.P(l.B))
 }
 
 // Embedding maps token ids to learned rows.
@@ -254,9 +264,8 @@ func (g *GATv2) Forward(c *Ctx, hSrc, hDst *autodiff.Node, srcIdx, dstIdx []int,
 	hd := c.T.MatMul(hDst, c.P(g.WDst))
 	es := c.T.Gather(hs, srcIdx)
 	ed := c.T.Gather(hd, dstIdx)
-	s := c.T.LeakyReLU(c.T.Add(es, ed), 0.2)
+	s := c.T.AddLeakyReLU(es, ed, 0.2)
 	e := c.T.MatMul(s, c.P(g.Att))
 	alpha := c.T.SegmentSoftmax(e, dstIdx, nDst)
-	msg := c.T.MulCol(es, alpha)
-	return c.T.SegmentSum(msg, dstIdx, nDst)
+	return c.T.SegmentSumMulCol(es, alpha, dstIdx, nDst)
 }

@@ -1,0 +1,301 @@
+// Dense matmul kernels. Three layouts cover the autodiff engine's forward
+// and backward passes without materialising transposes: a@b, aᵀ@b and
+// a@bᵀ. Each has an Into variant writing a caller-provided output (the
+// tape arena's reuse path), a column-vector fast path (the GATv2 attention
+// score and its backward are E×1 shapes where generic row indexing costs
+// more than the arithmetic), k-blocked tiling for panels that overflow
+// cache, and a row-parallel dispatch above a flop cutover.
+//
+// Every variant preserves the serial kernels' exact floating-point
+// behaviour: each output element accumulates its k-terms in ascending
+// order from +0, with the same zero-skip tests, and parallel dispatch
+// partitions output rows so no element is touched by two goroutines.
+// Results are therefore bit-identical across serial, blocked and parallel
+// paths — training runs stay reproducible no matter the host.
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+const (
+	// matmulBlockK is the k-tile: one tile of b (matmulBlockK rows) stays
+	// resident in cache while a streams past it.
+	matmulBlockK = 256
+	// matmulParallelFlops is the minimum multiply-accumulate count per
+	// goroutine; below ~64k flops the fan-out overhead beats the win.
+	matmulParallelFlops = 1 << 16
+)
+
+// matmulWorkers caps the fan-out (tests override it to force the parallel
+// path on small shapes).
+var matmulWorkers = runtime.GOMAXPROCS(0)
+
+// axpy computes y[j] += a*x[j], 4-way unrolled. Every y element keeps its
+// single accumulator and one product, so the result is bit-identical to
+// the plain loop — elements are independent; only loop bookkeeping is
+// amortised.
+// dotSeq computes the dot product with ONE sequential accumulator (s
+// grows strictly in k order, exactly like the plain loop — multi-
+// accumulator unrolling would reorder the sum and change bits). Only the
+// loop bookkeeping is unrolled.
+func dotSeq(x, y []float64) float64 {
+	y = y[:len(x)]
+	s := 0.0
+	j := 0
+	for ; j+4 <= len(x); j += 4 {
+		s += x[j] * y[j]
+		s += x[j+1] * y[j+1]
+		s += x[j+2] * y[j+2]
+		s += x[j+3] * y[j+3]
+	}
+	for ; j < len(x); j++ {
+		s += x[j] * y[j]
+	}
+	return s
+}
+
+func axpy(a float64, x, y []float64) {
+	x = x[:len(y)]
+	j := 0
+	for ; j+4 <= len(y); j += 4 {
+		y[j] += a * x[j]
+		y[j+1] += a * x[j+1]
+		y[j+2] += a * x[j+2]
+		y[j+3] += a * x[j+3]
+	}
+	for ; j < len(y); j++ {
+		y[j] += a * x[j]
+	}
+}
+
+// matmulSpan partitions rows into contiguous chunks of at least
+// minRowsPer and runs body(lo, hi) for each, in parallel when more than
+// one chunk results. Each output row belongs to exactly one chunk, so
+// per-element accumulation order is unchanged.
+func matmulSpan(rows int, flopsPerRow int, body func(lo, hi int)) {
+	workers := matmulWorkers
+	if flopsPerRow > 0 {
+		if byFlops := rows * flopsPerRow / matmulParallelFlops; byFlops < workers {
+			workers = byFlops
+		}
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		body(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes a @ b into a new matrix.
+func MatMul(a, b *Mat) *Mat {
+	out := New(a.R, b.C)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a @ b into out, which must be zeroed and R×C shaped.
+func MatMulInto(out, a, b *Mat) {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	if out.R != a.R || out.C != b.C {
+		panic(fmt.Sprintf("tensor: matmul into %dx%d, want %dx%d", out.R, out.C, a.R, b.C))
+	}
+	if b.C == 1 {
+		// Column-vector product: a dot per output row, b.Data contiguous.
+		bcol := b.Data
+		matmulSpan(a.R, a.C, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				s := 0.0
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					s += av * bcol[k]
+				}
+				out.Data[i] = s
+			}
+		})
+		return
+	}
+	matmulSpan(a.R, 2*a.C*b.C, func(lo, hi int) {
+		// k-blocked i-k-j: each tile of b stays cache-resident while the
+		// a rows of this span stream past it. k still ascends per output
+		// element, so blocking does not reorder any accumulation.
+		for k0 := 0; k0 < a.C; k0 += matmulBlockK {
+			k1 := k0 + matmulBlockK
+			if k1 > a.C {
+				k1 = a.C
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)[k0:k1]
+				orow := out.Row(i)
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					axpy(av, b.Row(k0+kk), orow)
+				}
+			}
+		}
+	})
+}
+
+// MatMulATB computes aᵀ @ b (used by backward passes without
+// materialising the transpose).
+func MatMulATB(a, b *Mat) *Mat {
+	out := New(a.C, b.C)
+	MatMulATBInto(out, a, b)
+	return out
+}
+
+// MatMulATBInto computes aᵀ @ b into out, which must be zeroed and
+// a.C×b.C shaped. Output rows are columns of a; the k dimension is the
+// shared row count.
+func MatMulATBInto(out, a, b *Mat) {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: matmulATB %dx%d, %dx%d", a.R, a.C, b.R, b.C))
+	}
+	if out.R != a.C || out.C != b.C {
+		panic(fmt.Sprintf("tensor: matmulATB into %dx%d, want %dx%d", out.R, out.C, a.C, b.C))
+	}
+	if b.C == 1 {
+		// Columns of a against one b column: out is a.C×1.
+		bcol := b.Data
+		matmulSpan(a.C, a.R, func(lo, hi int) {
+			for k := 0; k < a.R; k++ {
+				arow := a.Row(k)
+				bv := bcol[k]
+				for i := lo; i < hi; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					out.Data[i] += av * bv
+				}
+			}
+		})
+		return
+	}
+	matmulSpan(a.C, 2*a.R*b.C, func(lo, hi int) {
+		for k := 0; k < a.R; k++ {
+			brow := b.Row(k)
+			if allZero(brow) {
+				// ±0-only contributions; skipping is bit-neutral (see
+				// allZero) and backward passes hit many zero grad rows.
+				continue
+			}
+			arow := a.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, brow, out.Row(i)[:len(brow)])
+			}
+		}
+	})
+}
+
+// MatMulABT computes a @ bᵀ.
+func MatMulABT(a, b *Mat) *Mat {
+	out := New(a.R, b.R)
+	MatMulABTAddInto(out, a, b)
+	return out
+}
+
+// MatMulABTAddInto accumulates a @ bᵀ into out (a.R×b.R). Each element is
+// one dot product summed from +0 and then added to out in a single
+// operation, exactly like computing a @ bᵀ into a zeroed temporary and
+// AddInPlace-ing it — which lets backward passes fuse the two without
+// changing a bit of the result.
+func MatMulABTAddInto(out, a, b *Mat) {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: matmulABT %dx%d, %dx%d", a.R, a.C, b.R, b.C))
+	}
+	if out.R != a.R || out.C != b.R {
+		panic(fmt.Sprintf("tensor: matmulABT into %dx%d, want %dx%d", out.R, out.C, a.R, b.R))
+	}
+	if a.C == 1 {
+		// Outer product of two columns; keep the explicit +0 start so a
+		// -0 product lands as +0, matching the generic dot loop.
+		acol, bcol := a.Data, b.Data
+		matmulSpan(a.R, b.R, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				av := acol[i]
+				orow := out.Row(i)
+				for j, bv := range bcol {
+					s := 0.0
+					s += av * bv
+					orow[j] += s
+				}
+			}
+		})
+		return
+	}
+	matmulSpan(a.R, 2*a.C*b.R, func(lo, hi int) {
+		// Hoist b's row slices out of the (i, j) loop: the backward pass
+		// calls this kernel with small b (a weight matrix), so the row
+		// slicing would otherwise dominate the short dots.
+		var browStack [64][]float64
+		var brows [][]float64
+		if b.R <= len(browStack) {
+			brows = browStack[:b.R]
+		} else {
+			brows = make([][]float64, b.R)
+		}
+		for j := range brows {
+			brows[j] = b.Row(j)
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			if allZero(arow) {
+				// A zero row contributes dots that are exactly +0 (every
+				// product is ±0, summed from +0), and adding +0 never
+				// changes an accumulator — skipping is bit-neutral.
+				continue
+			}
+			orow := out.Row(i)[:b.R]
+			for j := range orow {
+				orow[j] += dotSeq(arow, brows[j])
+			}
+		}
+	})
+}
+
+// allZero reports whether every element of v is zero (either sign). Used
+// to skip gradient rows: backward passes see many exactly-zero rows (max
+// pooling routes gradient to argmax rows only), and a zero operand row
+// contributes only ±0 terms, which can never change an accumulator that
+// started at +0. Caveat: the equivalence assumes the other operand is
+// finite — against an Inf/NaN weight the unskipped kernel would produce
+// NaN (0·Inf) where the skip yields 0. That only differs once training
+// has already diverged to non-finite parameters.
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// refMatMul is the pre-blocking serial kernel, kept verbatim as the
+// bit-exactness reference: every dispatch path (fast, blocked, parallel)
+// must reproduce it exactly, not approximately.
+func refMatMul(a, b *Mat) *Mat {
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulATB(a, b *Mat) *Mat {
+	out := New(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func refMatMulABT(a, b *Mat) *Mat {
+	out := New(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// sparseRandn mixes negatives and exact zeros (post-ReLU activations) so
+// the zero-skip paths are exercised.
+func sparseRandn(rng *rand.Rand, r, c int) *Mat {
+	m := New(r, c)
+	for i := range m.Data {
+		switch rng.Intn(4) {
+		case 0: // leave exact zero
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func bitEqual(t *testing.T, name string, got, want *Mat) {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.R, got.C, want.R, want.C)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (not bit-identical)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulBitExact drives every kernel over shapes that hit the fast
+// column paths, the blocked path (k > matmulBlockK) and ragged tails, and
+// requires exact equality with the reference kernels.
+func TestMatMulBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 4}, {7, 16, 1}, {1, 9, 8},
+		{65, matmulBlockK + 37, 31}, {16, 3, 300}, {300, 5, 2},
+	}
+	for _, sh := range shapes {
+		a := sparseRandn(rng, sh.m, sh.k)
+		b := sparseRandn(rng, sh.k, sh.n)
+		bitEqual(t, "MatMul", MatMul(a, b), refMatMul(a, b))
+
+		at := sparseRandn(rng, sh.k, sh.m)
+		bitEqual(t, "MatMulATB", MatMulATB(at, b), refMatMulATB(at, b))
+
+		bt := sparseRandn(rng, sh.n, sh.k)
+		bitEqual(t, "MatMulABT", MatMulABT(a, bt), refMatMulABT(a, bt))
+	}
+}
+
+// TestMatMulParallelBitExact forces the parallel dispatch (overriding the
+// worker cap) and checks the fan-out changes nothing — each output row is
+// owned by one goroutine, so results must stay bit-identical.
+func TestMatMulParallelBitExact(t *testing.T) {
+	old := matmulWorkers
+	matmulWorkers = 8
+	defer func() { matmulWorkers = old }()
+	rng := rand.New(rand.NewSource(23))
+	a := sparseRandn(rng, 200, 300)
+	b := sparseRandn(rng, 300, 150)
+	bitEqual(t, "MatMul", MatMul(a, b), refMatMul(a, b))
+	at := sparseRandn(rng, 300, 200)
+	bitEqual(t, "MatMulATB", MatMulATB(at, b), refMatMulATB(at, b))
+	bt := sparseRandn(rng, 150, 300)
+	bitEqual(t, "MatMulABT", MatMulABT(a, bt), refMatMulABT(a, bt))
+	// Column-vector fast paths under parallel dispatch.
+	col := sparseRandn(rng, 300, 1)
+	bitEqual(t, "MatMul(col)", MatMul(a, col), refMatMul(a, col))
+	bitEqual(t, "MatMulATB(col)", MatMulATB(at, col), refMatMulATB(at, col))
+	acol := sparseRandn(rng, 200, 1)
+	bcol := sparseRandn(rng, 150, 1)
+	bitEqual(t, "MatMulABT(col)", MatMulABT(acol, bcol), refMatMulABT(acol, bcol))
+}
+
+// TestMatMulABTAddIntoAccumulates checks the fused accumulate matches the
+// two-step temporary + AddInPlace it replaces.
+func TestMatMulABTAddIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := sparseRandn(rng, 20, 30)
+	b := sparseRandn(rng, 25, 30)
+	acc := sparseRandn(rng, 20, 25)
+	want := acc.Clone()
+	AddInPlace(want, refMatMulABT(a, b))
+	MatMulABTAddInto(acc, a, b)
+	bitEqual(t, "MatMulABTAddInto", acc, want)
+}
+
+func benchPair(n int) (*Mat, *Mat) {
+	rng := rand.New(rand.NewSource(7))
+	return sparseRandn(rng, n, n), sparseRandn(rng, n, n)
+}
+
+// BenchmarkMatMulLarge measures the blocked kernel on a cache-overflowing
+// square matmul; BenchmarkMatMulLargeParallel adds the row fan-out (equal
+// on 1-core hosts, scaling with GOMAXPROCS beyond that).
+func BenchmarkMatMulLarge(b *testing.B) {
+	x, y := benchPair(512)
+	out := New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkMatMulLargeParallel(b *testing.B) {
+	old := matmulWorkers
+	matmulWorkers = runtime.GOMAXPROCS(0)
+	defer func() { matmulWorkers = old }()
+	x, y := benchPair(512)
+	out := New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		MatMulInto(out, x, y)
+	}
+}

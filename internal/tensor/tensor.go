@@ -66,79 +66,14 @@ func (m *Mat) Zero() {
 	}
 }
 
-// MatMul computes a @ b into a new matrix.
-func MatMul(a, b *Mat) *Mat {
-	if a.C != b.R {
-		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
-	}
-	out := New(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
-// MatMulATB computes aᵀ @ b (used by backward passes without materialising
-// the transpose).
-func MatMulATB(a, b *Mat) *Mat {
-	if a.R != b.R {
-		panic(fmt.Sprintf("tensor: matmulATB %dx%d, %dx%d", a.R, a.C, b.R, b.C))
-	}
-	out := New(a.C, b.C)
-	for k := 0; k < a.R; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
-// MatMulABT computes a @ bᵀ.
-func MatMulABT(a, b *Mat) *Mat {
-	if a.C != b.C {
-		panic(fmt.Sprintf("tensor: matmulABT %dx%d, %dx%d", a.R, a.C, b.R, b.C))
-	}
-	out := New(a.R, b.R)
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
-	return out
-}
-
 // AddInPlace accumulates b into a.
 func AddInPlace(a, b *Mat) {
 	if a.R != b.R || a.C != b.C {
 		panic("tensor: AddInPlace shape mismatch")
 	}
+	ad := a.Data[:len(b.Data)]
 	for i, v := range b.Data {
-		a.Data[i] += v
+		ad[i] += v
 	}
 }
 
