@@ -17,6 +17,16 @@
 // classification pipeline: identical programs — resubmitted or concurrent
 // — cost one pipeline execution; GET /stats reports live hit/miss/
 // eviction/coalesce counters.
+//
+// POST /analyze (enabled by -tools) fans one program out to the ML
+// detector plus the selected expert static/dynamic verification tools
+// and returns per-tool verdicts and a combined ensemble verdict; dynamic
+// tools simulate the program on a separate -sim-workers pool under the
+// -sim-timeout wall-clock budget, with their verdicts cached per
+// tool+configuration:
+//
+//	curl -s -X POST localhost:8080/analyze \
+//	  -d '{"model":"ir2vec","tools":["must","parcoach"],"program":{"name":"p","ir":"..."}}'
 package main
 
 import (
@@ -35,13 +45,16 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", ":8080", "listen address")
-	workers   = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
-	maxBatch  = flag.Int("max-batch", 64, "max programs per /classify request")
-	timeout   = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
-	cacheSize = flag.Int("cache-size", 4096, "verdict cache capacity in entries (0 disables caching and coalescing)")
-	cacheTTL  = flag.Duration("cache-ttl", 15*time.Minute, "verdict cache entry lifetime (0 = no expiry)")
-	models    modelFlags
+	addr       = flag.String("addr", ":8080", "listen address")
+	workers    = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+	maxBatch   = flag.Int("max-batch", 64, "max programs per /classify request")
+	timeout    = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
+	cacheSize  = flag.Int("cache-size", 4096, "verdict cache capacity in entries (0 disables caching and coalescing)")
+	cacheTTL   = flag.Duration("cache-ttl", 15*time.Minute, "verdict cache entry lifetime (0 = no expiry)")
+	toolsFlag  = flag.String("tools", "parcoach,mpi-checker,itac,must", "expert tools served by POST /analyze, comma-separated (empty disables the endpoint)")
+	simWorkers = flag.Int("sim-workers", 2, "concurrent dynamic-tool simulations")
+	simTimeout = flag.Duration("sim-timeout", 5*time.Second, "wall-clock budget of one dynamic-tool simulation")
+	models     modelFlags
 )
 
 // modelFlags collects repeated -model name=path specs.
@@ -73,14 +86,40 @@ func main() {
 		fmt.Printf("loaded %s: %s (trained at %s)\n", name, d.Name(), d.Opt())
 	}
 
+	// Resolve the -tools selection against the built-in expert tools.
+	var tools *serve.ToolRegistry
+	if *toolsFlag != "" {
+		all := serve.DefaultTools()
+		tools = serve.NewToolRegistry()
+		for _, name := range strings.Split(*toolsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			t, dynamic, ok := all.Get(name)
+			if !ok {
+				log.Fatalf("mpidetectd: unknown tool %q (have %s)",
+					name, strings.Join(all.Names(), ", "))
+			}
+			tools.Register(name, t, dynamic)
+		}
+	}
+
 	eng := serve.NewEngine(reg, serve.Config{
 		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout,
-		CacheSize: *cacheSize, CacheTTL: *cacheTTL})
+		CacheSize: *cacheSize, CacheTTL: *cacheTTL,
+		Tools: tools, SimWorkers: *simWorkers, SimTimeout: *simTimeout})
 	if *cacheSize > 0 {
 		fmt.Printf("verdict cache: %d entries, ttl %s (GET /stats for live counters)\n",
 			*cacheSize, *cacheTTL)
 	} else {
 		fmt.Println("verdict cache: disabled")
+	}
+	if tools != nil {
+		fmt.Printf("hybrid analysis: POST /analyze with tools %s (%d sim workers, %s budget)\n",
+			strings.Join(tools.Names(), ", "), *simWorkers, *simTimeout)
+	} else {
+		fmt.Println("hybrid analysis: disabled")
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg, eng)}

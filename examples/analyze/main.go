@@ -1,0 +1,125 @@
+// Example analyze: the hybrid static+dynamic analysis tier end to end. A
+// detector is trained and served next to the four expert tools of the
+// paper's comparison (PARCOACH/MPI-Checker-like static analyses,
+// ITAC/MUST-like dynamic checkers); the client posts a deadlocking
+// program and a correct exchange to POST /analyze and prints every
+// per-tool verdict plus the combined ensemble verdict. The second pass
+// over the same programs is served from the tool cache — the /stats
+// sim_execs counter shows zero additional simulator executions.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	. "mpidetect/internal/ast"
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/serve"
+)
+
+func buildPrograms() []serve.Program {
+	// A classic head-to-head deadlock: both ranks Recv before Send.
+	deadlock := MainProgram("deadlock",
+		append(MPIBoilerplate(),
+			DeclArr("buf", 4, Int),
+			CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(3),
+				Id("MPI_COMM_WORLD"), Id("MPI_STATUS_IGNORE")),
+			CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(3),
+				Id("MPI_COMM_WORLD")),
+			Finalize(),
+		)...)
+	// A correct ping-pong.
+	correct := MainProgram("pingpong",
+		append(MPIBoilerplate(),
+			DeclArr("buf", 8, Int),
+			IfElse(Eq(Id("rank"), I(0)),
+				[]Stmt{CallS("MPI_Send", Id("buf"), I(8), Id("MPI_INT"), I(1), I(7),
+					Id("MPI_COMM_WORLD"))},
+				[]Stmt{CallS("MPI_Recv", Id("buf"), I(8), Id("MPI_INT"), I(0), I(7),
+					Id("MPI_COMM_WORLD"), Id("MPI_STATUS_IGNORE"))}),
+			Finalize(),
+		)...)
+	var out []serve.Program
+	for _, p := range []*Program{deadlock, correct} {
+		out = append(out, serve.Program{Name: p.Name, IR: ir.Print(irgen.MustLower(p))})
+	}
+	return out
+}
+
+func main() {
+	cfg := core.DefaultIR2VecConfig()
+	cfg.Dim = 64
+	train := dataset.GenerateCorrBench(1, false)
+	fmt.Printf("training IR2Vec+DT on %s (%d codes)...\n", train.Name, len(train.Codes))
+	det, err := core.TrainIR2Vec(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := serve.NewRegistry()
+	reg.Register("ir2vec", det)
+	eng := serve.NewEngine(reg, serve.Config{
+		CacheSize: 1024, CacheTTL: 15 * time.Minute,
+		Tools: serve.DefaultTools(), SimWorkers: 2, SimTimeout: 5 * time.Second})
+	defer eng.Close()
+	srv := httptest.NewServer(serve.NewHandler(reg, eng))
+	defer srv.Close()
+	fmt.Printf("serving on %s (tools: %v)\n\n", srv.URL, serve.DefaultTools().Names())
+
+	analyze := func(pass string, prog serve.Program) {
+		body, _ := json.Marshal(serve.AnalyzeRequest{Model: "ir2vec", Program: prog})
+		start := time.Now()
+		resp, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out serve.AnalyzeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %s (%s) ==\n", pass, prog.Name, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("  ml        incorrect=%-5v label=%s\n", out.ML.Incorrect, out.ML.Label)
+		for _, v := range out.Tools {
+			kind := "static "
+			if v.Dynamic {
+				kind = "dynamic"
+			}
+			cached := ""
+			if v.Cached {
+				cached = " (cached)"
+			}
+			fmt.Printf("  %-12s %s %-8s%s %s\n", v.Tool, kind, v.Verdict, cached, v.Reason)
+		}
+		fmt.Printf("  ensemble  incorrect=%v (%d/%d flags, agreement %.2f)\n\n",
+			out.Ensemble.Incorrect, out.Ensemble.Flags, out.Ensemble.Voters, out.Ensemble.Agreement)
+	}
+
+	progs := buildPrograms()
+	for _, p := range progs {
+		analyze("cold", p)
+	}
+	for _, p := range progs {
+		analyze("warm", p)
+	}
+
+	stats, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var st serve.StatsSnapshot
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d analyze requests, %d tool runs, %d sim execs (warm pass ran zero), tool cache hits %d\n",
+		st.Analyze.Requests, st.Analyze.ToolRuns, st.Analyze.SimExecs, st.ToolCache.Hits)
+}

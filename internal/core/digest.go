@@ -117,3 +117,17 @@ func DigestIR(d Detector, src string) string {
 func DigestProgram(d Detector, p *ast.Program) string {
 	return digest(d, "c", ast.RenderC(p))
 }
+
+// DigestIRKeyed is DigestIR for analyses that are not trained detectors:
+// ident names the analysis identity — an expert tool plus every piece of
+// configuration that can change its verdict (simulated ranks, step
+// budget, ...). Two programs share a cached tool verdict exactly when
+// their normalized IR is byte-identical AND ident matches, under the
+// same artifact format version.
+func DigestIRKeyed(ident, src string) string {
+	buf := make([]byte, 0, len(src)+64)
+	buf = fmt.Appendf(buf, "v%d|%s|ir|", ArtifactVersion, ident)
+	buf = appendNormalizedIR(buf, src)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}

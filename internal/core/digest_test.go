@@ -68,6 +68,24 @@ func TestDigestSeparatesDetectorIdentity(t *testing.T) {
 	}
 }
 
+func TestDigestIRKeyed(t *testing.T) {
+	src := sampleIR(t)
+	base := DigestIRKeyed("tool:must|ranks=2|steps=200000", src)
+	messy := "; comment\n" + strings.ReplaceAll(src, "\n", "\n\n")
+	if DigestIRKeyed("tool:must|ranks=2|steps=200000", messy) != base {
+		t.Fatal("keyed digest changed under lexical reformatting")
+	}
+	if DigestIRKeyed("tool:must|ranks=4|steps=200000", src) == base {
+		t.Fatal("different tool configurations share a digest")
+	}
+	if DigestIRKeyed("tool:itac|ranks=2|steps=200000", src) == base {
+		t.Fatal("different tools share a digest")
+	}
+	if DigestIRKeyed("tool:must|ranks=2|steps=200000", src) != base {
+		t.Fatal("keyed digest is not deterministic")
+	}
+}
+
 func TestDigestProgram(t *testing.T) {
 	det := stubDet{"IR2Vec+DT", passes.Os}
 	d := dataset.GenerateCorrBench(1, false)

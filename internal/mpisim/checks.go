@@ -6,19 +6,31 @@ import (
 	"mpidetect/internal/mpi"
 )
 
-// dtInfo tracks derived datatype sizes.
-var _ = fmt.Sprintf
-
-// dtSize returns the byte size of one element of dt (derived types are
-// looked up in the runtime table).
-func (rt *Runtime) dtSize(dt mpi.Datatype) int {
+// dtSizeKnown returns the byte size of one element of dt and whether
+// that size is actually known. A derived handle that was never created
+// in this world (a garbage constant, an uninitialised variable) has no
+// defensible size; callers must not guess one, or they both mask real
+// truncation mismatches and fabricate spurious ones.
+func (rt *Runtime) dtSizeKnown(dt mpi.Datatype) (int, bool) {
 	if int64(dt) >= 100 {
-		if sz, ok := rt.derivedSizes[int64(dt)]; ok {
-			return sz
-		}
-		return 4
+		sz, ok := rt.derivedSizes[int64(dt)]
+		return sz, ok
 	}
-	return dt.Size()
+	return dt.Size(), true
+}
+
+// dtSize is dtSizeKnown for callers that need a size for data movement:
+// an unknown derived handle reports a use-of-unknown-datatype violation
+// (once per run) and contributes zero bytes, rather than the old silent
+// 4-byte guess that let size-based checks pass or misfire.
+func (rt *Runtime) dtSize(dt mpi.Datatype) int {
+	sz, ok := rt.dtSizeKnown(dt)
+	if !ok {
+		rt.reportOnce(Violation{Kind: VInvalidParam, Rank: -1, Op: mpi.OpNone,
+			Msg: fmt.Sprintf("use of unknown or freed derived datatype %d", int64(dt))})
+		return 0
+	}
+	return sz
 }
 
 // dtypeSizes records the size of a derived datatype.

@@ -143,6 +143,15 @@ func (m *Machine) call(f *ir.Func, args []RV, depth int) (RV, error) {
 			if m.steps > m.maxSteps {
 				return RV{}, &runErr{kind: "timeout", msg: fmt.Sprintf("step budget exceeded in @%s", f.Name)}
 			}
+			// Cooperative cancellation: a rank that never blocks on MPI
+			// (a compute loop) must still notice an aborted run; checking
+			// every 1024 steps bounds both the check cost and how long a
+			// rank can outlive its budget.
+			if m.steps&1023 == 0 {
+				if se := m.rt.stopNow(); se != nil {
+					return RV{}, se
+				}
+			}
 			switch in.Op {
 			case ir.OpBr:
 				prev, cur = cur, in.Blocks[0]

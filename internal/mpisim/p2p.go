@@ -265,17 +265,27 @@ func (rt *Runtime) deliver(msg *message, r *recvPost) {
 			Msg: fmt.Sprintf("send type %s does not match recv type %s", msg.dtype, r.dtype)})
 	}
 	sendBytes := len(msg.data)
-	recvCap := r.count * rt.dtSize(r.dtype)
-	if recvCap < 0 {
-		recvCap = 0 // negative counts were already reported as invalid
-	}
 	n := sendBytes
-	if sendBytes > recvCap {
-		rt.report(Violation{Kind: VTruncation, Rank: r.dst, Op: mpi.OpRecv,
-			Msg: fmt.Sprintf("message of %d bytes truncated to %d", sendBytes, recvCap)})
-		n = recvCap
+	recvSize, recvSizeKnown := rt.dtSizeKnown(r.dtype)
+	if recvSizeKnown {
+		recvCap := r.count * recvSize
+		if recvCap < 0 {
+			recvCap = 0 // negative counts were already reported as invalid
+		}
+		if sendBytes > recvCap {
+			rt.report(Violation{Kind: VTruncation, Rank: r.dst, Op: mpi.OpRecv,
+				Msg: fmt.Sprintf("message of %d bytes truncated to %d", sendBytes, recvCap)})
+			n = recvCap
+		}
+	} else {
+		// The receive names a derived datatype this world never created:
+		// its element size is unknowable, so no truncation verdict can be
+		// defended either way — report the real error and move no data.
+		rt.reportOnce(Violation{Kind: VInvalidParam, Rank: r.dst, Op: mpi.OpRecv,
+			Msg: fmt.Sprintf("receive posted with unknown or freed derived datatype %d", int64(r.dtype))})
+		n = 0
 	}
-	r.gotCount = n / max(1, rt.dtSize(r.dtype))
+	r.gotCount = n / max(1, recvSize)
 	if r.buf != nil {
 		dst := r.buf
 		if dst.Off+n > len(dst.Obj.Bytes) {

@@ -80,13 +80,22 @@ func (v Violation) String() string {
 type Result struct {
 	Violations []Violation
 	Deadlock   bool
-	Timeout    bool // a rank exceeded its step budget
-	Crashed    bool // interpreter fault (runtime error in the program)
-	CrashMsg   string
-	Output     string // interleaved printf output
+	Timeout    bool // a rank exceeded its step budget or the wall-clock budget
+	// WallTimeout marks a Timeout caused by Config.WallBudget. Unlike the
+	// deterministic step budget, wall-clock exhaustion depends on host
+	// load, so callers that cache verdicts must not treat it as a
+	// property of the program.
+	WallTimeout bool
+	Canceled    bool // the caller's context expired before the run finished
+	Crashed     bool // interpreter fault (runtime error in the program)
+	CrashMsg    string
+	Output      string // interleaved printf output
 }
 
-// Erroneous reports whether the run surfaced any dynamic problem.
+// Erroneous reports whether the run surfaced any dynamic problem. A
+// canceled run is deliberately not erroneous: cancellation is a harness
+// condition, not a property of the program, and callers on the serving
+// path must check Canceled explicitly and treat the run as inconclusive.
 func (r *Result) Erroneous() bool {
 	return len(r.Violations) > 0 || r.Deadlock || r.Timeout || r.Crashed
 }

@@ -1,9 +1,11 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mpidetect/internal/ir"
 	"mpidetect/internal/mpi"
@@ -14,6 +16,12 @@ type Config struct {
 	Ranks      int   // number of MPI processes (default 2)
 	MaxSteps   int64 // per-rank interpreter step budget (default 200k)
 	EagerLimit int   // standard-send eager threshold in bytes (default 64)
+
+	// WallBudget caps the wall-clock time of the whole run; 0 means no
+	// cap. A tripped budget surfaces as Result.Timeout, exactly like the
+	// per-rank step budget, so harness timeouts look the same whether the
+	// program burned steps or real time.
+	WallBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,15 @@ type Runtime struct {
 	size  int
 	procs []*proc
 
+	// Cooperative cancellation: ctx is the caller's context, deadline the
+	// wall-clock budget, stopErr the latched abort reason. Only the
+	// goroutine currently holding the scheduler turn touches stopErr, and
+	// turns are handed over through the resume/yielded channels, so no
+	// locking is needed (same discipline as every other Runtime field).
+	ctx      context.Context
+	deadline time.Time
+	stopErr  *runErr
+
 	violations []Violation
 	deadlock   bool
 	timeout    bool
@@ -110,9 +127,20 @@ type wildRecord struct {
 
 // Run simulates the module with the given configuration.
 func Run(mod *ir.Module, cfg Config) *Result {
+	return RunCtx(context.Background(), mod, cfg)
+}
+
+// RunCtx simulates the module under a caller context: cancelling ctx (or
+// exceeding cfg.WallBudget) aborts the run cooperatively — the scheduler
+// stops handing out turns, every per-rank goroutine is resumed so it can
+// observe the stop condition and exit, and the partial result is returned
+// with Result.Canceled (ctx) or Result.Timeout (budget) set. RunCtx never
+// leaks the rank goroutines, whatever state the simulated program is in.
+func RunCtx(ctx context.Context, mod *ir.Module, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
 		cfg:      cfg,
+		ctx:      ctx,
 		size:     cfg.Ranks,
 		reqs:     map[int64]*request{},
 		wins:     map[int64]*window{},
@@ -122,6 +150,9 @@ func Run(mod *ir.Module, cfg Config) *Result {
 		nextWin:  5000,
 		nextComm: 200,
 		nextType: 100,
+	}
+	if cfg.WallBudget > 0 {
+		rt.deadline = time.Now().Add(cfg.WallBudget)
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		p := &proc{
@@ -166,9 +197,42 @@ func Run(mod *ir.Module, cfg Config) *Result {
 	return rt.collect()
 }
 
+// stopNow reports (and latches) whether the run must abort: the caller's
+// context expired or the wall-clock budget ran out. It is only ever
+// called by the goroutine currently holding the scheduler turn, so the
+// latch needs no lock.
+func (rt *Runtime) stopNow() *runErr {
+	if rt.stopErr != nil {
+		return rt.stopErr
+	}
+	if err := rt.ctx.Err(); err != nil {
+		rt.stopErr = &runErr{kind: "canceled", msg: "run canceled: " + err.Error()}
+	} else if !rt.deadline.IsZero() && time.Now().After(rt.deadline) {
+		rt.stopErr = &runErr{kind: "timeout", msg: "wall-clock budget exceeded"}
+	}
+	return rt.stopErr
+}
+
+// abortBlocked resumes every blocked rank so its goroutine observes the
+// abort condition (deadlock or stop) and exits; without this the
+// per-rank goroutines would leak, parked on their resume channels.
+func (rt *Runtime) abortBlocked() {
+	for _, p := range rt.procs {
+		if p.state == pBlocked {
+			p.state = pRunning
+			p.resume <- struct{}{}
+			<-p.yielded
+		}
+	}
+}
+
 // schedule drives the cooperative round-robin scheduler to completion.
 func (rt *Runtime) schedule() {
 	for {
+		if rt.stopNow() != nil {
+			rt.abortBlocked()
+			return
+		}
 		progress := false
 		alive := false
 		for _, p := range rt.procs {
@@ -199,13 +263,7 @@ func (rt *Runtime) schedule() {
 			rt.report(Violation{Kind: VDeadlock, Rank: -1, Op: mpi.OpNone,
 				Msg: "no progress possible: " + strings.Join(blockedOps, ", ")})
 			// Unblock everyone with a deadlock verdict so goroutines exit.
-			for _, p := range rt.procs {
-				if p.state == pBlocked {
-					p.state = pRunning
-					p.resume <- struct{}{}
-					<-p.yielded
-				}
-			}
+			rt.abortBlocked()
 			return
 		}
 	}
@@ -218,6 +276,9 @@ func (rt *Runtime) block(p *proc, op mpi.Op, cond func() bool) error {
 	for !cond() {
 		if rt.deadlock {
 			return &runErr{kind: "deadlock", msg: "blocked in " + op.String()}
+		}
+		if se := rt.stopNow(); se != nil {
+			return se
 		}
 		p.blockedOn = op
 		p.state = pBlocked
@@ -232,7 +293,9 @@ func (rt *Runtime) block(p *proc, op mpi.Op, cond func() bool) error {
 // yieldTurn hands the scheduler one round without a blocking condition:
 // used by MPI_Test so that spin-loops polling a request let peers progress.
 func (rt *Runtime) yieldTurn(p *proc) {
-	if rt.deadlock {
+	// Once the run is aborting nobody will hand the turn back: keep it
+	// and let the interpreter's step check unwind this rank.
+	if rt.deadlock || rt.stopNow() != nil {
 		return
 	}
 	p.blockedOn = mpi.OpTest
@@ -259,6 +322,15 @@ func (rt *Runtime) reportOnce(v Violation) {
 
 func (rt *Runtime) collect() *Result {
 	res := &Result{Deadlock: rt.deadlock}
+	if rt.stopErr != nil {
+		switch rt.stopErr.kind {
+		case "timeout":
+			res.Timeout = true
+			res.WallTimeout = true
+		case "canceled":
+			res.Canceled = true
+		}
+	}
 	var out strings.Builder
 	for _, p := range rt.procs {
 		out.WriteString(p.mach.out.String())
@@ -266,6 +338,8 @@ func (rt *Runtime) collect() *Result {
 			switch p.err.kind {
 			case "timeout":
 				res.Timeout = true
+			case "canceled":
+				res.Canceled = true
 			case "crash":
 				res.Crashed = true
 				if res.CrashMsg == "" {
@@ -273,13 +347,17 @@ func (rt *Runtime) collect() *Result {
 				}
 			}
 		}
-		if p.inited && !p.finalized && p.err == nil && !rt.deadlock {
+		if p.inited && !p.finalized && p.err == nil && !rt.deadlock && rt.stopErr == nil {
 			rt.report(Violation{Kind: VCallOrdering, Rank: p.rank, Op: mpi.OpFinalize,
 				Msg: "MPI_Finalize never called"})
 		}
 	}
 	rt.analyzeRaces()
-	rt.finalLeakCheck()
+	// A canceled run was cut short by the harness, not the program: its
+	// half-finished requests and unmatched sends are not leaks.
+	if !res.Canceled {
+		rt.finalLeakCheck()
+	}
 	res.Output = out.String()
 	res.Violations = rt.violations
 	return res

@@ -1,0 +1,497 @@
+// The hybrid static+dynamic analysis tier (POST /analyze): one program
+// fans out to the registered ML detector plus a selection of expert
+// verification tools — the PARCOACH/MPI-Checker-like static analyses and
+// the ITAC/MUST-like dynamic checkers of the paper's Table III — and the
+// response carries every per-tool verdict plus a combined ensemble
+// verdict.
+//
+// Dynamic tools execute the program on the runtime simulator, which is
+// orders of magnitude heavier than a cached classification, so they run
+// on a separate concurrency-limited pool (Config.SimWorkers) under a
+// per-simulation wall-clock budget (Config.SimTimeout) and the caller's
+// request deadline: cancelling the request aborts an in-flight
+// simulation cooperatively. Tool verdicts are cached in their own
+// content-addressed cache under digests keyed by tool + configuration
+// (core.DigestIRKeyed), with per-tool prefix invalidation; a warm repeat
+// of the same program and tool set costs zero simulator executions.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mpidetect/internal/cache"
+	"mpidetect/internal/core"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/mpisim"
+	"mpidetect/internal/verify"
+)
+
+// Sentinel errors of the /analyze path, mapped to HTTP statuses by the
+// handler.
+var (
+	ErrAnalysisDisabled = errors.New("serve: no analysis tools configured")
+	ErrUnknownTool      = errors.New("serve: unknown tool")
+	ErrEmptyProgram     = errors.New("serve: empty program")
+)
+
+// errWallTimeout completes a flight whose simulation ran out of wall
+// clock: the verdict is broadcast to coalesced followers (it is
+// conclusive for their shared request window) but never stored — unlike
+// the deterministic step budget, wall-clock exhaustion depends on host
+// load, and caching it would serve a transient stall as the program's
+// verdict until TTL expiry.
+var errWallTimeout = errors.New("serve: simulation wall budget exceeded")
+
+// maxSimRanks caps the per-request rank count so one request cannot ask
+// the simulator for an arbitrarily wide world.
+const maxSimRanks = 16
+
+// ---------------------------------------------------------------------------
+// Tool registry.
+// ---------------------------------------------------------------------------
+
+type registeredTool struct {
+	tool    verify.ModuleChecker
+	dynamic bool
+}
+
+// ToolRegistry is a concurrency-safe name -> expert tool table, the
+// analysis-tier sibling of the model Registry. Tools marked dynamic
+// execute programs on the runtime simulator and are scheduled on the
+// engine's simulation pool.
+type ToolRegistry struct {
+	mu        sync.RWMutex
+	tools     map[string]registeredTool
+	onReplace []func(name string)
+}
+
+// NewToolRegistry returns an empty registry.
+func NewToolRegistry() *ToolRegistry {
+	return &ToolRegistry{tools: map[string]registeredTool{}}
+}
+
+// DefaultTools returns a registry holding the four expert tools of the
+// paper's comparison under their serving names.
+func DefaultTools() *ToolRegistry {
+	tr := NewToolRegistry()
+	tr.Register("parcoach", verify.PARCOACH{}, false)
+	tr.Register("mpi-checker", verify.MPIChecker{}, false)
+	tr.Register("itac", verify.ITAC{}, true)
+	tr.Register("must", verify.MUST{}, true)
+	return tr
+}
+
+// Register installs (or replaces) a tool under name. dynamic marks tools
+// that execute the program on the simulator. Replacing a tool fires the
+// OnReplace hooks (the engine uses them to sweep that tool's cached
+// verdicts).
+func (tr *ToolRegistry) Register(name string, t verify.ModuleChecker, dynamic bool) {
+	tr.mu.Lock()
+	tr.tools[name] = registeredTool{tool: t, dynamic: dynamic}
+	hooks := make([]func(string), len(tr.onReplace))
+	copy(hooks, tr.onReplace)
+	tr.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
+}
+
+// OnReplace installs a hook invoked (outside the registry lock) every
+// time a tool slot is written by Register.
+func (tr *ToolRegistry) OnReplace(fn func(name string)) {
+	tr.mu.Lock()
+	tr.onReplace = append(tr.onReplace, fn)
+	tr.mu.Unlock()
+}
+
+// Get resolves a registered tool.
+func (tr *ToolRegistry) Get(name string) (t verify.ModuleChecker, dynamic, ok bool) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	rt, ok := tr.tools[name]
+	return rt.tool, rt.dynamic, ok
+}
+
+// Names lists the registered tool names, sorted.
+func (tr *ToolRegistry) Names() []string {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	out := make([]string, 0, len(tr.tools))
+	for n := range tr.tools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Wire types.
+// ---------------------------------------------------------------------------
+
+// AnalyzeRequest is the POST /analyze body. Tools selects a subset of
+// the registered tools by name (empty = all); Ranks sets the simulated
+// world size for dynamic tools (default 2, capped at maxSimRanks).
+type AnalyzeRequest struct {
+	Model   string   `json:"model"`
+	Tools   []string `json:"tools,omitempty"`
+	Ranks   int      `json:"ranks,omitempty"`
+	Program Program  `json:"program"`
+}
+
+// ToolVerdict is one expert tool's outcome on the analyzed program.
+// Verdict is one of "clean", "flagged", "timeout", "canceled" or
+// "error"; only "clean" and "flagged" verdicts vote in the ensemble.
+type ToolVerdict struct {
+	Tool    string `json:"tool"`
+	Dynamic bool   `json:"dynamic"`
+	Verdict string `json:"verdict"`
+	Flagged bool   `json:"flagged"`
+	Reason  string `json:"reason,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
+	Err     string `json:"error,omitempty"`
+
+	// wallTO marks a timeout caused by the wall-clock budget; it keeps
+	// the verdict out of the cache (see errWallTimeout).
+	wallTO bool
+}
+
+// Ensemble combines the ML verdict with every conclusive tool verdict by
+// simple majority: each conclusive voter (the ML detector unless it
+// errored, plus every tool that answered clean or flagged) casts one
+// vote, and the program is reported incorrect when flags hold at least
+// half the votes — ties lean incorrect, since a detector that has seen a
+// concrete violation should not be outvoted into silence by a tie.
+// Agreement is the majority fraction.
+type Ensemble struct {
+	Incorrect bool    `json:"incorrect"`
+	Flags     int     `json:"flags"`
+	Voters    int     `json:"voters"`
+	Agreement float64 `json:"agreement"`
+}
+
+// AnalyzeResponse is the POST /analyze reply.
+type AnalyzeResponse struct {
+	Model    string        `json:"model"`
+	Name     string        `json:"name,omitempty"`
+	ML       Result        `json:"ml"`
+	Tools    []ToolVerdict `json:"tools"`
+	Ensemble Ensemble      `json:"ensemble"`
+}
+
+// ---------------------------------------------------------------------------
+// Engine: the analysis path.
+// ---------------------------------------------------------------------------
+
+// selectedTool is one resolved tool of a request.
+type selectedTool struct {
+	name    string
+	dynamic bool
+	tool    verify.ModuleChecker
+}
+
+// toolPrefix is the cache-key prefix of one tool's entries in the tool
+// cache; InvalidateTool and the registry's OnReplace hook sweep it.
+func toolPrefix(name string) string { return name + keySep }
+
+// toolKey addresses one (tool, configuration, program) verdict: the
+// digest folds in every configuration axis that can change the verdict.
+func toolKey(name string, ranks int, steps int64, src string) string {
+	ident := fmt.Sprintf("tool:%s|ranks=%d|steps=%d", name, ranks, steps)
+	return toolPrefix(name) + core.DigestIRKeyed(ident, src)
+}
+
+// InvalidateTool sweeps one tool's cached verdicts across every
+// configuration; it returns the number of entries removed.
+func (e *Engine) InvalidateTool(name string) int {
+	if e.toolCache == nil {
+		return 0
+	}
+	return e.toolCache.InvalidatePrefix(toolPrefix(name))
+}
+
+// ToolCacheStats snapshots the tool-verdict-cache counters; ok is false
+// when the analysis tier runs uncached or is disabled.
+func (e *Engine) ToolCacheStats() (cache.Stats, bool) {
+	if e.toolCache == nil {
+		return cache.Stats{}, false
+	}
+	return e.toolCache.Stats(), true
+}
+
+func (e *Engine) simWorker() {
+	defer e.simWG.Done()
+	for run := range e.simJobs {
+		run()
+	}
+}
+
+// resolveTools maps requested tool names to registered tools; an empty
+// request selects every registered tool, sorted by name.
+func (e *Engine) resolveTools(names []string) ([]selectedTool, error) {
+	if len(names) == 0 {
+		names = e.tools.Names()
+	}
+	out := make([]selectedTool, 0, len(names))
+	for _, name := range names {
+		t, dynamic, ok := e.tools.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (have %s)", ErrUnknownTool, name,
+				strings.Join(e.tools.Names(), ", "))
+		}
+		out = append(out, selectedTool{name: name, dynamic: dynamic, tool: t})
+	}
+	return out, nil
+}
+
+// Analyze fans one program out to the registered ML detector plus the
+// selected expert tools and combines their verdicts. The ML verdict
+// rides the ordinary classify path (same worker pool, cache and
+// coalescing); static tools run inline; dynamic tools run on the
+// simulation pool under the request deadline and the engine's
+// per-simulation budgets. The request as a whole is subject to the same
+// min(caller deadline, engine timeout) budget as Classify.
+func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	if e.tools == nil {
+		return nil, ErrAnalysisDisabled
+	}
+	if strings.TrimSpace(req.Program.IR) == "" {
+		return nil, ErrEmptyProgram
+	}
+	if _, ok := e.reg.Get(req.Model); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
+	}
+	selected, err := e.resolveTools(req.Tools)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
+	e.analyzeRequests.Add(1)
+
+	ranks := req.Ranks
+	if ranks <= 0 {
+		ranks = 2
+	}
+	if ranks > maxSimRanks {
+		ranks = maxSimRanks
+	}
+
+	// The ML verdict computes concurrently with the expert tools.
+	resp := &AnalyzeResponse{Model: req.Model, Name: req.Program.Name}
+	mlDone := make(chan error, 1)
+	go func() {
+		res, err := e.Classify(ctx, req.Model, []Program{req.Program})
+		if err == nil {
+			resp.ML = res[0]
+		}
+		mlDone <- err
+	}()
+
+	verdicts := make([]ToolVerdict, len(selected))
+	// (A parse failure is counted once, by the ML goroutine's Classify —
+	// not again here.)
+	if mod, perr := ir.Parse(req.Program.IR); perr != nil {
+		for i, st := range selected {
+			verdicts[i] = ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+				Verdict: "error", Err: "parse: " + perr.Error()}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, st := range selected {
+			i, st := i, st
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				verdicts[i] = e.runTool(ctx, st, mod, req.Program.IR, ranks)
+			}()
+		}
+		wg.Wait()
+	}
+	if err := <-mlDone; err != nil {
+		return nil, err
+	}
+	resp.Tools = verdicts
+	resp.Ensemble = ensembleOf(resp.ML, verdicts)
+	return resp, nil
+}
+
+// runTool produces one expert verdict, consulting the tool cache first:
+// a hit costs no execution, concurrent identical (tool, config, program)
+// analyses coalesce onto one leader, and a flight aborted by its
+// leader's dead deadline is retried by each waiter on its own budget —
+// the same follower policy as Classify.
+func (e *Engine) runTool(ctx context.Context, st selectedTool, mod *ir.Module, src string, ranks int) ToolVerdict {
+	if e.toolCache == nil {
+		return e.execTool(ctx, st, mod, ranks, nil)
+	}
+	// Static analyses are configuration-independent: keying them with a
+	// constant config segment gives one entry per program instead of one
+	// per requested rank count.
+	keyRanks, keySteps := ranks, e.cfg.SimMaxSteps
+	if !st.dynamic {
+		keyRanks, keySteps = 0, 0
+	}
+	key := toolKey(st.name, keyRanks, keySteps, src)
+	for {
+		v, f, state := e.toolCache.Join(key)
+		switch state {
+		case cache.Hit:
+			v.Cached = true
+			return v
+		case cache.Wait:
+			select {
+			case <-f.Done():
+				v, err := f.Result()
+				switch {
+				case err == nil:
+					return v
+				case errors.Is(err, errWallTimeout):
+					// Conclusive for this request window, just uncached.
+					return v
+				case isCancellation(err):
+					// The leader's request died; its deadline says nothing
+					// about ours — run the tool on our own budget.
+					continue
+				default:
+					return ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+						Verdict: "error", Err: err.Error()}
+				}
+			case <-ctx.Done():
+				return canceledToolVerdict(st)
+			}
+		case cache.Lead:
+			return e.execTool(ctx, st, mod, ranks, f)
+		}
+	}
+}
+
+// execTool executes one tool (leading flight f when non-nil): static
+// tools inline, dynamic tools on the simulation pool so heavy runs
+// cannot starve the classification workers.
+func (e *Engine) execTool(ctx context.Context, st selectedTool, mod *ir.Module, ranks int, f *cache.Flight[ToolVerdict]) ToolVerdict {
+	if !st.dynamic {
+		v := e.invokeTool(ctx, st, mod, ranks)
+		e.completeTool(f, v, ctx)
+		return v
+	}
+	done := make(chan ToolVerdict, 1)
+	job := func() {
+		// A dead context skips the simulation only for uncoalesced work;
+		// a flight leader still completes (with the cancellation) so
+		// waiters unblock and retry on their own budgets.
+		if ctx.Err() != nil {
+			if f != nil {
+				e.toolCache.Complete(f, ToolVerdict{}, ctxErr(ctx))
+			}
+			done <- canceledToolVerdict(st)
+			return
+		}
+		v := e.invokeTool(ctx, st, mod, ranks)
+		e.completeTool(f, v, ctx)
+		done <- v
+	}
+	select {
+	case e.simJobs <- job:
+	case <-ctx.Done():
+		if f != nil {
+			e.toolCache.Complete(f, ToolVerdict{}, ctxErr(ctx))
+		}
+		return canceledToolVerdict(st)
+	}
+	select {
+	case v := <-done:
+		return v
+	case <-ctx.Done():
+		// The running simulation observes the same context and aborts
+		// cooperatively; the job completes the flight on its way out.
+		return canceledToolVerdict(st)
+	}
+}
+
+// completeTool finishes a led flight. Conclusive verdicts — including
+// deterministic step-budget timeouts and crashes, which are properties
+// of the program under this configuration — are stored; a cancellation
+// is broadcast but never cached, so followers retry and future requests
+// recompute; a wall-clock timeout is broadcast with its verdict but
+// never cached (errWallTimeout).
+func (e *Engine) completeTool(f *cache.Flight[ToolVerdict], v ToolVerdict, ctx context.Context) {
+	if f == nil {
+		return
+	}
+	switch {
+	case v.Verdict == "canceled":
+		e.toolCache.Complete(f, ToolVerdict{}, ctxErr(ctx))
+	case v.wallTO:
+		e.toolCache.Complete(f, v, errWallTimeout)
+	default:
+		e.toolCache.Complete(f, v, nil)
+	}
+}
+
+// invokeTool runs the tool synchronously and maps its verdict.
+func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module, ranks int) ToolVerdict {
+	e.toolRuns.Add(1)
+	var cfg mpisim.Config
+	if st.dynamic {
+		e.simExecs.Add(1)
+		cfg = mpisim.Config{Ranks: ranks, MaxSteps: e.cfg.SimMaxSteps,
+			WallBudget: e.cfg.SimTimeout}
+	}
+	v := st.tool.CheckModule(ctx, mod, cfg)
+	out := ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+		Flagged: v.Flagged, Reason: v.Reason}
+	switch {
+	case v.Canceled:
+		out.Verdict = "canceled"
+	case v.TO:
+		out.Verdict = "timeout"
+		out.wallTO = v.Wall
+		e.simTimeouts.Add(1)
+	case v.CE || v.RE:
+		out.Verdict = "error"
+		out.Err = v.Reason
+	case v.Flagged:
+		out.Verdict = "flagged"
+	default:
+		out.Verdict = "clean"
+	}
+	return out
+}
+
+func canceledToolVerdict(st selectedTool) ToolVerdict {
+	return ToolVerdict{Tool: st.name, Dynamic: st.dynamic, Verdict: "canceled"}
+}
+
+// ensembleOf tallies the majority vote described on Ensemble.
+func ensembleOf(ml Result, tools []ToolVerdict) Ensemble {
+	var ens Ensemble
+	if ml.Err == "" {
+		ens.Voters++
+		if ml.Incorrect {
+			ens.Flags++
+		}
+	}
+	for _, v := range tools {
+		switch v.Verdict {
+		case "flagged":
+			ens.Voters++
+			ens.Flags++
+		case "clean":
+			ens.Voters++
+		}
+	}
+	ens.Incorrect = ens.Flags > 0 && 2*ens.Flags >= ens.Voters
+	if ens.Voters > 0 {
+		majority := ens.Flags
+		if clean := ens.Voters - ens.Flags; clean > majority {
+			majority = clean
+		}
+		ens.Agreement = float64(majority) / float64(ens.Voters)
+	}
+	return ens
+}

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/verify"
+)
+
+// progIR lowers an AST program to the textual-IR wire format.
+func progIR(t testing.TB, p *ast.Program) string {
+	t.Helper()
+	m, err := irgen.Lower(p)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return ir.Print(m)
+}
+
+// pingpongIR is a correct two-rank exchange: every tool should answer
+// "clean".
+func pingpongIR(t testing.TB) string {
+	stmts := ast.MPIBoilerplate()
+	stmts = append(stmts,
+		ast.DeclArr("buf", 8, ast.Int),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Send", ast.Id("buf"), ast.I(8), ast.Id("MPI_INT"),
+					ast.I(1), ast.I(7), ast.Id("MPI_COMM_WORLD")),
+			},
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(8), ast.Id("MPI_INT"),
+					ast.I(0), ast.I(7), ast.Id("MPI_COMM_WORLD"), ast.Id("MPI_STATUS_IGNORE")),
+			}),
+		ast.Finalize(),
+	)
+	return progIR(t, ast.MainProgram("pingpong", stmts...))
+}
+
+// headToHeadIR deadlocks: both ranks Recv before Send.
+func headToHeadIR(t testing.TB) string {
+	stmts := ast.MPIBoilerplate()
+	stmts = append(stmts,
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"),
+			ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3), ast.Id("MPI_COMM_WORLD"),
+			ast.Id("MPI_STATUS_IGNORE")),
+		ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"),
+			ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3), ast.Id("MPI_COMM_WORLD")),
+		ast.Finalize(),
+	)
+	return progIR(t, ast.MainProgram("headtohead", stmts...))
+}
+
+// spinIR burns billions of interpreter steps without blocking — the
+// cancellation worst case.
+func spinIR(t testing.TB) string {
+	stmts := ast.MPIBoilerplate()
+	stmts = append(stmts,
+		ast.Decl("x", ast.Int, ast.I(0)),
+		ast.While(ast.Lt(ast.Id("x"), ast.I(2_000_000_000)),
+			ast.Assign(ast.Id("x"), ast.Add(ast.Id("x"), ast.I(1)))),
+		ast.Finalize(),
+	)
+	return progIR(t, ast.MainProgram("spin", stmts...))
+}
+
+func analyzeEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Tools == nil {
+		cfg.Tools = DefaultTools()
+	}
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	eng := NewEngine(reg, cfg)
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+func verdictOf(t *testing.T, resp *AnalyzeResponse, tool string) ToolVerdict {
+	t.Helper()
+	for _, v := range resp.Tools {
+		if v.Tool == tool {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for tool %q in %+v", tool, resp.Tools)
+	return ToolVerdict{}
+}
+
+// TestAnalyzeHybridVerdicts is the endpoint acceptance path over HTTP:
+// one deadlocking and one correct program, each fanned out to the ML
+// detector plus all four expert tools, with per-tool archetype behaviour
+// visible in the response.
+func TestAnalyzeHybridVerdicts(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{Tools: DefaultTools(), CacheSize: 256})
+
+	post := func(req AnalyzeRequest) (*http.Response, AnalyzeResponse) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out AnalyzeResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, out
+	}
+
+	// Deadlocking program: MUST flags it, ITAC times out on it.
+	hr, dead := post(AnalyzeRequest{Model: "ir2vec",
+		Program: Program{Name: "headtohead", IR: headToHeadIR(t)}})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", hr.StatusCode)
+	}
+	if len(dead.Tools) != 4 {
+		t.Fatalf("got %d tool verdicts, want 4: %+v", len(dead.Tools), dead.Tools)
+	}
+	if v := verdictOf(t, &dead, "must"); v.Verdict != "flagged" || !v.Dynamic {
+		t.Fatalf("must verdict %+v, want dynamic flagged", v)
+	}
+	if v := verdictOf(t, &dead, "itac"); v.Verdict != "timeout" {
+		t.Fatalf("itac verdict %+v, want timeout (inconclusive on deadlock)", v)
+	}
+	if dead.Ensemble.Voters < 3 || dead.Ensemble.Flags < 1 {
+		t.Fatalf("ensemble %+v: want >=3 voters and >=1 flag", dead.Ensemble)
+	}
+
+	// Correct program: both dynamic tools answer clean.
+	_, ok := post(AnalyzeRequest{Model: "ir2vec",
+		Program: Program{Name: "pingpong", IR: pingpongIR(t)}})
+	for _, tool := range []string{"itac", "must"} {
+		if v := verdictOf(t, &ok, tool); v.Verdict != "clean" || v.Flagged {
+			t.Fatalf("%s on correct code: %+v, want clean", tool, v)
+		}
+	}
+	if ok.ML.Err != "" {
+		t.Fatalf("ML verdict errored: %s", ok.ML.Err)
+	}
+}
+
+// TestAnalyzeWarmRepeatRunsZeroSimulations is the cache acceptance
+// criterion: a warm repeat of the same program + tool set is served
+// entirely from the tool cache — zero additional simulator executions,
+// observable through the /stats counters.
+func TestAnalyzeWarmRepeatRunsZeroSimulations(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256})
+	req := AnalyzeRequest{Model: "ir2vec", Program: Program{Name: "p", IR: pingpongIR(t)}}
+	ctx := context.Background()
+
+	cold, err := eng.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Analyze == nil {
+		t.Fatal("stats missing analyze section with tools configured")
+	}
+	if st.Analyze.SimExecs != 2 {
+		t.Fatalf("cold pass ran %d simulations, want 2 (itac, must)", st.Analyze.SimExecs)
+	}
+
+	warm, err := eng.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Analyze.SimExecs != 2 {
+		t.Fatalf("warm repeat ran the simulator (%d execs, want 2)", st.Analyze.SimExecs)
+	}
+	if st.ToolCache == nil || st.ToolCache.Hits < 4 {
+		t.Fatalf("tool cache stats %+v: want >=4 hits on the warm pass", st.ToolCache)
+	}
+	for i, v := range warm.Tools {
+		if !v.Cached {
+			t.Fatalf("warm verdict %d not marked cached: %+v", i, v)
+		}
+		if v.Verdict != cold.Tools[i].Verdict || v.Flagged != cold.Tools[i].Flagged {
+			t.Fatalf("warm verdict diverged: cold %+v warm %+v", cold.Tools[i], v)
+		}
+	}
+	if warm.Ensemble != cold.Ensemble {
+		t.Fatalf("ensemble diverged: cold %+v warm %+v", cold.Ensemble, warm.Ensemble)
+	}
+}
+
+// TestAnalyzeStaticSubsetSkipsSimulator: selecting only static tools
+// must never touch the simulation pool.
+func TestAnalyzeStaticSubsetSkipsSimulator(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256})
+	_, err := eng.Analyze(context.Background(), AnalyzeRequest{
+		Model:   "ir2vec",
+		Tools:   []string{"parcoach", "mpi-checker"},
+		Program: Program{IR: pingpongIR(t)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Analyze.SimExecs != 0 {
+		t.Fatalf("static-only analysis ran %d simulations", st.Analyze.SimExecs)
+	}
+}
+
+// TestAnalyzeShortDeadlineAbortsSimulation: a request deadline far below
+// the simulation's step budget aborts the in-flight simulation promptly
+// (cooperative cancellation), the cancelled verdict is never cached, and
+// the engine keeps serving afterwards.
+func TestAnalyzeShortDeadlineAbortsSimulation(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256, SimMaxSteps: 1 << 40, SimTimeout: time.Hour})
+	spin := spinIR(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	resp, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
+		Tools: []string{"itac"}, Program: Program{IR: spin}})
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("short-deadline analyze took %s; simulation did not abort", elapsed)
+	}
+	// The ML half may or may not beat the deadline; either outcome is
+	// acceptable as long as the simulation died with the request.
+	if err == nil {
+		if v := verdictOf(t, resp, "itac"); v.Verdict != "canceled" {
+			t.Fatalf("itac verdict %+v, want canceled", v)
+		}
+	} else if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("unexpected analyze error: %v", err)
+	}
+
+	// Nothing was cached for the aborted run, and the pool is healthy: a
+	// fresh, conclusive analysis still works (small step budget makes the
+	// spin program a deterministic timeout verdict).
+	ts, _ := eng.ToolCacheStats()
+	if ts.Size != 0 {
+		t.Fatalf("aborted simulation left %d cached entries", ts.Size)
+	}
+	resp2, err := eng.Analyze(context.Background(), AnalyzeRequest{Model: "ir2vec",
+		Tools: []string{"parcoach"}, Program: Program{IR: pingpongIR(t)}})
+	if err != nil {
+		t.Fatalf("engine unhealthy after aborted simulation: %v", err)
+	}
+	// (PARCOACH flags the rank-dependent branch — its archetype FP storm —
+	// the point here is only that the verdict is conclusive.)
+	if v := verdictOf(t, resp2, "parcoach"); v.Verdict != "clean" && v.Verdict != "flagged" {
+		t.Fatalf("parcoach after abort not conclusive: %+v", v)
+	}
+}
+
+// TestWallTimeoutVerdictsAreNotCached: wall-clock exhaustion depends on
+// host load, not the program, so a wall-budget "timeout" verdict must be
+// served to the requester but never stored — the next request re-runs
+// the simulation.
+func TestWallTimeoutVerdictsAreNotCached(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256,
+		SimMaxSteps: 1 << 40, SimTimeout: time.Millisecond})
+	req := AnalyzeRequest{Model: "ir2vec", Tools: []string{"must"},
+		Program: Program{IR: spinIR(t)}}
+	ctx := context.Background()
+
+	resp, err := eng.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, resp, "must"); v.Verdict != "timeout" {
+		t.Fatalf("must verdict %+v, want wall-budget timeout", v)
+	}
+	if ts, _ := eng.ToolCacheStats(); ts.Size != 0 {
+		t.Fatalf("wall-clock timeout was cached (%d entries)", ts.Size)
+	}
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Analyze.SimExecs; got != 2 {
+		t.Fatalf("sim execs = %d, want 2 (wall timeouts must recompute)", got)
+	}
+}
+
+// TestAnalyzeErrorsAndDisabled covers the request-validation surface:
+// unknown models and tools, empty programs, and the disabled tier.
+func TestAnalyzeErrorsAndDisabled(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256})
+	ctx := context.Background()
+	irText := pingpongIR(t)
+
+	if _, err := eng.Analyze(ctx, AnalyzeRequest{Model: "nope",
+		Program: Program{IR: irText}}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
+		Tools: []string{"lint"}, Program: Program{IR: irText}}); !errors.Is(err, ErrUnknownTool) {
+		t.Fatalf("unknown tool: %v", err)
+	}
+	if _, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec"}); !errors.Is(err, ErrEmptyProgram) {
+		t.Fatalf("empty program: %v", err)
+	}
+
+	// A parse failure is per-tool data, not a request error.
+	resp, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
+		Program: Program{IR: "define garbage {"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range resp.Tools {
+		if v.Verdict != "error" || v.Err == "" {
+			t.Fatalf("tool verdict on unparsable program: %+v", v)
+		}
+	}
+	if resp.Ensemble.Voters != 0 {
+		t.Fatalf("unparsable program still has %d ensemble voters", resp.Ensemble.Voters)
+	}
+	if got := eng.Stats().Engine.ParseErrors; got != 1 {
+		t.Fatalf("parse_errors = %d for one bad program, want 1 (no double count)", got)
+	}
+
+	// An engine without tools 404s the endpoint.
+	srv, _, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(AnalyzeRequest{Model: "ir2vec", Program: Program{IR: irText}})
+	hr, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /analyze returned %d, want 404", hr.StatusCode)
+	}
+}
+
+// TestInvalidateToolForcesRecompute: sweeping one tool's entries (the
+// registry-replacement path) re-runs exactly that tool's simulations.
+func TestInvalidateToolForcesRecompute(t *testing.T) {
+	tools := DefaultTools()
+	eng := analyzeEngine(t, Config{CacheSize: 256, Tools: tools})
+	req := AnalyzeRequest{Model: "ir2vec", Tools: []string{"itac", "must"},
+		Program: Program{IR: pingpongIR(t)}}
+	ctx := context.Background()
+
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if removed := eng.InvalidateTool("must"); removed != 1 {
+		t.Fatalf("InvalidateTool removed %d entries, want 1", removed)
+	}
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Analyze.SimExecs; got != 3 {
+		t.Fatalf("sim execs = %d, want 3 (itac cached, must recomputed)", got)
+	}
+
+	// Re-registering a tool invalidates through the OnReplace hook too.
+	tools.Register("itac", verify.ITAC{}, true)
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Analyze.SimExecs; got != 4 {
+		t.Fatalf("sim execs = %d, want 4 after itac re-registration", got)
+	}
+}
+
+// TestEnsembleMajority pins the documented vote rule.
+func TestEnsembleMajority(t *testing.T) {
+	flag := ToolVerdict{Verdict: "flagged"}
+	clean := ToolVerdict{Verdict: "clean"}
+	timeout := ToolVerdict{Verdict: "timeout"}
+	cases := []struct {
+		name  string
+		ml    Result
+		tools []ToolVerdict
+		want  Ensemble
+	}{
+		{"unanimous-flag", Result{Incorrect: true}, []ToolVerdict{flag, flag},
+			Ensemble{Incorrect: true, Flags: 3, Voters: 3, Agreement: 1}},
+		{"majority-clean", Result{}, []ToolVerdict{clean, flag},
+			Ensemble{Incorrect: false, Flags: 1, Voters: 3, Agreement: 2.0 / 3}},
+		{"tie-leans-incorrect", Result{Incorrect: true}, []ToolVerdict{clean},
+			Ensemble{Incorrect: true, Flags: 1, Voters: 2, Agreement: 0.5}},
+		{"minority-flag-loses", Result{}, []ToolVerdict{clean, clean, flag},
+			Ensemble{Incorrect: false, Flags: 1, Voters: 4, Agreement: 0.75}},
+		{"inconclusive-dont-vote", Result{Incorrect: true}, []ToolVerdict{timeout, timeout},
+			Ensemble{Incorrect: true, Flags: 1, Voters: 1, Agreement: 1}},
+		{"ml-error-no-vote", Result{Err: "parse"}, []ToolVerdict{clean},
+			Ensemble{Incorrect: false, Flags: 0, Voters: 1, Agreement: 1}},
+	}
+	for _, tc := range cases {
+		if got := ensembleOf(tc.ml, tc.tools); got != tc.want {
+			t.Errorf("%s: ensemble %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}

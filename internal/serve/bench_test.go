@@ -79,6 +79,44 @@ func BenchmarkCoalescedClients(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyze measures the hybrid-analysis dynamic path: one
+// program fanned out to the ML detector plus all four expert tools.
+// "cold" invalidates the tool cache every iteration, so both simulations
+// (itac, must) re-execute; "cached" measures the warm steady state,
+// where the acceptance contract is zero simulator executions per
+// request. The gap is the entire cost of the dynamic tier.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, mode := range []string{"cold", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			reg := NewRegistry()
+			reg.Register("ir2vec", trained(b))
+			eng := NewEngine(reg, Config{CacheSize: 4096, CacheTTL: time.Hour,
+				Tools: DefaultTools(), SimWorkers: 2})
+			b.Cleanup(eng.Close)
+			req := AnalyzeRequest{Model: "ir2vec",
+				Program: Program{Name: "pingpong", IR: pingpongIR(b)}}
+			ctx := context.Background()
+			if _, err := eng.Analyze(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			simsBefore := eng.Stats().Analyze.SimExecs
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cold" {
+					for _, tool := range []string{"parcoach", "mpi-checker", "itac", "must"} {
+						eng.InvalidateTool(tool)
+					}
+				}
+				if _, err := eng.Analyze(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(eng.Stats().Analyze.SimExecs-simsBefore)/float64(b.N), "sims/op")
+		})
+	}
+}
+
 // BenchmarkDigest isolates the per-request cost the cache adds on the hot
 // path: digesting a program's textual IR without parsing it.
 func BenchmarkDigest(b *testing.B) {

@@ -39,6 +39,7 @@ import (
 	"mpidetect/internal/core"
 	"mpidetect/internal/ir"
 	"mpidetect/internal/passes"
+	"mpidetect/internal/verify"
 )
 
 // Sentinel errors mapped to HTTP statuses by the handler.
@@ -158,6 +159,21 @@ type Config struct {
 	CacheSize int
 	// CacheTTL bounds a cached verdict's lifetime; 0 = no expiry.
 	CacheTTL time.Duration
+
+	// Tools enables POST /analyze: the registry of expert static/dynamic
+	// verification tools fanned out next to the ML verdict. Nil disables
+	// the endpoint (and the simulation pool).
+	Tools *ToolRegistry
+	// SimWorkers caps concurrently-running dynamic-tool simulations
+	// (default 2). Dynamic runs are orders of magnitude heavier than
+	// cached classify hits, so they get their own small pool and cannot
+	// starve the classification workers.
+	SimWorkers int
+	// SimTimeout is the wall-clock budget of one simulation (default 5s).
+	SimTimeout time.Duration
+	// SimMaxSteps is the per-rank interpreter step budget of one
+	// simulation (default verify.DefaultMaxSteps).
+	SimMaxSteps int64
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +185,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 2
+	}
+	if c.SimTimeout <= 0 {
+		c.SimTimeout = 5 * time.Second
+	}
+	if c.SimMaxSteps <= 0 {
+		c.SimMaxSteps = verify.DefaultMaxSteps
 	}
 	return c
 }
@@ -219,10 +244,23 @@ type Engine struct {
 	wg    sync.WaitGroup
 	cache *cache.Cache[Result] // nil when disabled
 
+	// Hybrid-analysis tier (POST /analyze): expert tools, a separate
+	// concurrency-limited pool for dynamic simulations, and a dedicated
+	// verdict cache keyed by tool + configuration.
+	tools     *ToolRegistry
+	toolCache *cache.Cache[ToolVerdict] // nil when disabled
+	simJobs   chan func()
+	simWG     sync.WaitGroup
+
 	requests      atomic.Int64
 	programs      atomic.Int64
 	pipelineExecs atomic.Int64
 	parseErrors   atomic.Int64
+
+	analyzeRequests atomic.Int64
+	toolRuns        atomic.Int64
+	simExecs        atomic.Int64
+	simTimeouts     atomic.Int64
 }
 
 // NewEngine starts the worker pool over the registry. When cfg.CacheSize
@@ -243,15 +281,35 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		e.wg.Add(1)
 		go e.worker()
 	}
+	if e.cfg.Tools != nil {
+		e.tools = e.cfg.Tools
+		if e.cfg.CacheSize > 0 {
+			e.toolCache = cache.New[ToolVerdict](cache.Config{
+				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
+			e.tools.OnReplace(func(name string) {
+				e.toolCache.InvalidatePrefix(toolPrefix(name))
+			})
+		}
+		e.simJobs = make(chan func(), 2*e.cfg.SimWorkers)
+		for w := 0; w < e.cfg.SimWorkers; w++ {
+			e.simWG.Add(1)
+			go e.simWorker()
+		}
+	}
 	return e
 }
 
-// Close drains the pool. It must not be called concurrently with Classify;
-// the HTTP server is shut down first. Every queued job is still executed
-// (workers drain the channel), so no cache flight is left incomplete.
+// Close drains the pools. It must not be called concurrently with
+// Classify or Analyze; the HTTP server is shut down first. Every queued
+// job is still executed (workers drain the channels), so no cache flight
+// is left incomplete.
 func (e *Engine) Close() {
 	close(e.jobs)
+	if e.simJobs != nil {
+		close(e.simJobs)
+	}
 	e.wg.Wait()
+	e.simWG.Wait()
 }
 
 // MaxBatch reports the per-request batch cap.
@@ -306,9 +364,10 @@ type flightWait struct {
 	f   *cache.Flight[Result]
 }
 
-// Classify runs a batch of programs against a registered model. The batch
-// is subject to the engine's per-request timeout unless ctx already
-// carries a sooner deadline.
+// Classify runs a batch of programs against a registered model. The
+// effective budget is min(caller deadline, engine timeout): the server's
+// per-request budget always applies, and a caller with a sooner deadline
+// gets the sooner one.
 func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([]Result, error) {
 	if len(progs) == 0 {
 		return nil, ErrEmptyBatch
@@ -320,11 +379,11 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
 	}
-	if _, has := ctx.Deadline(); !has {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
-		defer cancel()
-	}
+	// context.WithTimeout never extends an earlier parent deadline, so a
+	// client cannot bypass the server's budget by sending a distant
+	// deadline of its own.
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
 	e.requests.Add(1)
 	e.programs.Add(int64(len(progs)))
 
@@ -488,12 +547,26 @@ type EngineStats struct {
 	MaxBatch      int   `json:"max_batch"`
 }
 
+// AnalyzeStats is the hybrid-analysis half of GET /stats. SimExecs
+// counts actual simulator executions — a warm /analyze repeat leaves it
+// untouched, which is the observable cache contract of the endpoint.
+type AnalyzeStats struct {
+	Requests    int64    `json:"requests"`
+	ToolRuns    int64    `json:"tool_runs"`
+	SimExecs    int64    `json:"sim_execs"`
+	SimTimeouts int64    `json:"sim_timeouts"`
+	SimWorkers  int      `json:"sim_workers"`
+	Tools       []string `json:"tools"`
+}
+
 // StatsSnapshot is the GET /stats body: live engine counters plus, when
-// caching is enabled, the cache counters.
+// enabled, the verdict-cache, hybrid-analysis, and tool-cache counters.
 type StatsSnapshot struct {
-	Engine EngineStats  `json:"engine"`
-	Cache  *cache.Stats `json:"cache,omitempty"`
-	Models int          `json:"models"`
+	Engine    EngineStats   `json:"engine"`
+	Cache     *cache.Stats  `json:"cache,omitempty"`
+	Analyze   *AnalyzeStats `json:"analyze,omitempty"`
+	ToolCache *cache.Stats  `json:"tool_cache,omitempty"`
+	Models    int           `json:"models"`
 }
 
 // Stats snapshots the engine (and cache) counters.
@@ -511,6 +584,20 @@ func (e *Engine) Stats() StatsSnapshot {
 	}
 	if cs, ok := e.CacheStats(); ok {
 		s.Cache = &cs
+	}
+	if e.tools != nil {
+		s.Analyze = &AnalyzeStats{
+			Requests:    e.analyzeRequests.Load(),
+			ToolRuns:    e.toolRuns.Load(),
+			SimExecs:    e.simExecs.Load(),
+			SimTimeouts: e.simTimeouts.Load(),
+			SimWorkers:  e.cfg.SimWorkers,
+			Tools:       e.tools.Names(),
+		}
+		if e.toolCache != nil {
+			ts := e.toolCache.Stats()
+			s.ToolCache = &ts
+		}
 	}
 	return s
 }
@@ -548,6 +635,36 @@ func NewHandler(reg *Registry, eng *Engine) http.Handler {
 		case errors.Is(err, ErrCanceled):
 			// The client is gone; 499 is the de-facto (nginx) status for
 			// client-closed requests.
+			httpError(w, 499, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		var req AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, "decoding request: "+err.Error())
+				return
+			}
+			httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			return
+		}
+		resp, err := eng.Analyze(r.Context(), req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, ErrAnalysisDisabled):
+			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrUnknownModel):
+			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrUnknownTool), errors.Is(err, ErrEmptyProgram):
+			httpError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, ErrTimeout):
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+		case errors.Is(err, ErrCanceled):
 			httpError(w, 499, err.Error())
 		default:
 			httpError(w, http.StatusInternalServerError, err.Error())

@@ -239,6 +239,29 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestClientDeadlineCannotBypassServerTimeout is the regression test for
+// the budget-cap bug: the engine used to apply cfg.Timeout only when the
+// caller context had no deadline of its own, so a client presenting a
+// distant deadline got an unbounded budget. The effective budget must be
+// min(caller deadline, cfg.Timeout).
+func TestClientDeadlineCannotBypassServerTimeout(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("slow", slowDetector{500 * time.Millisecond})
+	eng := NewEngine(reg, Config{Timeout: 30 * time.Millisecond, Workers: 1})
+	defer eng.Close()
+	progs, _ := corpusIR(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	_, err := eng.Classify(ctx, "slow", progs)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("server budget of 30ms took %s to trip under a 10-minute client deadline", elapsed)
+	}
+}
+
 func TestCallerCancellationIsNotATimeout(t *testing.T) {
 	reg := NewRegistry()
 	reg.Register("slow", slowDetector{500 * time.Millisecond})

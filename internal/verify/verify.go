@@ -9,21 +9,27 @@
 package verify
 
 import (
+	"context"
+	"time"
+
 	"mpidetect/internal/dataset"
 	"mpidetect/internal/ir"
 	"mpidetect/internal/irgen"
 	"mpidetect/internal/metrics"
 	"mpidetect/internal/mpi"
 	"mpidetect/internal/mpisim"
+	"mpidetect/internal/par"
 )
 
 // Verdict is one tool's outcome on one code.
 type Verdict struct {
-	Flagged bool   // the tool reported an error
-	CE      bool   // compilation error
-	TO      bool   // timeout
-	RE      bool   // runtime/tool error
-	Reason  string // first diagnostic
+	Flagged  bool   // the tool reported an error
+	CE       bool   // compilation error
+	TO       bool   // timeout
+	Wall     bool   // the TO came from the wall-clock budget (load-dependent)
+	RE       bool   // runtime/tool error
+	Canceled bool   // the caller's context expired mid-run (always with TO)
+	Reason   string // first diagnostic
 }
 
 // Tool is a verification tool under evaluation.
@@ -32,11 +38,74 @@ type Tool interface {
 	Check(c *dataset.Code) Verdict
 }
 
+// ModuleChecker is implemented by tools that can analyze an already-
+// compiled module under a caller-provided context and simulation
+// configuration — the serving path, where programs arrive as textual IR
+// and every dynamic run must answer to a request deadline. Static tools
+// ignore ctx and cfg.
+type ModuleChecker interface {
+	Tool
+	CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict
+}
+
+// DefaultMaxSteps is the explicit per-rank step budget the harness hands
+// the simulator. It pins the mpisim default so tool timeouts stay
+// deterministic even if the simulator's own default moves.
+const DefaultMaxSteps = 200_000
+
+// Budget bounds one simulated run of a dynamic tool. The zero value
+// takes the documented defaults, so ITAC{} / MUST{} literals keep their
+// historical behaviour.
+type Budget struct {
+	Ranks    int           // simulated ranks when the code does not specify (default 2)
+	MaxSteps int64         // per-rank interpreter step budget (default DefaultMaxSteps)
+	Wall     time.Duration // wall-clock cap for one run (0 = none)
+}
+
+func (b Budget) withDefaults() Budget {
+	if b.Ranks <= 0 {
+		b.Ranks = 2
+	}
+	if b.MaxSteps <= 0 {
+		b.MaxSteps = DefaultMaxSteps
+	}
+	return b
+}
+
+// simConfig builds the simulator configuration for one run, preferring
+// the code's own rank count over the budget's default.
+func (b Budget) simConfig(ranks int) mpisim.Config {
+	b = b.withDefaults()
+	if ranks > 0 {
+		b.Ranks = ranks
+	}
+	return mpisim.Config{Ranks: b.Ranks, MaxSteps: b.MaxSteps, WallBudget: b.Wall}
+}
+
 // Evaluate runs a tool over a dataset and tallies Table III counts.
+// Verdicts are computed in parallel (the dynamic tools dominate eval
+// wall-clock); the tally itself is a sequential fold over the per-code
+// verdicts, so the confusion matrix is identical to a serial evaluation.
 func Evaluate(t Tool, d *dataset.Dataset) metrics.Confusion {
+	verdicts := make([]Verdict, len(d.Codes))
+	par.Map(len(d.Codes), func(i int) { verdicts[i] = t.Check(d.Codes[i]) })
+	return tally(d, verdicts)
+}
+
+// evaluateSerial is the single-threaded reference path, kept so tests
+// can pin Evaluate's parallel fan-out to bit-identical tallies.
+func evaluateSerial(t Tool, d *dataset.Dataset) metrics.Confusion {
+	verdicts := make([]Verdict, len(d.Codes))
+	for i, code := range d.Codes {
+		verdicts[i] = t.Check(code)
+	}
+	return tally(d, verdicts)
+}
+
+func tally(d *dataset.Dataset, verdicts []Verdict) metrics.Confusion {
 	var c metrics.Confusion
-	for _, code := range d.Codes {
-		v := t.Check(code)
+	for i, code := range d.Codes {
+		v := verdicts[i]
 		switch {
 		case v.CE:
 			c.CE++
@@ -61,24 +130,33 @@ func lower(c *dataset.Code) (*ir.Module, bool) {
 // the tool's timeout (inconclusive), everything else produces a verdict.
 // ---------------------------------------------------------------------------
 
-// ITAC is the dynamic trace analyzer archetype.
-type ITAC struct{}
+// ITAC is the dynamic trace analyzer archetype. Budget bounds every
+// simulated run explicitly, so harness timeouts are deterministic rather
+// than dependent on the simulator's default step budget.
+type ITAC struct{ Budget Budget }
 
 // Name implements Tool.
 func (ITAC) Name() string { return "ITAC-like (dynamic)" }
 
 // Check implements Tool.
-func (ITAC) Check(c *dataset.Code) Verdict {
+func (t ITAC) Check(c *dataset.Code) Verdict {
 	m, ok := lower(c)
 	if !ok {
 		return Verdict{CE: true}
 	}
-	res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+	return t.CheckModule(context.Background(), m, t.Budget.simConfig(c.Ranks))
+}
+
+// CheckModule implements ModuleChecker.
+func (ITAC) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
+	res := mpisim.RunCtx(ctx, m, cfg)
 	switch {
+	case res.Canceled:
+		return Verdict{TO: true, Canceled: true, Reason: "canceled"}
 	case res.Deadlock || res.Timeout:
 		// The real tool waits for completion and gets killed by the
 		// harness timeout: inconclusive.
-		return Verdict{TO: true, Reason: "timeout"}
+		return Verdict{TO: true, Wall: res.WallTimeout, Reason: "timeout"}
 	case res.Crashed:
 		return Verdict{RE: true, Reason: res.CrashMsg}
 	case len(res.Violations) > 0:
@@ -92,22 +170,30 @@ func (ITAC) Check(c *dataset.Code) Verdict {
 // deadlock detector turns deadlocks into diagnostics instead of timeouts.
 // ---------------------------------------------------------------------------
 
-// MUST is the runtime-correctness-tool archetype.
-type MUST struct{}
+// MUST is the runtime-correctness-tool archetype. Budget bounds every
+// simulated run explicitly (see ITAC).
+type MUST struct{ Budget Budget }
 
 // Name implements Tool.
 func (MUST) Name() string { return "MUST-like (dynamic)" }
 
 // Check implements Tool.
-func (MUST) Check(c *dataset.Code) Verdict {
+func (t MUST) Check(c *dataset.Code) Verdict {
 	m, ok := lower(c)
 	if !ok {
 		return Verdict{CE: true}
 	}
-	res := mpisim.Run(m, mpisim.Config{Ranks: c.Ranks})
+	return t.CheckModule(context.Background(), m, t.Budget.simConfig(c.Ranks))
+}
+
+// CheckModule implements ModuleChecker.
+func (MUST) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
+	res := mpisim.RunCtx(ctx, m, cfg)
 	switch {
+	case res.Canceled:
+		return Verdict{TO: true, Canceled: true, Reason: "canceled"}
 	case res.Timeout:
-		return Verdict{TO: true}
+		return Verdict{TO: true, Wall: res.WallTimeout}
 	case res.Crashed:
 		return Verdict{RE: true, Reason: res.CrashMsg}
 	case res.Deadlock:
@@ -132,11 +218,17 @@ type PARCOACH struct{}
 func (PARCOACH) Name() string { return "PARCOACH-like (static)" }
 
 // Check implements Tool.
-func (PARCOACH) Check(c *dataset.Code) Verdict {
+func (t PARCOACH) Check(c *dataset.Code) Verdict {
 	m, ok := lower(c)
 	if !ok {
 		return Verdict{CE: true}
 	}
+	return t.CheckModule(context.Background(), m, mpisim.Config{})
+}
+
+// CheckModule implements ModuleChecker; the analysis is static, so ctx
+// and cfg are ignored.
+func (PARCOACH) CheckModule(_ context.Context, m *ir.Module, _ mpisim.Config) Verdict {
 	for _, f := range m.Defined() {
 		tainted := rankTaintedValues(f)
 		hasTaintedBranch := false
@@ -269,11 +361,17 @@ type MPIChecker struct{}
 func (MPIChecker) Name() string { return "MPI-Checker-like (static)" }
 
 // Check implements Tool.
-func (MPIChecker) Check(c *dataset.Code) Verdict {
+func (t MPIChecker) Check(c *dataset.Code) Verdict {
 	m, ok := lower(c)
 	if !ok {
 		return Verdict{CE: true}
 	}
+	return t.CheckModule(context.Background(), m, mpisim.Config{})
+}
+
+// CheckModule implements ModuleChecker; the analysis is static, so ctx
+// and cfg are ignored.
+func (MPIChecker) CheckModule(_ context.Context, m *ir.Module, _ mpisim.Config) Verdict {
 	for _, f := range m.Defined() {
 		starts, waits := 0, 0
 		for _, b := range f.Blocks {

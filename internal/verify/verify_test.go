@@ -1,9 +1,12 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"mpidetect/internal/dataset"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/mpisim"
 )
 
 // slice returns a small label-stratified subset for fast tool runs.
@@ -87,6 +90,62 @@ func TestToolsOnCorrectCodes(t *testing.T) {
 		c := Evaluate(tool, correct)
 		if c.FP != 0 {
 			t.Errorf("%s flagged %d correct codes", tool.Name(), c.FP)
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSerial pins the parallel Evaluate fan-out
+// to bit-identical confusion matrices against the serial reference, for
+// both a dynamic and a static tool.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	d := slice(dataset.GenerateMBI(3), 5)
+	for _, tool := range []Tool{MUST{}, PARCOACH{}} {
+		got := Evaluate(tool, d)
+		want := evaluateSerial(tool, d)
+		if got != want {
+			t.Errorf("%s: parallel confusion %+v != serial %+v", tool.Name(), got, want)
+		}
+	}
+}
+
+// TestExplicitBudgetCapsRuns: a tiny step budget turns every nontrivial
+// code into a deterministic timeout, proving the harness budget is
+// threaded through to the simulator instead of the 200k-step default.
+func TestExplicitBudgetCapsRuns(t *testing.T) {
+	d := slice(dataset.GenerateMBI(3), 2)
+	starved := Evaluate(ITAC{Budget: Budget{MaxSteps: 10}}, d)
+	if starved.TP+starved.TN+starved.FP+starved.FN != 0 {
+		t.Errorf("10-step budget still produced conclusive verdicts: %+v", starved)
+	}
+	if starved.TO == 0 {
+		t.Errorf("10-step budget produced no timeouts: %+v", starved)
+	}
+	// And the zero-value budget matches the historical default exactly.
+	if got, want := Evaluate(ITAC{}, d), evaluateSerial(ITAC{Budget: Budget{MaxSteps: DefaultMaxSteps}}, d); got != want {
+		t.Errorf("zero budget %+v != explicit default budget %+v", got, want)
+	}
+}
+
+// TestCheckModuleCancellation: a dead context makes a dynamic tool
+// return an inconclusive, cancellation-marked verdict.
+func TestCheckModuleCancellation(t *testing.T) {
+	d := slice(dataset.GenerateMBI(3), 1)
+	m, err := irgen.Lower(d.Codes[0].Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tool := range []ModuleChecker{ITAC{}, MUST{}} {
+		v := tool.CheckModule(ctx, m, mpisim.Config{Ranks: 2})
+		if !v.Canceled || !v.TO {
+			t.Errorf("%s: canceled run returned %+v, want Canceled+TO", tool.Name(), v)
+		}
+	}
+	// Static tools still answer under a dead context.
+	for _, tool := range []ModuleChecker{PARCOACH{}, MPIChecker{}} {
+		if v := tool.CheckModule(ctx, m, mpisim.Config{}); v.Canceled {
+			t.Errorf("%s: static tool reported cancellation", tool.Name())
 		}
 	}
 }
