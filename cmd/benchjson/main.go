@@ -6,6 +6,11 @@
 // to a JSON file. CI runs it via `make bench` and uploads the JSON as a
 // workflow artifact.
 //
+// With -count N the benchmarks run N times (go test -count) and the
+// report keeps, per benchmark, the iteration with the minimum ns/op —
+// the standard way to strip scheduler and GC noise on a single-CPU
+// host, where one run can swing ±5-8% and threaten the regression gate.
+//
 // With -baseline it additionally diffs the fresh run against a previous
 // report (the committed BENCH_serve.json) and exits 1 when any benchmark
 // present in both regresses more than -regress percent in ns/op — the
@@ -15,7 +20,7 @@
 //
 // Usage:
 //
-//	benchjson [-benchtime 1x] [-out BENCH_serve.json]
+//	benchjson [-benchtime 1x] [-count 1] [-out BENCH_serve.json]
 //	          [-baseline BENCH_serve.json] [-regress 20] [-floor-ms 10]
 //	          [packages...]
 package main
@@ -36,6 +41,7 @@ import (
 var (
 	out       = flag.String("out", "BENCH_serve.json", "JSON output path")
 	benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+	count     = flag.Int("count", 1, "run each benchmark N times, keep the min ns/op")
 	baseline  = flag.String("baseline", "", "previous report to diff against (exit 1 on regression)")
 	regress   = flag.Float64("regress", 20, "ns/op regression threshold, percent")
 	floorMS   = flag.Float64("floor-ms", 10, "skip benchmarks whose baseline ns/op is below this many milliseconds")
@@ -71,8 +77,11 @@ func main() {
 		pkgs = []string{"./..."}
 	}
 
+	if *count < 1 {
+		*count = 1
+	}
 	args := append([]string{"test", "-bench", ".", "-benchtime", *benchtime,
-		"-benchmem", "-run", "^$"}, pkgs...)
+		"-count", strconv.Itoa(*count), "-benchmem", "-run", "^$"}, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
@@ -97,7 +106,7 @@ func main() {
 			continue
 		}
 		if b, ok := parseBenchLine(pkg, line); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			rep.Benchmarks = mergeMin(rep.Benchmarks, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -131,6 +140,22 @@ func main() {
 		}
 		log.Printf("no regressions above %.0f%% vs %s", *regress, *baseline)
 	}
+}
+
+// mergeMin folds repeated result lines of the same benchmark (go test
+// -count emits one per run) into the single fastest one: the minimum
+// ns/op run wins and contributes all of its measurements, since mixing
+// metrics across runs would report a configuration that never happened.
+func mergeMin(bs []Benchmark, b Benchmark) []Benchmark {
+	for i := range bs {
+		if bs[i].Pkg == b.Pkg && bs[i].Name == b.Name {
+			if b.NsPerOp < bs[i].NsPerOp {
+				bs[i] = b
+			}
+			return bs
+		}
+	}
+	return append(bs, b)
 }
 
 // diffBaseline compares the fresh report against a stored one, printing a

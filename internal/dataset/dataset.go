@@ -12,6 +12,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mpidetect/internal/ast"
 )
@@ -112,6 +113,30 @@ type Code struct {
 	Prog   *ast.Program
 	Header map[string]string // MBI-style metadata header
 	Ranks  int               // processes the code is meant to run with
+
+	memoOnce [numMemoSlots]sync.Once
+	memo     [numMemoSlots]any
+}
+
+// Memo slots for consumer-computed per-code artifacts.
+const (
+	// MemoModule caches the code's lowered IR module (verify package).
+	MemoModule = iota
+	// MemoProgram caches the compiled simulator program (verify package).
+	MemoProgram
+	numMemoSlots
+)
+
+// Memo lazily computes and caches a per-code artifact under one of the
+// slots above. Evaluating a corpus with several verification tools
+// lowers and compiles each program exactly once this way — the
+// artifact's lifetime is the code's, so no global cache can grow stale
+// or unbounded. compute runs at most once per slot; concurrent callers
+// block until it finishes (the evaluation harness fans codes out across
+// goroutines).
+func (c *Code) Memo(slot int, compute func() any) any {
+	c.memoOnce[slot].Do(func() { c.memo[slot] = compute() })
+	return c.memo[slot]
 }
 
 // Incorrect reports whether the code carries an error label.

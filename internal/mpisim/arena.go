@@ -1,0 +1,305 @@
+// Pooled per-run state. A runState is the per-program half of a run's
+// reusable state — pooled rank procs (with their machines and handoff
+// semaphores) and per-function frame free lists — while the memArena it
+// borrows is process-global: size-classed byte buffers for MemObj
+// storage and message payloads, and typed bump arenas for the Ptr,
+// MemObj, message, receive, request and MPI-argument values that live
+// exactly as long as a run. Sharing the memArena across all compiled
+// programs means even a compile-and-run-once workload (the dataset
+// evaluation harness) executes out of warm memory; within one run only
+// the goroutine holding the scheduler turn touches the arena, so no
+// locking is needed.
+package mpisim
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+const (
+	minClassBits = 4  // smallest pooled buffer: 16 B
+	maxClassBits = 20 // largest pooled buffer: 1 MiB; beyond this, plain make
+	numClasses   = maxClassBits + 1
+
+	maxFrameBits    = 12 // largest pooled frame: 4096 slots
+	numFrameClasses = maxFrameBits + 1
+
+	chunkLen = 128 // objects per bump-arena chunk
+)
+
+// emptyBytes backs every zero-sized allocation; it is never written.
+var emptyBytes = []byte{}
+
+// chunkArena is a typed bump allocator. Allocation hands out zeroed
+// objects (chunks are cleared on reset); reset drops every reference so
+// a pooled arena cannot keep a prior run's memory graph alive.
+type chunkArena[T any] struct {
+	chunks  [][]T
+	ci, off int
+	grew    *int // owner's retained-bytes estimate
+}
+
+func (a *chunkArena[T]) alloc() *T {
+	if a.ci >= len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, chunkLen))
+		if a.grew != nil {
+			var zero T
+			*a.grew += chunkLen * int(unsafe.Sizeof(zero))
+		}
+	}
+	p := &a.chunks[a.ci][a.off]
+	a.off++
+	if a.off == chunkLen {
+		a.ci++
+		a.off = 0
+	}
+	return p
+}
+
+func (a *chunkArena[T]) reset() {
+	for i := 0; i <= a.ci && i < len(a.chunks); i++ {
+		clear(a.chunks[i])
+	}
+	a.ci, a.off = 0, 0
+}
+
+// memArena is the program-independent allocation state of one run.
+type memArena struct {
+	bufs [numClasses][][]byte // free byte buffers by size class
+	used [][]byte             // every pooled buffer handed out this run
+
+	// frames are pooled by slot-count size class, shared across programs
+	// (frames are cleared when returned, so origin does not matter).
+	frames [numFrameClasses][][]RV
+
+	ptrs  chunkArena[Ptr]
+	mems  chunkArena[MemObj]
+	msgs  chunkArena[message]
+	rcvs  chunkArena[recvPost]
+	reqas chunkArena[request]
+
+	rvChunks    [][]RV
+	rvCI, rvOff int
+
+	// retained estimates the bytes this arena keeps across runs, so the
+	// free list can drop arenas a pathological program inflated.
+	retained int
+}
+
+// The arena free list is a small fixed-capacity channel rather than a
+// sync.Pool: pool contents are purged on every GC cycle, which made
+// simulation throughput swing with GC timing (an arena rebuild costs
+// more than a whole small run). The channel keeps at most
+// maxFreeArenas arenas alive — bounded, deterministic reuse — and
+// putMemArena drops any arena that grew past maxArenaRetain.
+const (
+	maxFreeArenas  = 8
+	maxArenaRetain = 8 << 20 // 8 MiB
+)
+
+var memArenaFree = make(chan *memArena, maxFreeArenas)
+
+func getMemArena() *memArena {
+	select {
+	case a := <-memArenaFree:
+		return a
+	default:
+		a := &memArena{}
+		a.ptrs.grew = &a.retained
+		a.mems.grew = &a.retained
+		a.msgs.grew = &a.retained
+		a.rcvs.grew = &a.retained
+		a.reqas.grew = &a.retained
+		return a
+	}
+}
+
+func putMemArena(a *memArena) {
+	if a.retained > maxArenaRetain {
+		return // oversized: let the GC have it
+	}
+	select {
+	case memArenaFree <- a:
+	default:
+	}
+}
+
+// reset returns every handed-out buffer to its size class and clears the
+// bump arenas.
+func (a *memArena) reset() {
+	for _, b := range a.used {
+		c := bits.Len(uint(cap(b) - 1))
+		a.bufs[c] = append(a.bufs[c], b)
+	}
+	a.used = a.used[:0]
+	a.ptrs.reset()
+	a.mems.reset()
+	a.msgs.reset()
+	a.rcvs.reset()
+	a.reqas.reset()
+	for i := 0; i <= a.rvCI && i < len(a.rvChunks); i++ {
+		clear(a.rvChunks[i])
+	}
+	a.rvCI, a.rvOff = 0, 0
+}
+
+// getFrame hands out a zeroed frame of n value slots.
+func (a *memArena) getFrame(n int) []RV {
+	if n <= 0 {
+		return nil // a function with no params and no instructions
+	}
+	if n > 1<<maxFrameBits {
+		return make([]RV, n)
+	}
+	c := bits.Len(uint(n - 1))
+	if fl := a.frames[c]; len(fl) > 0 {
+		fr := fl[len(fl)-1]
+		a.frames[c] = fl[:len(fl)-1]
+		return fr[:n]
+	}
+	a.retained += (1 << c) * 24
+	return make([]RV, n, 1<<c)
+}
+
+// putFrame clears a frame to full capacity (so any future, larger
+// reslice still reads zeroes) and recycles it.
+func (a *memArena) putFrame(fr []RV) {
+	if cap(fr) == 0 || cap(fr) > 1<<maxFrameBits {
+		return
+	}
+	fr = fr[:cap(fr)]
+	clear(fr)
+	a.frames[bits.Len(uint(cap(fr)-1))] = append(a.frames[bits.Len(uint(cap(fr)-1))], fr)
+}
+
+// getBytes hands out an n-byte buffer. zero guarantees cleared contents
+// (fresh memory semantics); callers that fully overwrite the buffer skip
+// the clear.
+func (a *memArena) getBytes(n int, zero bool) []byte {
+	if n < 0 {
+		// Reproduce the pre-arena engine's make([]byte, n) panic exactly:
+		// an alloca whose size*count overflows must crash the run, not
+		// hand back an empty object and a clean verdict.
+		return make([]byte, n)
+	}
+	if n == 0 {
+		return emptyBytes
+	}
+	if n > 1<<maxClassBits {
+		return make([]byte, n)
+	}
+	c := bits.Len(uint(n - 1))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	if fl := a.bufs[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		a.bufs[c] = fl[:len(fl)-1]
+		b = b[:n]
+		if zero {
+			clear(b)
+		}
+		a.used = append(a.used, b[:cap(b)])
+		return b
+	}
+	a.retained += 1 << c
+	b := make([]byte, 1<<c)
+	a.used = append(a.used, b)
+	return b[:n]
+}
+
+// newMemObj allocates one memory object; bytes come zeroed, and the
+// pointer shadow map is nil until the first typed-pointer store (most
+// objects never pay for it).
+func (a *memArena) newMemObj(name string, size, owner int) *MemObj {
+	o := a.mems.alloc()
+	o.Name, o.Bytes, o.Ptrs, o.Owner = name, a.getBytes(size, true), nil, owner
+	return o
+}
+
+// newPtr bump-allocates a Ptr (GEP results, alloca handles).
+func (a *memArena) newPtr(obj *MemObj, off int) *Ptr {
+	p := a.ptrs.alloc()
+	p.Obj, p.Off = obj, off
+	return p
+}
+
+// allocRVs bump-allocates a value slice that outlives its call site (MPI
+// argument vectors retained by requests and collectives until run end).
+func (a *memArena) allocRVs(n int) []RV {
+	if n == 0 {
+		return nil
+	}
+	if n > chunkLen {
+		return make([]RV, n)
+	}
+	if a.rvOff+n > chunkLen {
+		a.rvCI++
+		a.rvOff = 0
+	}
+	if a.rvCI >= len(a.rvChunks) {
+		a.rvChunks = append(a.rvChunks, make([]RV, chunkLen))
+		a.retained += chunkLen * 24
+	}
+	out := a.rvChunks[a.rvCI][a.rvOff : a.rvOff+n]
+	a.rvOff += n
+	return out
+}
+
+// runState is the per-program half of a run's pooled state.
+type runState struct {
+	prog    *Program
+	procs   []*proc
+	mainSem chan struct{}
+	mem     *memArena
+}
+
+// acquire takes (or builds) an arena sized for the requested world.
+func (p *Program) acquire(ranks int) *runState {
+	rs, _ := p.pool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{prog: p, mainSem: make(chan struct{}, 1)}
+	}
+	rs.mem = getMemArena()
+	for len(rs.procs) < ranks {
+		r := len(rs.procs)
+		pr := &proc{rank: r, sem: make(chan struct{}, 1)}
+		pr.canRunBlocked = func() bool { return pr.rt.deadlock || pr.cond() }
+		pr.mach = newMachine(p, r)
+		pr.mach.proc = pr
+		rs.procs = append(rs.procs, pr)
+	}
+	return rs
+}
+
+// release returns the arenas to their pools after a run. The Result
+// returned to the caller shares no memory with them (output and
+// diagnostics are copied into strings), so recycling is safe.
+func (p *Program) release(rs *runState) {
+	rs.mem.reset()
+	putMemArena(rs.mem)
+	rs.mem = nil
+	p.pool.Put(rs)
+}
+
+// getFrame pops a zeroed frame of n slots; putFrame recycles it.
+func (rs *runState) getFrame(n int) []RV { return rs.mem.getFrame(n) }
+
+func (rs *runState) putFrame(fr []RV) { rs.mem.putFrame(fr) }
+
+func (rs *runState) getBytes(n int, zero bool) []byte { return rs.mem.getBytes(n, zero) }
+
+func (rs *runState) newMemObj(name string, size, owner int) *MemObj {
+	return rs.mem.newMemObj(name, size, owner)
+}
+
+func (rs *runState) newPtr(obj *MemObj, off int) *Ptr { return rs.mem.newPtr(obj, off) }
+
+func (rs *runState) allocRVs(n int) []RV { return rs.mem.allocRVs(n) }
+
+// newMessage, newRecvPost and newRequest bump-allocate the run-scoped
+// MPI bookkeeping objects the point-to-point and collective layers
+// create on every operation.
+func (rs *runState) newMessage() *message   { return rs.mem.msgs.alloc() }
+func (rs *runState) newRecvPost() *recvPost { return rs.mem.rcvs.alloc() }
+func (rs *runState) newRequest() *request   { return rs.mem.reqas.alloc() }

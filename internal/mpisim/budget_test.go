@@ -7,44 +7,44 @@ import (
 	"testing"
 	"time"
 
-	. "mpidetect/internal/ast"
+	ast "mpidetect/internal/ast"
 	"mpidetect/internal/irgen"
 )
 
 // spinProgram burns ~8 billion interpreter steps without ever blocking
 // on MPI: the worst case for cooperative cancellation, since only the
 // interpreter's periodic stop check can abort it.
-func spinProgram() *Program {
-	return MainProgram("spin",
-		append(MPIBoilerplate(),
-			Decl("x", Int, I(0)),
-			While(Lt(Id("x"), I(2_000_000_000)),
-				Assign(Id("x"), Add(Id("x"), I(1)))),
-			Finalize(),
+func spinProgram() *ast.Program {
+	return ast.MainProgram("spin",
+		append(ast.MPIBoilerplate(),
+			ast.Decl("x", ast.Int, ast.I(0)),
+			ast.While(ast.Lt(ast.Id("x"), ast.I(2_000_000_000)),
+				ast.Assign(ast.Id("x"), ast.Add(ast.Id("x"), ast.I(1)))),
+			ast.Finalize(),
 		)...)
 }
 
 // deadlockProgram has every rank Recv before Send: an immediate global stall.
-func deadlockProgram() *Program {
-	return MainProgram("deadlock",
-		append(MPIBoilerplate(),
-			DeclArr("buf", 4, Int),
-			CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(3),
-				world(), Id("MPI_STATUS_IGNORE")),
-			CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(3),
+func deadlockProgram() *ast.Program {
+	return ast.MainProgram("deadlock",
+		append(ast.MPIBoilerplate(),
+			ast.DeclArr("buf", 4, ast.Int),
+			ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3),
+				world(), ast.Id("MPI_STATUS_IGNORE")),
+			ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3),
 				world()),
-			Finalize(),
+			ast.Finalize(),
 		)...)
 }
 
 // crashProgram divides by zero on every rank.
-func crashProgram() *Program {
-	return MainProgram("crash",
-		append(MPIBoilerplate(),
-			Decl("z", Int, I(0)),
-			Decl("y", Int, Bin("/", I(1), Id("z"))),
-			CallS("printf", S("%d\n"), Id("y")),
-			Finalize(),
+func crashProgram() *ast.Program {
+	return ast.MainProgram("crash",
+		append(ast.MPIBoilerplate(),
+			ast.Decl("z", ast.Int, ast.I(0)),
+			ast.Decl("y", ast.Int, ast.Bin("/", ast.I(1), ast.Id("z"))),
+			ast.CallS("printf", ast.S("%d\n"), ast.Id("y")),
+			ast.Finalize(),
 		)...)
 }
 
@@ -149,14 +149,14 @@ func TestGoroutineHygiene(t *testing.T) {
 // fabricated a truncation verdict here (8 sent bytes vs a guessed 4-byte
 // capacity) while masking real mismatches elsewhere.
 func TestUnknownDerivedDatatypeReported(t *testing.T) {
-	prog := MainProgram("unknown_dtype",
-		append(MPIBoilerplate(),
-			DeclArr("buf", 4, Int),
-			IfElse(Eq(Id("rank"), I(0)),
-				[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(1), I(5), world())},
-				[]Stmt{CallS("MPI_Recv", Id("buf"), I(1), I(150), I(0), I(5),
-					world(), Id("MPI_STATUS_IGNORE"))}),
-			Finalize(),
+	prog := ast.MainProgram("unknown_dtype",
+		append(ast.MPIBoilerplate(),
+			ast.DeclArr("buf", 4, ast.Int),
+			ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+				[]ast.Stmt{ast.CallS("MPI_Send", ast.Id("buf"), ast.I(2), ast.Id("MPI_INT"), ast.I(1), ast.I(5), world())},
+				[]ast.Stmt{ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(1), ast.I(150), ast.I(0), ast.I(5),
+					world(), ast.Id("MPI_STATUS_IGNORE"))}),
+			ast.Finalize(),
 		)...)
 	res := runProg(t, prog, 2)
 	if res.Has(VTruncation) {

@@ -82,7 +82,8 @@ func (rt *Runtime) doICollective(p *proc, op mpi.Op, args []RV) (RV, error) {
 	}
 	slot := rt.joinCollective(p, op, comm, args)
 	rt.nextReq++
-	r := &request{id: rt.nextReq, owner: p.rank, op: op, active: true, coll: slot}
+	r := rt.ar.newRequest()
+	*r = request{id: rt.nextReq, owner: p.rank, op: op, active: true, coll: slot}
 	rt.reqs[r.id] = r
 	ptr := args[reqIdx].P
 	if err := ptr.Obj.store(ptr.Off, ir.I64, RV{I: r.id}); err != nil {

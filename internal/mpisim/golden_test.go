@@ -1,0 +1,167 @@
+package mpisim
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/irgen"
+)
+
+// updateSimGolden regenerates testdata/simverdicts_v1.gob from the
+// current engine. The committed artifact was produced by the
+// pre-compilation (map-frame) interpreter; the test pins every later
+// engine against it bit-for-bit, so regenerate only when a deliberate,
+// reviewed verdict change is being made.
+var updateSimGolden = flag.Bool("update-sim-golden", false,
+	"regenerate testdata/simverdicts_v1.gob with the current engine")
+
+// goldenPath is the committed verdict-equivalence artifact.
+const goldenPath = "testdata/simverdicts_v1.gob"
+
+// goldenMaxSteps bounds each golden run. It is deliberately smaller than
+// the production default so spin-heavy codes resolve quickly; both the
+// generating engine and every engine under test use the same budget, so
+// verdicts stay comparable.
+const goldenMaxSteps = 50_000
+
+// SimVerdict is one golden record: the complete observable outcome of
+// simulating one dataset program at one world size.
+type SimVerdict struct {
+	Suite string
+	Name  string
+	Label string
+	Ranks int
+
+	CE bool // lowering failed; no run happened
+
+	Deadlock   bool
+	Timeout    bool
+	Crashed    bool
+	CrashMsg   string
+	Violations []string
+	Output     string
+	Steps      int64
+}
+
+// goldenRanks are the world sizes every program is pinned at.
+var goldenRanks = [...]int{2, 4, 8}
+
+func goldenCorpus() []*dataset.Code {
+	mbi := dataset.GenerateMBI(1)
+	corr := dataset.GenerateCorrBench(1, false)
+	out := make([]*dataset.Code, 0, len(mbi.Codes)+len(corr.Codes))
+	out = append(out, mbi.Codes...)
+	out = append(out, corr.Codes...)
+	return out
+}
+
+// computeSimVerdicts runs the whole corpus through the current engine.
+func computeSimVerdicts() []SimVerdict {
+	var out []SimVerdict
+	for _, c := range goldenCorpus() {
+		mod, err := irgen.Lower(c.Prog)
+		for _, ranks := range goldenRanks {
+			v := SimVerdict{Suite: c.Suite.String(), Name: c.Name,
+				Label: c.Label.String(), Ranks: ranks}
+			if err != nil {
+				v.CE = true
+				out = append(out, v)
+				continue
+			}
+			res := Run(mod, Config{Ranks: ranks, MaxSteps: goldenMaxSteps})
+			v.Deadlock = res.Deadlock
+			v.Timeout = res.Timeout
+			v.Crashed = res.Crashed
+			v.CrashMsg = res.CrashMsg
+			for _, viol := range res.Violations {
+				v.Violations = append(v.Violations, viol.String())
+			}
+			v.Output = res.Output
+			v.Steps = res.Steps
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestGoldenVerdictEquivalence pins the engine against the committed
+// verdict corpus: every verdict, diagnostic, crash message, step count
+// and printf byte must match the artifact exactly. This is the repo's
+// bit-exact discipline applied to the simulator — performance work on
+// the execution layer must never move a verdict.
+func TestGoldenVerdictEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus is slow; skipped under -short")
+	}
+	got := computeSimVerdicts()
+	if *updateSimGolden {
+		f, err := os.Create(goldenPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gob.NewEncoder(f).Encode(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d verdicts to %s", len(got), goldenPath)
+		return
+	}
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("opening golden artifact (regenerate with -update-sim-golden): %v", err)
+	}
+	defer f.Close()
+	var want []SimVerdict
+	if err := gob.NewDecoder(f).Decode(&want); err != nil {
+		t.Fatalf("decoding %s: %v", goldenPath, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("verdict count %d, golden has %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("verdict diverged for %s/%s@%d ranks:\n got: %s\nwant: %s",
+					want[i].Suite, want[i].Name, want[i].Ranks,
+					verdictString(got[i]), verdictString(want[i]))
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("... and %d more mismatches", mismatches-5)
+	}
+}
+
+func verdictString(v SimVerdict) string {
+	return fmt.Sprintf("CE=%v deadlock=%v timeout=%v crashed=%v crash=%q steps=%d viols=%q out=%q",
+		v.CE, v.Deadlock, v.Timeout, v.Crashed, v.CrashMsg, v.Steps, v.Violations, v.Output)
+}
+
+// TestGoldenDeterminism guards the artifact itself: two back-to-back
+// runs of the full corpus must agree with each other, otherwise the
+// golden comparison would be flaky by construction.
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus is slow; skipped under -short")
+	}
+	a := computeSimVerdicts()
+	b := computeSimVerdicts()
+	if len(a) != len(b) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("nondeterministic verdict for %s/%s@%d:\n  %s\n  %s",
+				a[i].Suite, a[i].Name, a[i].Ranks, verdictString(a[i]), verdictString(b[i]))
+		}
+	}
+}

@@ -4,10 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 
 	"mpidetect/internal/ir"
-	"mpidetect/internal/mpi"
 )
 
 // RV is a runtime value: an integer, a float, or a pointer.
@@ -24,16 +23,13 @@ type Ptr struct {
 }
 
 // MemObj is an allocation: a byte array plus a shadow map for stored
-// pointers (pointers are not serialisable into bytes).
+// pointers (pointers are not serialisable into bytes). Ptrs is allocated
+// lazily on the first typed-pointer store — most objects never hold one.
 type MemObj struct {
 	Name  string
 	Bytes []byte
 	Ptrs  map[int]*Ptr
 	Owner int // owning rank, -1 for none
-}
-
-func newMemObj(name string, size, owner int) *MemObj {
-	return &MemObj{Name: name, Bytes: make([]byte, size), Ptrs: map[int]*Ptr{}, Owner: owner}
 }
 
 type runErr struct {
@@ -47,101 +43,152 @@ func crashf(format string, args ...any) error {
 	return &runErr{kind: "crash", msg: fmt.Sprintf(format, args...)}
 }
 
-// Machine interprets an IR module as one MPI rank.
+// maxRankOutput caps one rank's printf stream so a simulated output loop
+// cannot balloon server memory; the stream is cut at a marker and the
+// run's Result reports the truncation.
+const maxRankOutput = 64 << 10
+
+// truncationMarker ends a capped output stream.
+const truncationMarker = "\n[mpisim: output truncated]\n"
+
+// Machine executes one compiled MPI rank. Its frames are flat []RV
+// slices indexed by pre-assigned register slots and pooled per run.
 type Machine struct {
-	mod      *ir.Module
+	prog     *Program
 	rank     int
 	rt       *Runtime
+	ar       *runState
 	proc     *proc
-	globals  map[string]*MemObj
 	steps    int64
 	maxSteps int64
-	out      *strings.Builder
+
+	globals   []*MemObj
+	globalRVs []RV // pre-built pointer values, one per global
+
+	out          []byte
+	outTruncated bool
+
+	phiScratch []RV // parallel-copy staging for the widest phi edge
+	argScratch []RV // argument staging for non-retaining calls
+	fmtBuf     []byte
 }
 
-func newMachine(mod *ir.Module, rank int, rt *Runtime, maxSteps int64) *Machine {
-	m := &Machine{mod: mod, rank: rank, rt: rt, maxSteps: maxSteps,
-		globals: map[string]*MemObj{}, out: &strings.Builder{}}
-	for _, g := range mod.Globals {
-		obj := newMemObj("@"+g.Name, ir.SizeOf(g.Elem), rank)
-		if g.Str != "" {
-			copy(obj.Bytes, g.Str)
-		} else if g.Init != nil {
-			_ = obj.store(0, g.Elem, RV{I: g.Init.Int, F: g.Init.Float})
+func newMachine(prog *Program, rank int) *Machine {
+	return &Machine{prog: prog, rank: rank,
+		globals:   make([]*MemObj, len(prog.globals)),
+		globalRVs: make([]RV, len(prog.globals))}
+}
+
+// reset rebinds the machine to a fresh run: zeroed counters, truncation
+// state, and newly initialised globals out of the run's arena.
+func (m *Machine) reset(rt *Runtime, maxSteps int64) {
+	m.rt, m.ar = rt, rt.ar
+	m.steps, m.maxSteps = 0, maxSteps
+	m.out = m.out[:0]
+	m.outTruncated = false
+	for i := range m.prog.globals {
+		g := &m.prog.globals[i]
+		obj := m.ar.newMemObj(g.name, g.size, m.rank)
+		if g.str != "" {
+			copy(obj.Bytes, g.str)
+		} else if g.init != nil {
+			_ = obj.store(0, g.elem, RV{I: g.init.Int, F: g.init.Float})
 		}
-		m.globals[g.Name] = obj
+		m.globals[i] = obj
+		m.globalRVs[i] = RV{P: m.ar.newPtr(obj, 0)}
 	}
-	return m
 }
 
 // run executes main; the error (if any) is a *runErr.
 func (m *Machine) run() error {
-	main := m.mod.FuncByName("main")
+	main := m.prog.main
 	if main == nil {
 		return crashf("no main function")
 	}
-	var args []RV
-	for range main.Params {
-		args = append(args, RV{})
-	}
-	_, err := m.call(main, args, 0)
+	// main's parameters read as zero; the frame is already zeroed.
+	_, err := m.call(main, nil, 0)
 	return err
 }
 
 const maxCallDepth = 128
 
-type frame struct {
-	f      *ir.Func
-	regs   map[*ir.Instr]RV
-	params map[*ir.Param]RV
+func (m *Machine) call(cf *cfunc, args []RV, depth int) (RV, error) {
+	if depth > maxCallDepth {
+		return RV{}, crashf("call depth exceeded in @%s", cf.name)
+	}
+	fr := m.ar.getFrame(cf.nslots)
+	n := len(args)
+	if n > cf.nparams {
+		n = cf.nparams
+	}
+	copy(fr[:n], args[:n])
+	rv, err := m.exec(cf, fr, depth)
+	m.ar.putFrame(fr)
+	return rv, err
 }
 
-func (m *Machine) call(f *ir.Func, args []RV, depth int) (RV, error) {
-	if depth > maxCallDepth {
-		return RV{}, crashf("call depth exceeded in @%s", f.Name)
+// evalOp resolves a pre-compiled operand against the frame.
+func (m *Machine) evalOp(fr []RV, op *operand) (RV, error) {
+	switch op.kind {
+	case oSlot:
+		return fr[op.slot], nil
+	case oConst:
+		return op.rv, nil
+	case oGlobal:
+		return m.globalRVs[op.slot], nil
 	}
-	fr := &frame{f: f, regs: map[*ir.Instr]RV{}, params: map[*ir.Param]RV{}}
-	for i, p := range f.Params {
-		if i < len(args) {
-			fr.params[p] = args[i]
+	return RV{}, &runErr{kind: "crash", msg: m.prog.errs[op.slot]}
+}
+
+// applyMoves performs a phi edge's parallel copy: all sources evaluate
+// against the pre-move frame, then all destinations are written.
+func (m *Machine) applyMoves(fr []RV, moves []phiMove) error {
+	if cap(m.phiScratch) < len(moves) {
+		m.phiScratch = make([]RV, len(moves))
+	}
+	sc := m.phiScratch[:len(moves)]
+	for i := range moves {
+		mv := &moves[i]
+		if mv.bad >= 0 {
+			return &runErr{kind: "crash", msg: m.prog.errs[mv.bad]}
 		}
+		v, err := m.evalOp(fr, &mv.src)
+		if err != nil {
+			return err
+		}
+		sc[i] = v
 	}
-	cur := f.Entry()
-	var prev *ir.Block
+	for i := range moves {
+		fr[moves[i].dst] = sc[i]
+	}
+	return nil
+}
+
+// exec runs a compiled function body to completion.
+func (m *Machine) exec(cf *cfunc, fr []RV, depth int) (RV, error) {
+	if cf.entry == nil {
+		// Reproduce the pre-compilation engine's nil-entry panic (a
+		// defined function without blocks, or a declaration-only main).
+		var b *ir.Block
+		_ = b.Phis()
+	}
+	blk := cf.entry
+	moves := cf.entryMoves
 	for {
-		// Phis evaluate simultaneously against the incoming edge.
-		phis := cur.Phis()
-		if len(phis) > 0 {
-			vals := make([]RV, len(phis))
-			for i, phi := range phis {
-				found := false
-				for j, b := range phi.Blocks {
-					if b == prev {
-						v, err := m.eval(fr, phi.Args[j])
-						if err != nil {
-							return RV{}, err
-						}
-						vals[i] = v
-						found = true
-						break
-					}
-				}
-				if !found {
-					return RV{}, crashf("phi in %%%s has no edge from %%%s", cur.Name, blockName(prev))
-				}
-			}
-			for i, phi := range phis {
-				fr.regs[phi] = vals[i]
+		if len(moves) > 0 {
+			if err := m.applyMoves(fr, moves); err != nil {
+				return RV{}, err
 			}
 		}
+		code := blk.code
 		branched := false
-		for _, in := range cur.Instrs {
-			if in.Op == ir.OpPhi {
-				continue
-			}
+	body:
+		for i := range code {
+			in := &code[i]
 			m.steps++
 			if m.steps > m.maxSteps {
-				return RV{}, &runErr{kind: "timeout", msg: fmt.Sprintf("step budget exceeded in @%s", f.Name)}
+				return RV{}, &runErr{kind: "timeout",
+					msg: fmt.Sprintf("step budget exceeded in @%s", cf.name)}
 			}
 			// Cooperative cancellation: a rank that never blocks on MPI
 			// (a compute loop) must still notice an aborted run; checking
@@ -152,86 +199,53 @@ func (m *Machine) call(f *ir.Func, args []RV, depth int) (RV, error) {
 					return RV{}, se
 				}
 			}
-			switch in.Op {
+			switch in.op {
 			case ir.OpBr:
-				prev, cur = cur, in.Blocks[0]
+				moves, blk = in.aux.moves0, in.aux.tgt0
 				branched = true
+				break body
 			case ir.OpCondBr:
-				c, err := m.eval(fr, in.Args[0])
+				c, err := m.evalOp(fr, &in.a)
 				if err != nil {
 					return RV{}, err
 				}
+				aux := in.aux
 				if c.I != 0 {
-					prev, cur = cur, in.Blocks[0]
+					moves, blk = aux.moves0, aux.tgt0
 				} else {
-					prev, cur = cur, in.Blocks[1]
+					moves, blk = aux.moves1, aux.tgt1
 				}
 				branched = true
+				break body
 			case ir.OpRet:
-				if len(in.Args) == 1 {
-					return m.eval(fr, in.Args[0])
+				if in.flag {
+					return m.evalOp(fr, &in.a)
 				}
 				return RV{}, nil
 			case ir.OpUnreachable:
-				return RV{}, crashf("reached unreachable in @%s", f.Name)
+				return RV{}, crashf("reached unreachable in @%s", cf.name)
 			default:
 				v, err := m.execInstr(fr, in, depth)
 				if err != nil {
 					return RV{}, err
 				}
-				if in.Name != "" {
-					fr.regs[in] = v
+				if in.dst >= 0 {
+					fr[in.dst] = v
 				}
-				continue
 			}
-			break // took a branch or returned
 		}
 		if !branched {
-			return RV{}, crashf("fell off block %%%s in @%s", cur.Name, f.Name)
+			return RV{}, crashf("fell off block %%%s in @%s", blk.name, cf.name)
 		}
 	}
 }
 
-func blockName(b *ir.Block) string {
-	if b == nil {
-		return "<entry>"
-	}
-	return b.Name
-}
-
-func (m *Machine) eval(fr *frame, v ir.Value) (RV, error) {
-	switch x := v.(type) {
-	case *ir.Const:
-		switch {
-		case x.IsNull, x.IsUndef:
-			return RV{}, nil
-		case x.IsFloat:
-			return RV{F: x.Float}, nil
-		default:
-			return RV{I: x.Int}, nil
-		}
-	case *ir.Param:
-		return fr.params[x], nil
-	case *ir.Instr:
-		return fr.regs[x], nil
-	case *ir.Global:
-		obj := m.globals[x.Name]
-		if obj == nil {
-			return RV{}, crashf("undefined global @%s", x.Name)
-		}
-		return RV{P: &Ptr{Obj: obj}}, nil
-	case *ir.Func:
-		return RV{}, crashf("function value @%s not supported", x.Name)
-	}
-	return RV{}, crashf("unknown value %T", v)
-}
-
-func (m *Machine) execInstr(fr *frame, in *ir.Instr, depth int) (RV, error) {
+func (m *Machine) execInstr(fr []RV, in *cinstr, depth int) (RV, error) {
 	switch {
-	case in.Op == ir.OpAlloca:
+	case in.op == ir.OpAlloca:
 		n := 1
-		if len(in.Args) == 1 {
-			c, err := m.eval(fr, in.Args[0])
+		if in.flag {
+			c, err := m.evalOp(fr, &in.a)
 			if err != nil {
 				return RV{}, err
 			}
@@ -240,56 +254,73 @@ func (m *Machine) execInstr(fr *frame, in *ir.Instr, depth int) (RV, error) {
 				n = 1
 			}
 		}
-		obj := newMemObj("%"+in.Name, ir.SizeOf(in.AllocTy)*n, m.rank)
-		return RV{P: &Ptr{Obj: obj}}, nil
+		size := in.size
+		if in.sizeDyn {
+			size = ir.SizeOf(in.in.AllocTy)
+		}
+		obj := m.ar.newMemObj(in.aux.name, size*n, m.rank)
+		return RV{P: m.ar.newPtr(obj, 0)}, nil
 
-	case in.Op == ir.OpLoad:
-		p, err := m.evalPtr(fr, in.Args[0])
+	case in.op == ir.OpLoad:
+		pv, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		m.rt.checkLocalAccess(m.rank, p, ir.SizeOf(in.Typ), false, in)
-		return p.Obj.load(p.Off, in.Typ)
+		if pv.P == nil {
+			return RV{}, crashf("nil pointer dereference")
+		}
+		size := in.size
+		if in.sizeDyn {
+			size = ir.SizeOf(in.in.Typ)
+		}
+		m.rt.checkLocalAccess(m.rank, pv.P, size, false, in.in)
+		return pv.P.Obj.load(pv.P.Off, in.typ)
 
-	case in.Op == ir.OpStore:
-		v, err := m.eval(fr, in.Args[0])
+	case in.op == ir.OpStore:
+		v, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		p, err := m.evalPtr(fr, in.Args[1])
+		pv, err := m.evalOp(fr, &in.b)
 		if err != nil {
 			return RV{}, err
 		}
-		t := in.Args[0].Type()
-		m.rt.checkLocalAccess(m.rank, p, ir.SizeOf(t), true, in)
-		return RV{}, p.Obj.store(p.Off, t, v)
+		if pv.P == nil {
+			return RV{}, crashf("nil pointer dereference")
+		}
+		size := in.size
+		if in.sizeDyn {
+			size = ir.SizeOf(in.in.Args[0].Type())
+		}
+		m.rt.checkLocalAccess(m.rank, pv.P, size, true, in.in)
+		return RV{}, pv.P.Obj.store(pv.P.Off, in.typ, v)
 
-	case in.Op == ir.OpGEP:
+	case in.op == ir.OpGEP:
 		return m.execGEP(fr, in)
 
-	case in.Op.IsBinary():
-		x, err := m.eval(fr, in.Args[0])
+	case in.op.IsBinary():
+		x, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		y, err := m.eval(fr, in.Args[1])
+		y, err := m.evalOp(fr, &in.b)
 		if err != nil {
 			return RV{}, err
 		}
-		return execBinary(in, x, y)
+		return execBinary(in.op, in.typ, x, y)
 
-	case in.Op == ir.OpICmp:
-		x, err := m.eval(fr, in.Args[0])
+	case in.op == ir.OpICmp:
+		x, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		y, err := m.eval(fr, in.Args[1])
+		y, err := m.evalOp(fr, &in.b)
 		if err != nil {
 			return RV{}, err
 		}
 		if x.P != nil || y.P != nil {
 			eq := ptrEq(x.P, y.P) && x.I == y.I
-			switch in.Cmp {
+			switch in.cmp {
 			case ir.PredEQ:
 				return boolRV(eq), nil
 			case ir.PredNE:
@@ -297,70 +328,99 @@ func (m *Machine) execInstr(fr *frame, in *ir.Instr, depth int) (RV, error) {
 			}
 			return RV{}, crashf("ordered pointer comparison")
 		}
-		return boolRV(intCmp(in.Cmp, x.I, y.I)), nil
+		return boolRV(intCmp(in.cmp, x.I, y.I)), nil
 
-	case in.Op == ir.OpFCmp:
-		x, err := m.eval(fr, in.Args[0])
+	case in.op == ir.OpFCmp:
+		x, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		y, err := m.eval(fr, in.Args[1])
+		y, err := m.evalOp(fr, &in.b)
 		if err != nil {
 			return RV{}, err
 		}
-		return boolRV(floatCmp(in.Cmp, x.F, y.F)), nil
+		return boolRV(floatCmp(in.cmp, x.F, y.F)), nil
 
-	case in.Op.IsConv():
-		x, err := m.eval(fr, in.Args[0])
+	case in.op.IsConv():
+		x, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
-		return execConv(in, x)
+		return execConv(in.op, in.typ, x)
 
-	case in.Op == ir.OpSelect:
-		c, err := m.eval(fr, in.Args[0])
+	case in.op == ir.OpSelect:
+		c, err := m.evalOp(fr, &in.a)
 		if err != nil {
 			return RV{}, err
 		}
 		if c.I != 0 {
-			return m.eval(fr, in.Args[1])
+			return m.evalOp(fr, &in.b)
 		}
-		return m.eval(fr, in.Args[2])
+		return m.evalOp(fr, &in.aux.c)
 
-	case in.Op == ir.OpCall:
+	case in.op == ir.OpCall:
 		return m.execCall(fr, in, depth)
 	}
-	return RV{}, crashf("cannot execute %s", in.Op)
+	return RV{}, crashf("cannot execute %s", in.op)
 }
 
-func (m *Machine) evalPtr(fr *frame, v ir.Value) (*Ptr, error) {
-	rv, err := m.eval(fr, v)
-	if err != nil {
-		return nil, err
+func (m *Machine) execGEP(fr []RV, in *cinstr) (RV, error) {
+	if in.gepSlow {
+		return m.execGEPSlow(fr, in)
 	}
-	if rv.P == nil {
-		return nil, crashf("nil pointer dereference")
-	}
-	return rv.P, nil
-}
-
-func (m *Machine) execGEP(fr *frame, in *ir.Instr) (RV, error) {
-	base, err := m.eval(fr, in.Args[0])
+	base, err := m.evalOp(fr, &in.a)
 	if err != nil {
 		return RV{}, err
 	}
 	if base.P == nil {
 		return RV{}, crashf("GEP on nil pointer")
 	}
-	cur := in.Args[0].Type().Elem
 	off := base.P.Off
-	for i, idxV := range in.Args[1:] {
-		iv, err := m.eval(fr, idxV)
+	gep := in.aux.gep
+	for i := range gep {
+		st := &gep[i]
+		switch st.kind {
+		case gConst:
+			off += st.add
+		case gDyn:
+			iv, err := m.evalOp(fr, &st.idx)
+			if err != nil {
+				return RV{}, err
+			}
+			off += int(iv.I) * st.scale
+		default: // gErr: the interpreter evaluated the index first
+			if st.idx.kind == oErr {
+				return RV{}, &runErr{kind: "crash", msg: m.prog.errs[st.idx.slot]}
+			}
+			return RV{}, &runErr{kind: "crash", msg: m.prog.errs[st.add]}
+		}
+	}
+	return RV{P: m.ar.newPtr(base.P.Obj, off)}, nil
+}
+
+// execGEPSlow is the generic type-walking path, kept for the shapes the
+// compiler cannot pre-lower (dynamic struct indices, malformed pointer
+// types). It mirrors the pre-compilation interpreter instruction by
+// instruction — including its panics on nil types.
+func (m *Machine) execGEPSlow(fr []RV, in *cinstr) (RV, error) {
+	orig := in.in
+	extra := in.aux.extra
+	base, err := m.evalOp(fr, &extra[0])
+	if err != nil {
+		return RV{}, err
+	}
+	if base.P == nil {
+		return RV{}, crashf("GEP on nil pointer")
+	}
+	cur := orig.Args[0].Type().Elem
+	off := base.P.Off
+	for i := 1; i < len(extra); i++ {
+		iv, err := m.evalOp(fr, &extra[i])
 		if err != nil {
 			return RV{}, err
 		}
 		idx := int(iv.I)
-		if i == 0 {
+		if i == 1 {
 			off += idx * ir.SizeOf(cur)
 			continue
 		}
@@ -380,43 +440,56 @@ func (m *Machine) execGEP(fr *frame, in *ir.Instr) (RV, error) {
 			return RV{}, crashf("GEP into non-aggregate %s", cur)
 		}
 	}
-	return RV{P: &Ptr{Obj: base.P.Obj, Off: off}}, nil
+	return RV{P: m.ar.newPtr(base.P.Obj, off)}, nil
 }
 
-func (m *Machine) execCall(fr *frame, in *ir.Instr, depth int) (RV, error) {
-	args := make([]RV, len(in.Args))
-	for i, a := range in.Args {
-		v, err := m.eval(fr, a)
+func (m *Machine) execCall(fr []RV, in *cinstr, depth int) (RV, error) {
+	extra := in.aux.extra
+	nargs := len(extra)
+	var args []RV
+	if in.ck == ckMPI {
+		// MPI argument vectors may be retained (persistent requests,
+		// collective slots) until the run ends: bump-allocate them.
+		args = m.ar.allocRVs(nargs)
+	} else {
+		if cap(m.argScratch) < nargs {
+			m.argScratch = make([]RV, nargs)
+		}
+		args = m.argScratch[:nargs]
+	}
+	for i := range extra {
+		v, err := m.evalOp(fr, &extra[i])
 		if err != nil {
 			return RV{}, err
 		}
 		args[i] = v
 	}
-	if op, ok := mpi.FromName(in.Callee); ok {
-		return m.rt.dispatch(m, op, args, in)
-	}
-	switch in.Callee {
-	case "printf":
+	switch in.ck {
+	case ckMPI:
+		return m.rt.dispatch(m, in.aux.mpiOp, args, in.in)
+	case ckPrintf:
 		return m.printf(args)
-	case "exit":
+	case ckExit:
 		return RV{}, &runErr{kind: "exit", msg: "exit called"}
-	case "sleep", "usleep":
+	case ckSleep:
 		return RV{I: 0}, nil
+	case ckUndef:
+		return RV{}, crashf("call to undefined @%s", in.in.Callee)
 	}
-	callee := m.mod.FuncByName(in.Callee)
-	if callee == nil || callee.Decl {
-		return RV{}, crashf("call to undefined @%s", in.Callee)
-	}
-	return m.call(callee, args, depth+1)
+	return m.call(in.aux.callee, args, depth+1)
 }
 
-// printf implements the %d/%ld/%f/%g/%s/%c/%% subset.
+// printf implements the %d/%ld/%f/%g/%s/%c/%% subset, formatting into a
+// reusable buffer and appending to the capped per-rank output stream.
+// The returned byte count is always the full formatted length, so a
+// program branching on printf's result behaves identically whether or
+// not the stream was truncated.
 func (m *Machine) printf(args []RV) (RV, error) {
 	if len(args) == 0 || args[0].P == nil {
 		return RV{}, crashf("printf without format")
 	}
 	format := cString(args[0].P)
-	var sb strings.Builder
+	sb := m.fmtBuf[:0]
 	ai := 1
 	next := func() RV {
 		if ai < len(args) {
@@ -429,7 +502,7 @@ func (m *Machine) printf(args []RV) (RV, error) {
 	for i := 0; i < len(format); i++ {
 		c := format[i]
 		if c != '%' || i+1 >= len(format) {
-			sb.WriteByte(c)
+			sb = append(sb, c)
 			continue
 		}
 		i++
@@ -442,35 +515,53 @@ func (m *Machine) printf(args []RV) (RV, error) {
 		}
 		switch format[i] {
 		case 'd', 'i', 'u':
-			fmt.Fprintf(&sb, "%d", next().I)
+			sb = strconv.AppendInt(sb, next().I, 10)
 		case 'f', 'g', 'e':
-			fmt.Fprintf(&sb, "%g", next().F)
+			sb = strconv.AppendFloat(sb, next().F, 'g', -1, 64)
 		case 's':
 			v := next()
 			if v.P != nil {
-				sb.WriteString(cString(v.P))
+				sb = append(sb, cString(v.P)...)
 			}
 		case 'c':
-			sb.WriteByte(byte(next().I))
+			sb = append(sb, byte(next().I))
 		case 'p':
-			fmt.Fprintf(&sb, "0x%x", next().I)
+			sb = append(sb, "0x"...)
+			sb = strconv.AppendInt(sb, next().I, 16)
 		case '%':
-			sb.WriteByte('%')
+			sb = append(sb, '%')
 		default:
-			sb.WriteByte(format[i])
+			sb = append(sb, format[i])
 		}
 	}
-	s := sb.String()
-	m.out.WriteString(s)
-	return RV{I: int64(len(s))}, nil
+	m.fmtBuf = sb[:0]
+	m.writeOut(sb)
+	return RV{I: int64(len(sb))}, nil
 }
 
-func cString(p *Ptr) string {
+// writeOut appends to the rank's output stream, cutting it at the cap.
+func (m *Machine) writeOut(s []byte) {
+	if m.outTruncated {
+		return
+	}
+	if len(m.out)+len(s) > maxRankOutput {
+		if room := maxRankOutput - len(m.out); room > 0 {
+			m.out = append(m.out, s[:room]...)
+		}
+		m.out = append(m.out, truncationMarker...)
+		m.outTruncated = true
+		return
+	}
+	m.out = append(m.out, s...)
+}
+
+// cString reads the NUL-terminated bytes at p without copying.
+func cString(p *Ptr) []byte {
 	end := p.Off
 	for end < len(p.Obj.Bytes) && p.Obj.Bytes[end] != 0 {
 		end++
 	}
-	return string(p.Obj.Bytes[p.Off:end])
+	return p.Obj.Bytes[p.Off:end]
 }
 
 func boolRV(b bool) RV {
@@ -523,8 +614,8 @@ func floatCmp(p ir.Pred, a, b float64) bool {
 	return false
 }
 
-func execBinary(in *ir.Instr, x, y RV) (RV, error) {
-	switch in.Op {
+func execBinary(op ir.Opcode, typ *ir.Type, x, y RV) (RV, error) {
+	switch op {
 	case ir.OpFAdd:
 		return RV{F: x.F + y.F}, nil
 	case ir.OpFSub:
@@ -536,7 +627,7 @@ func execBinary(in *ir.Instr, x, y RV) (RV, error) {
 	}
 	a, b := x.I, y.I
 	var r int64
-	switch in.Op {
+	switch op {
 	case ir.OpAdd:
 		r = a + b
 	case ir.OpSub:
@@ -564,9 +655,9 @@ func execBinary(in *ir.Instr, x, y RV) (RV, error) {
 	case ir.OpAShr:
 		r = a >> uint(b&63)
 	default:
-		return RV{}, crashf("bad binary op %s", in.Op)
+		return RV{}, crashf("bad binary op %s", op)
 	}
-	return RV{I: truncInt(in.Typ, r)}, nil
+	return RV{I: truncInt(typ, r)}, nil
 }
 
 func truncInt(t *ir.Type, v int64) int64 {
@@ -581,16 +672,16 @@ func truncInt(t *ir.Type, v int64) int64 {
 	return v
 }
 
-func execConv(in *ir.Instr, x RV) (RV, error) {
-	switch in.Op {
+func execConv(op ir.Opcode, typ *ir.Type, x RV) (RV, error) {
+	switch op {
 	case ir.OpTrunc, ir.OpSExt:
-		return RV{I: truncInt(in.Typ, x.I)}, nil
+		return RV{I: truncInt(typ, x.I)}, nil
 	case ir.OpZExt:
 		return RV{I: x.I}, nil
 	case ir.OpSIToFP:
 		return RV{F: float64(x.I)}, nil
 	case ir.OpFPToSI:
-		return RV{I: truncInt(in.Typ, int64(x.F))}, nil
+		return RV{I: truncInt(typ, int64(x.F))}, nil
 	case ir.OpBitcast:
 		return x, nil
 	case ir.OpPtrToInt:
@@ -601,7 +692,7 @@ func execConv(in *ir.Instr, x RV) (RV, error) {
 	case ir.OpIntToPtr:
 		return RV{}, crashf("inttoptr not supported")
 	}
-	return RV{}, crashf("bad conversion %s", in.Op)
+	return RV{}, crashf("bad conversion %s", op)
 }
 
 // load reads a typed value at the byte offset.
@@ -638,8 +729,11 @@ func (o *MemObj) store(off int, t *ir.Type, v RV) error {
 	}
 	if t.IsPtr() {
 		if v.P != nil {
+			if o.Ptrs == nil {
+				o.Ptrs = make(map[int]*Ptr)
+			}
 			o.Ptrs[off] = v.P
-		} else {
+		} else if o.Ptrs != nil {
 			delete(o.Ptrs, off)
 		}
 		return nil

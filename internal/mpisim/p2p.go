@@ -85,7 +85,8 @@ func (rt *Runtime) doSend(p *proc, op mpi.Op, args []RV) (RV, error) {
 		return RV{I: mpi.ErrOther}, nil
 	}
 	bytes := rt.readBuf(p, op, buf, count, dt)
-	msg := &message{src: p.rank, dst: dst, tag: tag, comm: comm, dtype: dt,
+	msg := rt.ar.newMessage()
+	*msg = message{src: p.rank, dst: dst, tag: tag, comm: comm, dtype: dt,
 		count: count, data: bytes}
 	msg.synchronous = op == mpi.OpSsend || op == mpi.OpRsend || len(bytes) > rt.cfg.EagerLimit
 	rt.postSend(msg)
@@ -106,7 +107,8 @@ func (rt *Runtime) doRecv(p *proc, op mpi.Op, args []RV) (RV, error) {
 	if len(args) > 6 {
 		status = args[6].P
 	}
-	r := &recvPost{dst: p.rank, src: src, tag: tag, comm: comm, dtype: dt,
+	r := rt.ar.newRecvPost()
+	*r = recvPost{dst: p.rank, src: src, tag: tag, comm: comm, dtype: dt,
 		count: count, buf: buf, status: status}
 	rt.postRecv(r)
 	if err := rt.block(p, op, func() bool { return r.completed }); err != nil {
@@ -123,14 +125,16 @@ func (rt *Runtime) doSendrecv(p *proc, args []RV) (RV, error) {
 	// deadlock-free semantics of MPI_Sendrecv.
 	var r *recvPost
 	if src != mpi.ProcNull {
-		r = &recvPost{dst: p.rank, src: src, tag: int(args[9].I), comm: comm,
+		r = rt.ar.newRecvPost()
+		*r = recvPost{dst: p.rank, src: src, tag: int(args[9].I), comm: comm,
 			dtype: mpi.Datatype(args[7].I), count: int(args[6].I),
 			buf: args[5].P, status: args[11].P}
 		rt.postRecv(r)
 	}
 	if dst != mpi.ProcNull && rt.peerOK(p, mpi.OpSendrecv, dst) {
 		bytes := rt.readBuf(p, mpi.OpSendrecv, args[0].P, int(args[1].I), mpi.Datatype(args[2].I))
-		msg := &message{src: p.rank, dst: dst, tag: int(args[4].I), comm: comm,
+		msg := rt.ar.newMessage()
+		*msg = message{src: p.rank, dst: dst, tag: int(args[4].I), comm: comm,
 			dtype: mpi.Datatype(args[2].I), count: int(args[1].I), data: bytes}
 		rt.postSend(msg)
 	}
@@ -150,7 +154,8 @@ func (rt *Runtime) doImmediate(p *proc, op mpi.Op, args []RV) (RV, error) {
 		return RV{I: mpi.ErrOther}, nil
 	}
 	rt.nextReq++
-	r := &request{id: rt.nextReq, owner: p.rank, op: op, args: args}
+	r := rt.ar.newRequest()
+	*r = request{id: rt.nextReq, owner: p.rank, op: op, args: args}
 	rt.reqs[r.id] = r
 	if op == mpi.OpSendInit || op == mpi.OpRecvInit {
 		r.persistent = true
@@ -175,7 +180,8 @@ func (rt *Runtime) activateRequest(p *proc, r *request) {
 		return
 	}
 	if isRecv {
-		rp := &recvPost{dst: p.rank, src: peer, tag: tag, comm: comm, dtype: dt,
+		rp := rt.ar.newRecvPost()
+		*rp = recvPost{dst: p.rank, src: peer, tag: tag, comm: comm, dtype: dt,
 			count: count, buf: buf, recvReq: r}
 		r.recv = rp
 		rt.postRecv(rp)
@@ -189,7 +195,8 @@ func (rt *Runtime) activateRequest(p *proc, r *request) {
 		return
 	}
 	bytes := rt.readBuf(p, r.op, buf, count, dt)
-	msg := &message{src: p.rank, dst: peer, tag: tag, comm: comm, dtype: dt,
+	msg := rt.ar.newMessage()
+	*msg = message{src: p.rank, dst: peer, tag: tag, comm: comm, dtype: dt,
 		count: count, data: bytes, sendReq: r}
 	msg.synchronous = r.op == mpi.OpIssend || len(bytes) > rt.cfg.EagerLimit
 	r.msg = msg
@@ -531,7 +538,9 @@ func (rt *Runtime) readBuf(p *proc, op mpi.Op, buf *Ptr, count int, dt mpi.Datat
 			n = 0
 		}
 	}
-	out := make([]byte, n)
+	// Message payloads come from the run's arena (fully overwritten by the
+	// copy, so no clearing is needed) and are recycled when the run ends.
+	out := rt.ar.getBytes(n, false)
 	copy(out, buf.Obj.Bytes[buf.Off:buf.Off+n])
 	return out
 }

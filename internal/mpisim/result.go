@@ -90,6 +90,13 @@ type Result struct {
 	Crashed     bool // interpreter fault (runtime error in the program)
 	CrashMsg    string
 	Output      string // interleaved printf output
+	// OutputTruncated reports that at least one rank's printf stream hit
+	// the per-rank output cap (maxRankOutput) and was cut at a truncation
+	// marker, so a simulated printf loop cannot balloon server memory.
+	OutputTruncated bool
+	// Steps is the total interpreter step count summed over all ranks — a
+	// deterministic measure of how much simulated work the run performed.
+	Steps int64
 }
 
 // Erroneous reports whether the run surfaced any dynamic problem. A

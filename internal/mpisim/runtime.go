@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mpidetect/internal/ir"
@@ -45,15 +46,29 @@ const (
 	pFailed
 )
 
+// alwaysRun is the canRun of a proc that only waits for its turn.
+func alwaysRun() bool { return true }
+
 type proc struct {
 	rank      int
 	mach      *Machine
+	rt        *Runtime
 	state     int
 	canRun    func() bool
 	blockedOn mpi.Op
-	resume    chan struct{}
-	yielded   chan struct{}
 	err       *runErr
+
+	// cond is the wait condition of the current block(); canRunBlocked is
+	// the prebound "deadlock or cond" predicate, built once per proc so
+	// blocking does not allocate a fresh closure every time.
+	cond          func() bool
+	canRunBlocked func() bool
+
+	// sem is the rank's turn token (capacity 1). Whoever holds the
+	// scheduler turn hands it over by sending here; the rank parks on a
+	// receive. One park/unpark per scheduler turn — there is no separate
+	// scheduler goroutine to round-trip through.
+	sem chan struct{}
 
 	inited    bool
 	finalized bool
@@ -62,6 +77,25 @@ type proc struct {
 	activeRegions []region
 	ownedComms    []int64
 	ownedTypes    []int64
+}
+
+// reset prepares a pooled proc for a fresh run.
+func (p *proc) reset(rt *Runtime, maxSteps int64) {
+	p.rt = rt
+	p.state = pBlocked
+	p.canRun = alwaysRun
+	p.cond = nil
+	p.blockedOn = mpi.OpNone
+	p.err = nil
+	p.inited, p.finalized = false, false
+	p.activeRegions = p.activeRegions[:0]
+	p.ownedComms = p.ownedComms[:0]
+	p.ownedTypes = p.ownedTypes[:0]
+	select { // drop any stale token, defensively
+	case <-p.sem:
+	default:
+	}
+	p.mach.reset(rt, maxSteps)
 }
 
 type region struct {
@@ -81,19 +115,29 @@ type Runtime struct {
 	cfg   Config
 	size  int
 	procs []*proc
+	ar    *runState
 
 	// Cooperative cancellation: ctx is the caller's context, deadline the
 	// wall-clock budget, stopErr the latched abort reason. Only the
 	// goroutine currently holding the scheduler turn touches stopErr, and
-	// turns are handed over through the resume/yielded channels, so no
+	// turns are handed over through the per-proc semaphores, so no
 	// locking is needed (same discipline as every other Runtime field).
 	ctx      context.Context
 	deadline time.Time
 	stopErr  *runErr
 
+	// Cooperative scheduler state: the round-robin cursor plus the
+	// per-round progress/liveness flags the old scheduler loop kept on
+	// its stack. Whoever yields the turn advances this state inline.
+	schedIdx      int
+	roundAlive    bool
+	roundProgress bool
+	aborting      bool
+	abortIdx      int
+	mainSem       chan struct{} // wakes the caller when the run completes
+
 	violations []Violation
 	deadlock   bool
-	timeout    bool
 
 	sends []*message
 	recvs []*recvPost
@@ -125,76 +169,144 @@ type wildRecord struct {
 	comm     int64
 }
 
-// Run simulates the module with the given configuration.
-func Run(mod *ir.Module, cfg Config) *Result {
-	return RunCtx(context.Background(), mod, cfg)
+// runtimePool recycles Runtime shells (and their interior maps/queues)
+// across runs; every field is re-initialised by RunCtx or cleared by
+// putRuntime, and the golden verdict corpus pins that a pooled Runtime
+// behaves identically to a fresh one.
+var runtimePool = sync.Pool{}
+
+func getRuntime() *Runtime {
+	if v := runtimePool.Get(); v != nil {
+		return v.(*Runtime)
+	}
+	return &Runtime{
+		reqs:   map[int64]*request{},
+		wins:   map[int64]*window{},
+		comms:  map[int64]int{},
+		dtypes: map[int64]bool{},
+	}
 }
 
-// RunCtx simulates the module under a caller context: cancelling ctx (or
-// exceeding cfg.WallBudget) aborts the run cooperatively — the scheduler
-// stops handing out turns, every per-rank goroutine is resumed so it can
-// observe the stop condition and exit, and the partial result is returned
-// with Result.Canceled (ctx) or Result.Timeout (budget) set. RunCtx never
-// leaks the rank goroutines, whatever state the simulated program is in.
-func RunCtx(ctx context.Context, mod *ir.Module, cfg Config) *Result {
-	cfg = cfg.withDefaults()
-	rt := &Runtime{
-		cfg:      cfg,
-		ctx:      ctx,
-		size:     cfg.Ranks,
-		reqs:     map[int64]*request{},
-		wins:     map[int64]*window{},
-		comms:    map[int64]int{mpi.CommWorld: cfg.Ranks, mpi.CommSelf: 1},
-		dtypes:   map[int64]bool{},
-		nextReq:  1000,
-		nextWin:  5000,
-		nextComm: 200,
-		nextType: 100,
+// clearSlice zeroes a slice's elements (dropping references) and
+// truncates it for reuse.
+func clearSlice[T any](s []T) []T {
+	clear(s)
+	return s[:0]
+}
+
+// putRuntime scrubs every run-scoped field and recycles the shell. The
+// violations slice is deliberately dropped, not reused: it escaped into
+// the caller's Result.
+func putRuntime(rt *Runtime) {
+	clear(rt.reqs)
+	clear(rt.wins)
+	clear(rt.comms)
+	clear(rt.dtypes)
+	if rt.derivedSizes != nil {
+		clear(rt.derivedSizes)
 	}
+	rt.sends = clearSlice(rt.sends)
+	rt.recvs = clearSlice(rt.recvs)
+	rt.colls = clearSlice(rt.colls)
+	rt.msgLog = rt.msgLog[:0]
+	rt.wildRecvs = rt.wildRecvs[:0]
+	rt.violations = nil
+	rt.cfg = Config{}
+	rt.size = 0
+	rt.procs = nil
+	rt.ar = nil
+	rt.ctx = nil
+	rt.deadline = time.Time{}
+	rt.stopErr = nil
+	rt.schedIdx, rt.roundAlive, rt.roundProgress = 0, false, false
+	rt.aborting, rt.abortIdx = false, 0
+	rt.mainSem = nil
+	rt.deadlock = false
+	rt.nextReq, rt.nextWin, rt.nextComm, rt.nextType = 0, 0, 0, 0
+	rt.finalizeCount = 0
+	runtimePool.Put(rt)
+}
+
+// Run simulates the module with the given configuration, compiling it
+// first. Callers that simulate the same module repeatedly should Compile
+// once and call Program.Run.
+func Run(mod *ir.Module, cfg Config) *Result {
+	return Compile(mod).RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a caller context; see Program.RunCtx.
+func RunCtx(ctx context.Context, mod *ir.Module, cfg Config) *Result {
+	return Compile(mod).RunCtx(ctx, cfg)
+}
+
+// Run simulates the compiled program.
+func (p *Program) Run(cfg Config) *Result {
+	return p.RunCtx(context.Background(), cfg)
+}
+
+// RunCtx simulates the compiled program under a caller context:
+// cancelling ctx (or exceeding cfg.WallBudget) aborts the run
+// cooperatively — the turn stops being handed out, every per-rank
+// goroutine is resumed so it can observe the stop condition and exit,
+// and the partial result is returned with Result.Canceled (ctx) or
+// Result.Timeout (budget) set. RunCtx never leaks the rank goroutines,
+// whatever state the simulated program is in.
+func (p *Program) RunCtx(ctx context.Context, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rs := p.acquire(cfg.Ranks)
+	rt := getRuntime()
+	rt.cfg = cfg
+	rt.ctx = ctx
+	rt.ar = rs
+	rt.size = cfg.Ranks
+	rt.procs = rs.procs[:cfg.Ranks]
+	rt.mainSem = rs.mainSem
+	rt.comms[mpi.CommWorld] = cfg.Ranks
+	rt.comms[mpi.CommSelf] = 1
+	rt.nextReq, rt.nextWin, rt.nextComm, rt.nextType = 1000, 5000, 200, 100
 	if cfg.WallBudget > 0 {
 		rt.deadline = time.Now().Add(cfg.WallBudget)
 	}
-	for r := 0; r < cfg.Ranks; r++ {
-		p := &proc{
-			rank:    r,
-			state:   pBlocked,
-			canRun:  func() bool { return true },
-			resume:  make(chan struct{}),
-			yielded: make(chan struct{}),
-		}
-		p.mach = newMachine(mod, r, rt, cfg.MaxSteps)
-		p.mach.proc = p
-		rt.procs = append(rt.procs, p)
+	for _, pr := range rt.procs {
+		pr.reset(rt, cfg.MaxSteps)
 	}
-	for _, p := range rt.procs {
-		p := p
-		go func() {
-			<-p.resume
-			err := func() (err error) {
-				// Convert any interpreter panic into a crash verdict so a
-				// malformed program can never take down the host process.
-				defer func() {
-					if r := recover(); r != nil {
-						err = crashf("interpreter panic: %v", r)
-					}
-				}()
-				return p.mach.run()
-			}()
-			if err != nil {
-				if re, ok := err.(*runErr); ok {
-					p.err = re
-				} else {
-					p.err = &runErr{kind: "crash", msg: err.Error()}
-				}
-				p.state = pFailed
-			} else {
-				p.state = pDone
+	for _, pr := range rt.procs {
+		go runRank(rt, pr)
+	}
+	// Donate the turn; it comes back through mainSem when the run is over
+	// and every rank goroutine has passed its final handoff.
+	rt.giveTurn()
+	<-rt.mainSem
+	res := rt.collect()
+	p.release(rs)
+	putRuntime(rt)
+	return res
+}
+
+// runRank is one rank's goroutine: wait for the first turn, execute the
+// program, hand the turn on. Any interpreter panic becomes a crash
+// verdict so a malformed program can never take down the host process.
+func runRank(rt *Runtime, p *proc) {
+	<-p.sem
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = crashf("interpreter panic: %v", r)
 			}
-			p.yielded <- struct{}{}
 		}()
+		return p.mach.run()
+	}()
+	if err != nil {
+		if re, ok := err.(*runErr); ok {
+			p.err = re
+		} else {
+			p.err = &runErr{kind: "crash", msg: err.Error()}
+		}
+		p.state = pFailed
+	} else {
+		p.state = pDone
 	}
-	rt.schedule()
-	return rt.collect()
+	rt.giveTurn()
 }
 
 // stopNow reports (and latches) whether the run must abort: the caller's
@@ -213,44 +325,46 @@ func (rt *Runtime) stopNow() *runErr {
 	return rt.stopErr
 }
 
-// abortBlocked resumes every blocked rank so its goroutine observes the
-// abort condition (deadlock or stop) and exits; without this the
-// per-rank goroutines would leak, parked on their resume channels.
-func (rt *Runtime) abortBlocked() {
-	for _, p := range rt.procs {
-		if p.state == pBlocked {
-			p.state = pRunning
-			p.resume <- struct{}{}
-			<-p.yielded
-		}
+// giveTurn relinquishes the scheduler turn: the caller (a rank that just
+// blocked, yielded or exited — or the main goroutine starting the run)
+// advances the round-robin scan inline and wakes exactly one party: the
+// next runnable rank, or the main goroutine when the run is over. This
+// replaces the old scheduler goroutine's resume/yielded channel pair —
+// a turn now costs one park/unpark instead of two channel round-trips.
+func (rt *Runtime) giveTurn() {
+	if rt.aborting {
+		rt.abortNext()
+		return
 	}
-}
-
-// schedule drives the cooperative round-robin scheduler to completion.
-func (rt *Runtime) schedule() {
 	for {
-		if rt.stopNow() != nil {
-			rt.abortBlocked()
-			return
+		if rt.schedIdx == 0 {
+			// Start of a round: the once-per-round stop check the old
+			// scheduler loop ran at the top of each iteration.
+			if rt.stopNow() != nil {
+				rt.beginAbort()
+				return
+			}
 		}
-		progress := false
-		alive := false
-		for _, p := range rt.procs {
+		for rt.schedIdx < len(rt.procs) {
+			p := rt.procs[rt.schedIdx]
+			rt.schedIdx++
 			if p.state != pBlocked {
 				continue
 			}
-			alive = true
+			rt.roundAlive = true
 			if p.canRun == nil || p.canRun() {
+				rt.roundProgress = true
 				p.state = pRunning
-				p.resume <- struct{}{}
-				<-p.yielded
-				progress = true
+				p.sem <- struct{}{}
+				return
 			}
 		}
-		if !alive {
+		// End of round.
+		if !rt.roundAlive {
+			rt.mainSem <- struct{}{}
 			return
 		}
-		if !progress {
+		if !rt.roundProgress {
 			// Global stall: genuine deadlock (every live rank blocked on a
 			// condition no live rank can satisfy).
 			rt.deadlock = true
@@ -262,11 +376,38 @@ func (rt *Runtime) schedule() {
 			}
 			rt.report(Violation{Kind: VDeadlock, Rank: -1, Op: mpi.OpNone,
 				Msg: "no progress possible: " + strings.Join(blockedOps, ", ")})
-			// Unblock everyone with a deadlock verdict so goroutines exit.
-			rt.abortBlocked()
+			rt.beginAbort()
+			return
+		}
+		rt.schedIdx, rt.roundAlive, rt.roundProgress = 0, false, false
+	}
+}
+
+// beginAbort starts resuming every still-blocked rank, in rank order, so
+// its goroutine observes the abort condition (deadlock or stop) and
+// exits; without this the per-rank goroutines would leak, parked on
+// their turn semaphores.
+func (rt *Runtime) beginAbort() {
+	rt.aborting = true
+	rt.abortIdx = 0
+	rt.abortNext()
+}
+
+// abortNext wakes the next blocked rank of the abort sweep; each woken
+// rank runs to termination (no rank parks again once the run is
+// aborting) and hands the turn back here. When the sweep is done, the
+// run is over.
+func (rt *Runtime) abortNext() {
+	for rt.abortIdx < len(rt.procs) {
+		p := rt.procs[rt.abortIdx]
+		rt.abortIdx++
+		if p.state == pBlocked {
+			p.state = pRunning
+			p.sem <- struct{}{}
 			return
 		}
 	}
+	rt.mainSem <- struct{}{}
 }
 
 // block suspends the calling rank until cond() holds (or a deadlock is
@@ -282,9 +423,10 @@ func (rt *Runtime) block(p *proc, op mpi.Op, cond func() bool) error {
 		}
 		p.blockedOn = op
 		p.state = pBlocked
-		p.canRun = func() bool { return rt.deadlock || cond() }
-		p.yielded <- struct{}{}
-		<-p.resume
+		p.cond = cond
+		p.canRun = p.canRunBlocked
+		rt.giveTurn()
+		<-p.sem
 		p.state = pRunning
 	}
 	return nil
@@ -300,9 +442,9 @@ func (rt *Runtime) yieldTurn(p *proc) {
 	}
 	p.blockedOn = mpi.OpTest
 	p.state = pBlocked
-	p.canRun = func() bool { return true }
-	p.yielded <- struct{}{}
-	<-p.resume
+	p.canRun = alwaysRun
+	rt.giveTurn()
+	<-p.sem
 	p.state = pRunning
 }
 
@@ -333,7 +475,11 @@ func (rt *Runtime) collect() *Result {
 	}
 	var out strings.Builder
 	for _, p := range rt.procs {
-		out.WriteString(p.mach.out.String())
+		out.Write(p.mach.out)
+		res.Steps += p.mach.steps
+		if p.mach.outTruncated {
+			res.OutputTruncated = true
+		}
 		if p.err != nil {
 			switch p.err.kind {
 			case "timeout":
@@ -400,8 +546,13 @@ func (rt *Runtime) finalLeakCheck() {
 				Msg: "request never completed or freed"})
 		}
 	}
-	for _, w := range rt.wins {
-		if !w.freed {
+	winIDs := make([]int64, 0, len(rt.wins))
+	for id := range rt.wins {
+		winIDs = append(winIDs, id)
+	}
+	sort.Slice(winIDs, func(i, j int) bool { return winIDs[i] < winIDs[j] })
+	for _, id := range winIDs {
+		if w := rt.wins[id]; !w.freed {
 			rt.reportOnce(Violation{Kind: VResourceLeak, Rank: w.owner, Op: mpi.OpWinCreate,
 				Msg: "window never freed"})
 		}
@@ -540,9 +691,14 @@ func (rt *Runtime) doRankSize(p *proc, op mpi.Op, args []RV) (RV, error) {
 // checkLocalAccess is invoked by the interpreter on every load/store so the
 // runtime can detect local-concurrency violations (touching a buffer that a
 // pending nonblocking operation owns) and RMA local accesses during open
-// epochs.
+// epochs. The common case — no pending nonblocking operation and no RMA
+// window anywhere — must cost one branch, since this guards every memory
+// access the simulated program makes.
 func (rt *Runtime) checkLocalAccess(rank int, ptr *Ptr, size int, isWrite bool, in *ir.Instr) {
 	p := rt.procs[rank]
+	if len(p.activeRegions) == 0 && len(rt.wins) == 0 {
+		return
+	}
 	for i := range p.activeRegions {
 		reg := &p.activeRegions[i]
 		if reg.warned || reg.obj != ptr.Obj {

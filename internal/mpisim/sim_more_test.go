@@ -4,26 +4,26 @@ import (
 	"strings"
 	"testing"
 
-	. "mpidetect/internal/ast"
+	ast "mpidetect/internal/ast"
 	"mpidetect/internal/irgen"
 )
 
 func TestSendrecvRing(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("sbuf", 1, Int),
-		DeclArr("rbuf", 1, Int),
-		Assign(Idx(Id("sbuf"), I(0)), Id("rank")),
-		Decl("right", Int, Mod(Add(Id("rank"), I(1)), Id("size"))),
-		Decl("left", Int, Mod(Add(Sub(Id("rank"), I(1)), Id("size")), Id("size"))),
-		CallS("MPI_Sendrecv",
-			Id("sbuf"), I(1), Id("MPI_INT"), Id("right"), I(4),
-			Id("rbuf"), I(1), Id("MPI_INT"), Id("left"), I(4),
-			world(), Id("MPI_STATUS_IGNORE")),
-		If(Eq(Id("rank"), I(0)), CallS("printf", S("got %d\n"), Idx(Id("rbuf"), I(0)))),
-		Finalize(),
+		ast.DeclArr("sbuf", 1, ast.Int),
+		ast.DeclArr("rbuf", 1, ast.Int),
+		ast.Assign(ast.Idx(ast.Id("sbuf"), ast.I(0)), ast.Id("rank")),
+		ast.Decl("right", ast.Int, ast.Mod(ast.Add(ast.Id("rank"), ast.I(1)), ast.Id("size"))),
+		ast.Decl("left", ast.Int, ast.Mod(ast.Add(ast.Sub(ast.Id("rank"), ast.I(1)), ast.Id("size")), ast.Id("size"))),
+		ast.CallS("MPI_Sendrecv",
+			ast.Id("sbuf"), ast.I(1), ast.Id("MPI_INT"), ast.Id("right"), ast.I(4),
+			ast.Id("rbuf"), ast.I(1), ast.Id("MPI_INT"), ast.Id("left"), ast.I(4),
+			world(), ast.Id("MPI_STATUS_IGNORE")),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)), ast.CallS("printf", ast.S("got %d\n"), ast.Idx(ast.Id("rbuf"), ast.I(0)))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("sendrecvring", stmts...), 4)
+	res := runProg(t, ast.MainProgram("sendrecvring", stmts...), 4)
 	if res.Erroneous() {
 		t.Fatalf("ring flagged: %+v deadlock=%v", res.Violations, res.Deadlock)
 	}
@@ -34,24 +34,24 @@ func TestSendrecvRing(t *testing.T) {
 }
 
 func TestGatherScatterData(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("mine", 1, Int),
-		DeclArr("all", 4, Int),
-		Assign(Idx(Id("mine"), I(0)), Mul(Id("rank"), I(10))),
-		CallS("MPI_Gather", Id("mine"), I(1), Id("MPI_INT"),
-			Id("all"), I(1), Id("MPI_INT"), I(0), world()),
-		If(Eq(Id("rank"), I(0)),
-			CallS("printf", S("%d %d %d\n"), Idx(Id("all"), I(0)), Idx(Id("all"), I(1)), Idx(Id("all"), I(2)))),
+		ast.DeclArr("mine", 1, ast.Int),
+		ast.DeclArr("all", 4, ast.Int),
+		ast.Assign(ast.Idx(ast.Id("mine"), ast.I(0)), ast.Mul(ast.Id("rank"), ast.I(10))),
+		ast.CallS("MPI_Gather", ast.Id("mine"), ast.I(1), ast.Id("MPI_INT"),
+			ast.Id("all"), ast.I(1), ast.Id("MPI_INT"), ast.I(0), world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.CallS("printf", ast.S("%d %d %d\n"), ast.Idx(ast.Id("all"), ast.I(0)), ast.Idx(ast.Id("all"), ast.I(1)), ast.Idx(ast.Id("all"), ast.I(2)))),
 		// Now scatter back doubled values.
-		If(Eq(Id("rank"), I(0)),
-			ForUp("i", 0, 3, Assign(Idx(Id("all"), Id("i")), Mul(Idx(Id("all"), Id("i")), I(2))))),
-		CallS("MPI_Scatter", Id("all"), I(1), Id("MPI_INT"),
-			Id("mine"), I(1), Id("MPI_INT"), I(0), world()),
-		If(Eq(Id("rank"), I(2)), CallS("printf", S("mine=%d\n"), Idx(Id("mine"), I(0)))),
-		Finalize(),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.ForUp("i", 0, 3, ast.Assign(ast.Idx(ast.Id("all"), ast.Id("i")), ast.Mul(ast.Idx(ast.Id("all"), ast.Id("i")), ast.I(2))))),
+		ast.CallS("MPI_Scatter", ast.Id("all"), ast.I(1), ast.Id("MPI_INT"),
+			ast.Id("mine"), ast.I(1), ast.Id("MPI_INT"), ast.I(0), world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(2)), ast.CallS("printf", ast.S("mine=%d\n"), ast.Idx(ast.Id("mine"), ast.I(0)))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("gatherscatter", stmts...), 3)
+	res := runProg(t, ast.MainProgram("gatherscatter", stmts...), 3)
 	if res.Erroneous() {
 		t.Fatalf("flagged: %+v", res.Violations)
 	}
@@ -64,16 +64,16 @@ func TestGatherScatterData(t *testing.T) {
 }
 
 func TestScanPrefixSum(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("v", 1, Int),
-		DeclArr("p", 1, Int),
-		Assign(Idx(Id("v"), I(0)), Add(Id("rank"), I(1))),
-		CallS("MPI_Scan", Id("v"), Id("p"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
-		CallS("printf", S("r%d=%d "), Id("rank"), Idx(Id("p"), I(0))),
-		Finalize(),
+		ast.DeclArr("v", 1, ast.Int),
+		ast.DeclArr("p", 1, ast.Int),
+		ast.Assign(ast.Idx(ast.Id("v"), ast.I(0)), ast.Add(ast.Id("rank"), ast.I(1))),
+		ast.CallS("MPI_Scan", ast.Id("v"), ast.Id("p"), ast.I(1), ast.Id("MPI_INT"), ast.Id("MPI_SUM"), world()),
+		ast.CallS("printf", ast.S("r%d=%d "), ast.Id("rank"), ast.Idx(ast.Id("p"), ast.I(0))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("scan", stmts...), 3)
+	res := runProg(t, ast.MainProgram("scan", stmts...), 3)
 	if res.Erroneous() {
 		t.Fatalf("flagged: %+v", res.Violations)
 	}
@@ -85,77 +85,77 @@ func TestScanPrefixSum(t *testing.T) {
 }
 
 func TestCommSplitAndFree(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		Decl("newcomm", Comm, nil),
-		CallS("MPI_Comm_split", world(), Mod(Id("rank"), I(2)), Id("rank"), Addr(Id("newcomm"))),
-		CallS("MPI_Barrier", world()),
-		CallS("MPI_Comm_free", Addr(Id("newcomm"))),
-		Finalize(),
+		ast.Decl("newcomm", ast.Comm, nil),
+		ast.CallS("MPI_Comm_split", world(), ast.Mod(ast.Id("rank"), ast.I(2)), ast.Id("rank"), ast.Addr(ast.Id("newcomm"))),
+		ast.CallS("MPI_Barrier", world()),
+		ast.CallS("MPI_Comm_free", ast.Addr(ast.Id("newcomm"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("commsplit", stmts...), 2)
+	res := runProg(t, ast.MainProgram("commsplit", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("flagged: %+v deadlock=%v", res.Violations, res.Deadlock)
 	}
 }
 
 func TestDerivedDatatypeLifecycle(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 8, Int),
-		Decl("ty", Datatype, nil),
-		CallS("MPI_Type_contiguous", I(2), Id("MPI_INT"), Addr(Id("ty"))),
-		CallS("MPI_Type_commit", Addr(Id("ty"))),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("ty"), I(1), I(6), world())},
-			[]Stmt{CallS("MPI_Recv", Id("buf"), I(2), Id("ty"), I(0), I(6), world(), Id("MPI_STATUS_IGNORE"))}),
-		CallS("MPI_Type_free", Addr(Id("ty"))),
-		Finalize(),
+		ast.DeclArr("buf", 8, ast.Int),
+		ast.Decl("ty", ast.Datatype, nil),
+		ast.CallS("MPI_Type_contiguous", ast.I(2), ast.Id("MPI_INT"), ast.Addr(ast.Id("ty"))),
+		ast.CallS("MPI_Type_commit", ast.Addr(ast.Id("ty"))),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{ast.CallS("MPI_Send", ast.Id("buf"), ast.I(2), ast.Id("ty"), ast.I(1), ast.I(6), world())},
+			[]ast.Stmt{ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(2), ast.Id("ty"), ast.I(0), ast.I(6), world(), ast.Id("MPI_STATUS_IGNORE"))}),
+		ast.CallS("MPI_Type_free", ast.Addr(ast.Id("ty"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("dtype", stmts...), 2)
+	res := runProg(t, ast.MainProgram("dtype", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("correct derived-type flow flagged: %+v", res.Violations)
 	}
 }
 
 func TestUncommittedDatatypeFlagged(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 8, Int),
-		Decl("ty", Datatype, nil),
-		CallS("MPI_Type_contiguous", I(2), Id("MPI_INT"), Addr(Id("ty"))),
+		ast.DeclArr("buf", 8, ast.Int),
+		ast.Decl("ty", ast.Datatype, nil),
+		ast.CallS("MPI_Type_contiguous", ast.I(2), ast.Id("MPI_INT"), ast.Addr(ast.Id("ty"))),
 		// no commit
-		If(Eq(Id("rank"), I(0)),
-			CallS("MPI_Send", Id("buf"), I(2), Id("ty"), I(1), I(6), world())),
-		If(Eq(Id("rank"), I(1)),
-			CallS("MPI_Recv", Id("buf"), I(2), Id("ty"), I(0), I(6), world(), Id("MPI_STATUS_IGNORE"))),
-		CallS("MPI_Type_free", Addr(Id("ty"))),
-		Finalize(),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.CallS("MPI_Send", ast.Id("buf"), ast.I(2), ast.Id("ty"), ast.I(1), ast.I(6), world())),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(1)),
+			ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(2), ast.Id("ty"), ast.I(0), ast.I(6), world(), ast.Id("MPI_STATUS_IGNORE"))),
+		ast.CallS("MPI_Type_free", ast.Addr(ast.Id("ty"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("uncommitted", stmts...), 2)
+	res := runProg(t, ast.MainProgram("uncommitted", stmts...), 2)
 	if !res.Has(VInvalidParam) {
 		t.Fatalf("uncommitted datatype not flagged: %+v", res.Violations)
 	}
 }
 
 func TestWinLockUnlockPassive(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("wmem", 4, Int),
-		DeclArr("local", 4, Int),
-		Decl("win", Win, nil),
-		CallS("MPI_Win_create", Id("wmem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
-		If(Eq(Id("rank"), I(0)),
-			Assign(Idx(Id("local"), I(0)), I(5)),
-			CallS("MPI_Win_lock", Id("MPI_LOCK_EXCLUSIVE"), I(1), I(0), Id("win")),
-			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win")),
-			CallS("MPI_Win_unlock", I(1), Id("win"))),
-		CallS("MPI_Barrier", world()),
-		If(Eq(Id("rank"), I(1)), CallS("printf", S("v=%d\n"), Idx(Id("wmem"), I(0)))),
-		CallS("MPI_Win_free", Addr(Id("win"))),
-		Finalize(),
+		ast.DeclArr("wmem", 4, ast.Int),
+		ast.DeclArr("local", 4, ast.Int),
+		ast.Decl("win", ast.Win, nil),
+		ast.CallS("MPI_Win_create", ast.Id("wmem"), ast.I(16), ast.I(4), ast.Id("MPI_INFO_NULL"), world(), ast.Addr(ast.Id("win"))),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.Assign(ast.Idx(ast.Id("local"), ast.I(0)), ast.I(5)),
+			ast.CallS("MPI_Win_lock", ast.Id("MPI_LOCK_EXCLUSIVE"), ast.I(1), ast.I(0), ast.Id("win")),
+			ast.CallS("MPI_Put", ast.Id("local"), ast.I(1), ast.Id("MPI_INT"), ast.I(1), ast.I(0), ast.I(1), ast.Id("MPI_INT"), ast.Id("win")),
+			ast.CallS("MPI_Win_unlock", ast.I(1), ast.Id("win"))),
+		ast.CallS("MPI_Barrier", world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(1)), ast.CallS("printf", ast.S("v=%d\n"), ast.Idx(ast.Id("wmem"), ast.I(0)))),
+		ast.CallS("MPI_Win_free", ast.Addr(ast.Id("win"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("passive", stmts...), 2)
+	res := runProg(t, ast.MainProgram("passive", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("passive-target RMA flagged: %+v", res.Violations)
 	}
@@ -165,22 +165,22 @@ func TestWinLockUnlockPassive(t *testing.T) {
 }
 
 func TestAccumulateSums(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("wmem", 1, Int),
-		DeclArr("one", 1, Int),
-		Decl("win", Win, nil),
-		Assign(Idx(Id("one"), I(0)), I(1)),
-		CallS("MPI_Win_create", Id("wmem"), I(4), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
-		If(Ne(Id("rank"), I(0)),
-			CallS("MPI_Accumulate", Id("one"), I(1), Id("MPI_INT"), I(0), I(0), I(1), Id("MPI_INT"), Id("MPI_SUM"), Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
-		If(Eq(Id("rank"), I(0)), CallS("printf", S("acc=%d\n"), Idx(Id("wmem"), I(0)))),
-		CallS("MPI_Win_free", Addr(Id("win"))),
-		Finalize(),
+		ast.DeclArr("wmem", 1, ast.Int),
+		ast.DeclArr("one", 1, ast.Int),
+		ast.Decl("win", ast.Win, nil),
+		ast.Assign(ast.Idx(ast.Id("one"), ast.I(0)), ast.I(1)),
+		ast.CallS("MPI_Win_create", ast.Id("wmem"), ast.I(4), ast.I(4), ast.Id("MPI_INFO_NULL"), world(), ast.Addr(ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
+		ast.If(ast.Ne(ast.Id("rank"), ast.I(0)),
+			ast.CallS("MPI_Accumulate", ast.Id("one"), ast.I(1), ast.Id("MPI_INT"), ast.I(0), ast.I(0), ast.I(1), ast.Id("MPI_INT"), ast.Id("MPI_SUM"), ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)), ast.CallS("printf", ast.S("acc=%d\n"), ast.Idx(ast.Id("wmem"), ast.I(0)))),
+		ast.CallS("MPI_Win_free", ast.Addr(ast.Id("win"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("accum", stmts...), 3)
+	res := runProg(t, ast.MainProgram("accum", stmts...), 3)
 	// Two ranks accumulate into rank 0: value 2. Concurrent accumulates
 	// with the same op are legal MPI; our conservative detector may still
 	// note the overlap, so only check the arithmetic and deadlock-freedom.
@@ -193,24 +193,24 @@ func TestAccumulateSums(t *testing.T) {
 }
 
 func TestTestCompletesRequest(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 2, Int),
-		Decl("req", Request, nil),
-		Decl("flag", Int, I(0)),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Irecv", Id("buf"), I(2), Id("MPI_INT"), I(1), I(2), world(), Addr(Id("req"))),
-				While(Eq(Id("flag"), I(0)),
-					CallS("MPI_Test", Addr(Id("req")), Addr(Id("flag")), Id("MPI_STATUS_IGNORE"))),
+		ast.DeclArr("buf", 2, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.Decl("flag", ast.Int, ast.I(0)),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Irecv", ast.Id("buf"), ast.I(2), ast.Id("MPI_INT"), ast.I(1), ast.I(2), world(), ast.Addr(ast.Id("req"))),
+				ast.While(ast.Eq(ast.Id("flag"), ast.I(0)),
+					ast.CallS("MPI_Test", ast.Addr(ast.Id("req")), ast.Addr(ast.Id("flag")), ast.Id("MPI_STATUS_IGNORE"))),
 			},
-			[]Stmt{CallS("MPI_Send", Id("buf"), I(2), Id("MPI_INT"), I(0), I(2), world())}),
-		Finalize(),
+			[]ast.Stmt{ast.CallS("MPI_Send", ast.Id("buf"), ast.I(2), ast.Id("MPI_INT"), ast.I(0), ast.I(2), world())}),
+		ast.Finalize(),
 	)
 	// MPI_Test never blocks; the while loop spins until the send lands.
 	// Deterministic scheduling delivers the send during rank 1's turn, so
 	// the loop terminates; a bounded step budget guards regressions.
-	mod := irgen.MustLower(MainProgram("test", stmts...))
+	mod := irgen.MustLower(ast.MainProgram("test", stmts...))
 	res := Run(mod, Config{Ranks: 2, MaxSteps: 500_000})
 	if res.Deadlock || res.Timeout {
 		t.Fatalf("test-loop did not complete: deadlock=%v timeout=%v", res.Deadlock, res.Timeout)

@@ -4,13 +4,13 @@ import (
 	"strings"
 	"testing"
 
-	. "mpidetect/internal/ast"
+	ast "mpidetect/internal/ast"
 	"mpidetect/internal/irgen"
 	"mpidetect/internal/passes"
 )
 
 // runProg lowers and simulates a program.
-func runProg(t *testing.T, p *Program, ranks int) *Result {
+func runProg(t *testing.T, p *ast.Program, ranks int) *Result {
 	t.Helper()
 	mod, err := irgen.Lower(p)
 	if err != nil {
@@ -19,24 +19,24 @@ func runProg(t *testing.T, p *Program, ranks int) *Result {
 	return Run(mod, Config{Ranks: ranks})
 }
 
-func world() Expr { return Id("MPI_COMM_WORLD") }
+func world() ast.Expr { return ast.Id("MPI_COMM_WORLD") }
 
 func TestCorrectPingPong(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 8, Int),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				Assign(Idx(Id("buf"), I(0)), I(42)),
-				CallS("MPI_Send", Id("buf"), I(8), Id("MPI_INT"), I(1), I(7), world()),
+		ast.DeclArr("buf", 8, ast.Int),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.Assign(ast.Idx(ast.Id("buf"), ast.I(0)), ast.I(42)),
+				ast.CallS("MPI_Send", ast.Id("buf"), ast.I(8), ast.Id("MPI_INT"), ast.I(1), ast.I(7), world()),
 			},
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(8), Id("MPI_INT"), I(0), I(7), world(), Id("MPI_STATUS_IGNORE")),
-				CallS("printf", S("got %d\n"), Idx(Id("buf"), I(0))),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(8), ast.Id("MPI_INT"), ast.I(0), ast.I(7), world(), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("printf", ast.S("got %d\n"), ast.Idx(ast.Id("buf"), ast.I(0))),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("pingpong", stmts...), 2)
+	res := runProg(t, ast.MainProgram("pingpong", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("correct program flagged: %+v deadlock=%v timeout=%v crash=%v %s",
 			res.Violations, res.Deadlock, res.Timeout, res.Crashed, res.CrashMsg)
@@ -47,17 +47,17 @@ func TestCorrectPingPong(t *testing.T) {
 }
 
 func TestDeadlockBothRecv(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
+		ast.DeclArr("buf", 4, ast.Int),
 		// Both ranks receive first: classic deadlock.
-		CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"),
-			Sub(I(1), Id("rank")), I(3), world(), Id("MPI_STATUS_IGNORE")),
-		CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"),
-			Sub(I(1), Id("rank")), I(3), world()),
-		Finalize(),
+		ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"),
+			ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3), world(), ast.Id("MPI_STATUS_IGNORE")),
+		ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"),
+			ast.Sub(ast.I(1), ast.Id("rank")), ast.I(3), world()),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("deadlock", stmts...), 2)
+	res := runProg(t, ast.MainProgram("deadlock", stmts...), 2)
 	if !res.Deadlock {
 		t.Fatalf("deadlock not detected: %+v", res.Violations)
 	}
@@ -65,14 +65,14 @@ func TestDeadlockBothRecv(t *testing.T) {
 
 func TestDeadlockLargeSends(t *testing.T) {
 	// Two ranks send large (rendezvous) messages to each other first.
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 64, Int), // 256 bytes > eager limit
-		CallS("MPI_Send", Id("buf"), I(64), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world()),
-		CallS("MPI_Recv", Id("buf"), I(64), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world(), Id("MPI_STATUS_IGNORE")),
-		Finalize(),
+		ast.DeclArr("buf", 64, ast.Int), // 256 bytes > eager limit
+		ast.CallS("MPI_Send", ast.Id("buf"), ast.I(64), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(1), world()),
+		ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(64), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(1), world(), ast.Id("MPI_STATUS_IGNORE")),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("sendsend", stmts...), 2)
+	res := runProg(t, ast.MainProgram("sendsend", stmts...), 2)
 	if !res.Deadlock {
 		t.Fatalf("rendezvous send-send deadlock not detected: %+v", res.Violations)
 	}
@@ -80,14 +80,14 @@ func TestDeadlockLargeSends(t *testing.T) {
 
 func TestEagerSendsNoDeadlock(t *testing.T) {
 	// Small messages fit the eager buffer: same pattern completes.
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world()),
-		CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Sub(I(1), Id("rank")), I(1), world(), Id("MPI_STATUS_IGNORE")),
-		Finalize(),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(1), world()),
+		ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Sub(ast.I(1), ast.Id("rank")), ast.I(1), world(), ast.Id("MPI_STATUS_IGNORE")),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("eager", stmts...), 2)
+	res := runProg(t, ast.MainProgram("eager", stmts...), 2)
 	if res.Deadlock {
 		t.Fatal("eager sends deadlocked")
 	}
@@ -97,153 +97,153 @@ func TestEagerSendsNoDeadlock(t *testing.T) {
 }
 
 func TestInvalidNegativeCount(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		If(Eq(Id("rank"), I(0)),
-			CallS("MPI_Send", Id("buf"), I(-1), Id("MPI_INT"), I(1), I(0), world())),
-		If(Eq(Id("rank"), I(1)),
-			CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))),
-		Finalize(),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.CallS("MPI_Send", ast.Id("buf"), ast.I(-1), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world())),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(1)),
+			ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(0), world(), ast.Id("MPI_STATUS_IGNORE"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("negcount", stmts...), 2)
+	res := runProg(t, ast.MainProgram("negcount", stmts...), 2)
 	if !res.Has(VInvalidParam) {
 		t.Fatalf("negative count not flagged: %+v", res.Violations)
 	}
 }
 
 func TestTypeMismatch(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 8, Int),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world())},
-			[]Stmt{CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_DOUBLE"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
-		Finalize(),
+		ast.DeclArr("buf", 8, ast.Int),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world())},
+			[]ast.Stmt{ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_DOUBLE"), ast.I(0), ast.I(0), world(), ast.Id("MPI_STATUS_IGNORE"))}),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("typemismatch", stmts...), 2)
+	res := runProg(t, ast.MainProgram("typemismatch", stmts...), 2)
 	if !res.Has(VTypeMismatch) {
 		t.Fatalf("type mismatch not flagged: %+v", res.Violations)
 	}
 }
 
 func TestTruncation(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("big", 8, Int),
-		DeclArr("small", 8, Int),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{CallS("MPI_Send", Id("big"), I(8), Id("MPI_INT"), I(1), I(0), world())},
-			[]Stmt{CallS("MPI_Recv", Id("small"), I(2), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE"))}),
-		Finalize(),
+		ast.DeclArr("big", 8, ast.Int),
+		ast.DeclArr("small", 8, ast.Int),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{ast.CallS("MPI_Send", ast.Id("big"), ast.I(8), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world())},
+			[]ast.Stmt{ast.CallS("MPI_Recv", ast.Id("small"), ast.I(2), ast.Id("MPI_INT"), ast.I(0), ast.I(0), world(), ast.Id("MPI_STATUS_IGNORE"))}),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("trunc", stmts...), 2)
+	res := runProg(t, ast.MainProgram("trunc", stmts...), 2)
 	if !res.Has(VTruncation) {
 		t.Fatalf("truncation not flagged: %+v", res.Violations)
 	}
 }
 
 func TestMissingWaitLeak(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		Decl("req", Request, nil),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Isend", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Isend", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world(), ast.Addr(ast.Id("req"))),
 				// no MPI_Wait
 			},
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE")),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(0), world(), ast.Id("MPI_STATUS_IGNORE")),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("leak", stmts...), 2)
+	res := runProg(t, ast.MainProgram("leak", stmts...), 2)
 	if !res.Has(VResourceLeak) {
 		t.Fatalf("missing wait not flagged as leak: %+v", res.Violations)
 	}
 }
 
 func TestIsendWaitClean(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		Decl("req", Request, nil),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Isend", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
-				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Isend", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world(), ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Wait", ast.Addr(ast.Id("req")), ast.Id("MPI_STATUS_IGNORE")),
 			},
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world(), Id("MPI_STATUS_IGNORE")),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(0), world(), ast.Id("MPI_STATUS_IGNORE")),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("isendwait", stmts...), 2)
+	res := runProg(t, ast.MainProgram("isendwait", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("clean isend/wait flagged: %+v", res.Violations)
 	}
 }
 
 func TestLocalConcurrency(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		Decl("req", Request, nil),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Irecv", Id("buf"), I(4), Id("MPI_INT"), I(1), I(0), world(), Addr(Id("req"))),
-				Assign(Idx(Id("buf"), I(0)), I(5)), // writes pending recv buffer
-				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Irecv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(0), world(), ast.Addr(ast.Id("req"))),
+				ast.Assign(ast.Idx(ast.Id("buf"), ast.I(0)), ast.I(5)), // writes pending recv buffer
+				ast.CallS("MPI_Wait", ast.Addr(ast.Id("req")), ast.Id("MPI_STATUS_IGNORE")),
 			},
-			[]Stmt{
-				CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(0), world()),
+			[]ast.Stmt{
+				ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(0), world()),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("localconc", stmts...), 2)
+	res := runProg(t, ast.MainProgram("localconc", stmts...), 2)
 	if !res.Has(VLocalConc) {
 		t.Fatalf("local concurrency not flagged: %+v", res.Violations)
 	}
 }
 
 func TestBarrierMismatchDeadlock(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		If(Eq(Id("rank"), I(0)), CallS("MPI_Barrier", world())),
-		Finalize(),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)), ast.CallS("MPI_Barrier", world())),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("missingbarrier", stmts...), 2)
+	res := runProg(t, ast.MainProgram("missingbarrier", stmts...), 2)
 	if !res.Deadlock {
 		t.Fatalf("missing barrier participant not detected: %+v", res.Violations)
 	}
 }
 
 func TestCollectiveRootMismatch(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
+		ast.DeclArr("buf", 4, ast.Int),
 		// Root depends on rank: parameter matching error.
-		CallS("MPI_Bcast", Id("buf"), I(4), Id("MPI_INT"), Id("rank"), world()),
-		Finalize(),
+		ast.CallS("MPI_Bcast", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Id("rank"), world()),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("rootmismatch", stmts...), 2)
+	res := runProg(t, ast.MainProgram("rootmismatch", stmts...), 2)
 	if !res.Has(VRootMismatch) {
 		t.Fatalf("root mismatch not flagged: %+v", res.Violations)
 	}
 }
 
 func TestAllreduceComputes(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("val", 1, Int),
-		DeclArr("sum", 1, Int),
-		Assign(Idx(Id("val"), I(0)), Add(Id("rank"), I(1))),
-		CallS("MPI_Allreduce", Id("val"), Id("sum"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
-		If(Eq(Id("rank"), I(0)), CallS("printf", S("sum=%d\n"), Idx(Id("sum"), I(0)))),
-		Finalize(),
+		ast.DeclArr("val", 1, ast.Int),
+		ast.DeclArr("sum", 1, ast.Int),
+		ast.Assign(ast.Idx(ast.Id("val"), ast.I(0)), ast.Add(ast.Id("rank"), ast.I(1))),
+		ast.CallS("MPI_Allreduce", ast.Id("val"), ast.Id("sum"), ast.I(1), ast.Id("MPI_INT"), ast.Id("MPI_SUM"), world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)), ast.CallS("printf", ast.S("sum=%d\n"), ast.Idx(ast.Id("sum"), ast.I(0)))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("allreduce", stmts...), 4)
+	res := runProg(t, ast.MainProgram("allreduce", stmts...), 4)
 	if res.Erroneous() {
 		t.Fatalf("allreduce flagged: %+v", res.Violations)
 	}
@@ -253,15 +253,15 @@ func TestAllreduceComputes(t *testing.T) {
 }
 
 func TestBcastDelivers(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 1, Int),
-		If(Eq(Id("rank"), I(0)), Assign(Idx(Id("buf"), I(0)), I(99))),
-		CallS("MPI_Bcast", Id("buf"), I(1), Id("MPI_INT"), I(0), world()),
-		If(Eq(Id("rank"), I(2)), CallS("printf", S("bcast=%d\n"), Idx(Id("buf"), I(0)))),
-		Finalize(),
+		ast.DeclArr("buf", 1, ast.Int),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)), ast.Assign(ast.Idx(ast.Id("buf"), ast.I(0)), ast.I(99))),
+		ast.CallS("MPI_Bcast", ast.Id("buf"), ast.I(1), ast.Id("MPI_INT"), ast.I(0), world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(2)), ast.CallS("printf", ast.S("bcast=%d\n"), ast.Idx(ast.Id("buf"), ast.I(0)))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("bcast", stmts...), 3)
+	res := runProg(t, ast.MainProgram("bcast", stmts...), 3)
 	if res.Erroneous() {
 		t.Fatalf("bcast flagged: %+v", res.Violations)
 	}
@@ -271,42 +271,42 @@ func TestBcastDelivers(t *testing.T) {
 }
 
 func TestMessageRace(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(5), world(), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), Id("MPI_ANY_SOURCE"), I(5), world(), Id("MPI_STATUS_IGNORE")),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Id("MPI_ANY_SOURCE"), ast.I(5), world(), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.Id("MPI_ANY_SOURCE"), ast.I(5), world(), ast.Id("MPI_STATUS_IGNORE")),
 			},
-			[]Stmt{
-				CallS("MPI_Send", Id("buf"), I(4), Id("MPI_INT"), I(0), I(5), world()),
+			[]ast.Stmt{
+				ast.CallS("MPI_Send", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(5), world()),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("msgrace", stmts...), 3)
+	res := runProg(t, ast.MainProgram("msgrace", stmts...), 3)
 	if !res.Has(VMessageRace) {
 		t.Fatalf("message race not flagged: %+v", res.Violations)
 	}
 }
 
 func TestRMAFencePutGet(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("win_mem", 4, Int),
-		DeclArr("local", 4, Int),
-		Decl("win", Win, nil),
-		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
-		If(Eq(Id("rank"), I(0)),
-			Assign(Idx(Id("local"), I(0)), I(7)),
-			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
-		If(Eq(Id("rank"), I(1)), CallS("printf", S("win=%d\n"), Idx(Id("win_mem"), I(0)))),
-		CallS("MPI_Win_free", Addr(Id("win"))),
-		Finalize(),
+		ast.DeclArr("win_mem", 4, ast.Int),
+		ast.DeclArr("local", 4, ast.Int),
+		ast.Decl("win", ast.Win, nil),
+		ast.CallS("MPI_Win_create", ast.Id("win_mem"), ast.I(16), ast.I(4), ast.Id("MPI_INFO_NULL"), world(), ast.Addr(ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.Assign(ast.Idx(ast.Id("local"), ast.I(0)), ast.I(7)),
+			ast.CallS("MPI_Put", ast.Id("local"), ast.I(1), ast.Id("MPI_INT"), ast.I(1), ast.I(0), ast.I(1), ast.Id("MPI_INT"), ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(1)), ast.CallS("printf", ast.S("win=%d\n"), ast.Idx(ast.Id("win_mem"), ast.I(0)))),
+		ast.CallS("MPI_Win_free", ast.Addr(ast.Id("win"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("rma", stmts...), 2)
+	res := runProg(t, ast.MainProgram("rma", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("correct RMA flagged: %+v deadlock=%v crash=%v %s", res.Violations, res.Deadlock, res.Crashed, res.CrashMsg)
 	}
@@ -316,61 +316,61 @@ func TestRMAFencePutGet(t *testing.T) {
 }
 
 func TestRMAEpochViolation(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("win_mem", 4, Int),
-		DeclArr("local", 4, Int),
-		Decl("win", Win, nil),
-		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
+		ast.DeclArr("win_mem", 4, ast.Int),
+		ast.DeclArr("local", 4, ast.Int),
+		ast.Decl("win", ast.Win, nil),
+		ast.CallS("MPI_Win_create", ast.Id("win_mem"), ast.I(16), ast.I(4), ast.Id("MPI_INFO_NULL"), world(), ast.Addr(ast.Id("win"))),
 		// Put without opening a fence epoch.
-		If(Eq(Id("rank"), I(0)),
-			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(1), I(0), I(1), Id("MPI_INT"), Id("win"))),
-		CallS("MPI_Win_free", Addr(Id("win"))),
-		Finalize(),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.CallS("MPI_Put", ast.Id("local"), ast.I(1), ast.Id("MPI_INT"), ast.I(1), ast.I(0), ast.I(1), ast.Id("MPI_INT"), ast.Id("win"))),
+		ast.CallS("MPI_Win_free", ast.Addr(ast.Id("win"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("epoch", stmts...), 2)
+	res := runProg(t, ast.MainProgram("epoch", stmts...), 2)
 	if !res.Has(VEpochLife) {
 		t.Fatalf("epoch violation not flagged: %+v", res.Violations)
 	}
 }
 
 func TestGlobalConcurrencyRMA(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("win_mem", 4, Int),
-		DeclArr("local", 4, Int),
-		Decl("win", Win, nil),
-		CallS("MPI_Win_create", Id("win_mem"), I(16), I(4), Id("MPI_INFO_NULL"), world(), Addr(Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
+		ast.DeclArr("win_mem", 4, ast.Int),
+		ast.DeclArr("local", 4, ast.Int),
+		ast.Decl("win", ast.Win, nil),
+		ast.CallS("MPI_Win_create", ast.Id("win_mem"), ast.I(16), ast.I(4), ast.Id("MPI_INFO_NULL"), world(), ast.Addr(ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
 		// Ranks 1 and 2 both Put to rank 0, same location, same epoch.
-		If(Ne(Id("rank"), I(0)),
-			CallS("MPI_Put", Id("local"), I(1), Id("MPI_INT"), I(0), I(0), I(1), Id("MPI_INT"), Id("win"))),
-		CallS("MPI_Win_fence", I(0), Id("win")),
-		CallS("MPI_Win_free", Addr(Id("win"))),
-		Finalize(),
+		ast.If(ast.Ne(ast.Id("rank"), ast.I(0)),
+			ast.CallS("MPI_Put", ast.Id("local"), ast.I(1), ast.Id("MPI_INT"), ast.I(0), ast.I(0), ast.I(1), ast.Id("MPI_INT"), ast.Id("win"))),
+		ast.CallS("MPI_Win_fence", ast.I(0), ast.Id("win")),
+		ast.CallS("MPI_Win_free", ast.Addr(ast.Id("win"))),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("globalconc", stmts...), 3)
+	res := runProg(t, ast.MainProgram("globalconc", stmts...), 3)
 	if !res.Has(VGlobalConc) {
 		t.Fatalf("conflicting puts not flagged: %+v", res.Violations)
 	}
 }
 
 func TestMissingFinalize(t *testing.T) {
-	stmts := MPIBoilerplate() // no Finalize
-	res := runProg(t, MainProgram("nofinalize", stmts...), 2)
+	stmts := ast.MPIBoilerplate() // no Finalize
+	res := runProg(t, ast.MainProgram("nofinalize", stmts...), 2)
 	if !res.Has(VCallOrdering) {
 		t.Fatalf("missing finalize not flagged: %+v", res.Violations)
 	}
 }
 
 func TestTimeoutInfiniteLoop(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		Decl("x", Int, I(1)),
-		While(Ne(Id("x"), I(0)), Assign(Id("x"), Add(Id("x"), I(1)))),
-		Finalize(),
+		ast.Decl("x", ast.Int, ast.I(1)),
+		ast.While(ast.Ne(ast.Id("x"), ast.I(0)), ast.Assign(ast.Id("x"), ast.Add(ast.Id("x"), ast.I(1)))),
+		ast.Finalize(),
 	)
-	mod := irgen.MustLower(MainProgram("spin", stmts...))
+	mod := irgen.MustLower(ast.MainProgram("spin", stmts...))
 	res := Run(mod, Config{Ranks: 2, MaxSteps: 10_000})
 	if !res.Timeout {
 		t.Fatalf("infinite loop not detected as timeout")
@@ -378,67 +378,67 @@ func TestTimeoutInfiniteLoop(t *testing.T) {
 }
 
 func TestPersistentRequests(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		Decl("req", Request, nil),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Send_init", Id("buf"), I(4), Id("MPI_INT"), I(1), I(2), world(), Addr(Id("req"))),
-				CallS("MPI_Start", Addr(Id("req"))),
-				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Start", Addr(Id("req"))),
-				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Request_free", Addr(Id("req"))),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Send_init", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(2), world(), ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Start", ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Wait", ast.Addr(ast.Id("req")), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Start", ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Wait", ast.Addr(ast.Id("req")), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Request_free", ast.Addr(ast.Id("req"))),
 			},
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(2), world(), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(2), world(), ast.Id("MPI_STATUS_IGNORE")),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("persistent", stmts...), 2)
+	res := runProg(t, ast.MainProgram("persistent", stmts...), 2)
 	if res.Erroneous() {
 		t.Fatalf("correct persistent flagged: %+v deadlock=%v", res.Violations, res.Deadlock)
 	}
 }
 
 func TestDoubleStart(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("buf", 4, Int),
-		Decl("req", Request, nil),
-		IfElse(Eq(Id("rank"), I(0)),
-			[]Stmt{
-				CallS("MPI_Send_init", Id("buf"), I(4), Id("MPI_INT"), I(1), I(2), world(), Addr(Id("req"))),
-				CallS("MPI_Start", Addr(Id("req"))),
-				CallS("MPI_Start", Addr(Id("req"))), // active already
-				CallS("MPI_Wait", Addr(Id("req")), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Request_free", Addr(Id("req"))),
+		ast.DeclArr("buf", 4, ast.Int),
+		ast.Decl("req", ast.Request, nil),
+		ast.IfElse(ast.Eq(ast.Id("rank"), ast.I(0)),
+			[]ast.Stmt{
+				ast.CallS("MPI_Send_init", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(1), ast.I(2), world(), ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Start", ast.Addr(ast.Id("req"))),
+				ast.CallS("MPI_Start", ast.Addr(ast.Id("req"))), // active already
+				ast.CallS("MPI_Wait", ast.Addr(ast.Id("req")), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Request_free", ast.Addr(ast.Id("req"))),
 			},
-			[]Stmt{
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
-				CallS("MPI_Recv", Id("buf"), I(4), Id("MPI_INT"), I(0), I(2), world(), Id("MPI_STATUS_IGNORE")),
+			[]ast.Stmt{
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(2), world(), ast.Id("MPI_STATUS_IGNORE")),
+				ast.CallS("MPI_Recv", ast.Id("buf"), ast.I(4), ast.Id("MPI_INT"), ast.I(0), ast.I(2), world(), ast.Id("MPI_STATUS_IGNORE")),
 			}),
-		Finalize(),
+		ast.Finalize(),
 	)
-	res := runProg(t, MainProgram("doublestart", stmts...), 2)
+	res := runProg(t, ast.MainProgram("doublestart", stmts...), 2)
 	if !res.Has(VRequestLife) {
 		t.Fatalf("double start not flagged: %+v", res.Violations)
 	}
 }
 
 func TestDeterminism(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("val", 1, Int),
-		DeclArr("sum", 1, Int),
-		Assign(Idx(Id("val"), I(0)), Mul(Id("rank"), I(3))),
-		CallS("MPI_Allreduce", Id("val"), Id("sum"), I(1), Id("MPI_INT"), Id("MPI_SUM"), world()),
-		CallS("printf", S("r%d=%d\n"), Id("rank"), Idx(Id("sum"), I(0))),
-		Finalize(),
+		ast.DeclArr("val", 1, ast.Int),
+		ast.DeclArr("sum", 1, ast.Int),
+		ast.Assign(ast.Idx(ast.Id("val"), ast.I(0)), ast.Mul(ast.Id("rank"), ast.I(3))),
+		ast.CallS("MPI_Allreduce", ast.Id("val"), ast.Id("sum"), ast.I(1), ast.Id("MPI_INT"), ast.Id("MPI_SUM"), world()),
+		ast.CallS("printf", ast.S("r%d=%d\n"), ast.Id("rank"), ast.Idx(ast.Id("sum"), ast.I(0))),
+		ast.Finalize(),
 	)
-	prog := MainProgram("det", stmts...)
+	prog := ast.MainProgram("det", stmts...)
 	mod := irgen.MustLower(prog)
 	first := Run(mod, Config{Ranks: 4})
 	for i := 0; i < 5; i++ {
@@ -453,18 +453,18 @@ func TestDeterminism(t *testing.T) {
 // a correct program must produce identical simulator output at every
 // optimisation level.
 func TestOptimizationPreservesSemantics(t *testing.T) {
-	stmts := MPIBoilerplate()
+	stmts := ast.MPIBoilerplate()
 	stmts = append(stmts,
-		DeclArr("val", 4, Int),
-		DeclArr("out", 4, Int),
-		ForUp("i", 0, 4,
-			Assign(Idx(Id("val"), Id("i")), Add(Mul(Id("rank"), I(10)), Id("i")))),
-		CallS("MPI_Allreduce", Id("val"), Id("out"), I(4), Id("MPI_INT"), Id("MPI_SUM"), world()),
-		If(Eq(Id("rank"), I(0)),
-			ForUp("j", 0, 4, CallS("printf", S("%d "), Idx(Id("out"), Id("j"))))),
-		Finalize(),
+		ast.DeclArr("val", 4, ast.Int),
+		ast.DeclArr("out", 4, ast.Int),
+		ast.ForUp("i", 0, 4,
+			ast.Assign(ast.Idx(ast.Id("val"), ast.Id("i")), ast.Add(ast.Mul(ast.Id("rank"), ast.I(10)), ast.Id("i")))),
+		ast.CallS("MPI_Allreduce", ast.Id("val"), ast.Id("out"), ast.I(4), ast.Id("MPI_INT"), ast.Id("MPI_SUM"), world()),
+		ast.If(ast.Eq(ast.Id("rank"), ast.I(0)),
+			ast.ForUp("j", 0, 4, ast.CallS("printf", ast.S("%d "), ast.Idx(ast.Id("out"), ast.Id("j"))))),
+		ast.Finalize(),
 	)
-	prog := MainProgram("optsem", stmts...)
+	prog := ast.MainProgram("optsem", stmts...)
 	var outputs []string
 	for _, lvl := range []passes.OptLevel{passes.O0, passes.O2, passes.Os} {
 		mod := irgen.MustLower(prog)

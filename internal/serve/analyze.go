@@ -31,6 +31,25 @@ import (
 	"mpidetect/internal/verify"
 )
 
+// lazyModule parses a program's textual IR at most once, on first
+// demand. The analyze path only needs the module when some tool verdict
+// actually has to be computed — a fully warm request (every tool served
+// from the verdict cache) never parses at all.
+type lazyModule struct {
+	src    string
+	digest string // requestDigest(src), computed once per request
+	once   sync.Once
+	mod    *ir.Module
+	err    error
+}
+
+func (lm *lazyModule) get() (*ir.Module, error) {
+	lm.once.Do(func() {
+		lm.mod, lm.err = ir.Parse(lm.src)
+	})
+	return lm.mod, lm.err
+}
+
 // Sentinel errors of the /analyze path, mapped to HTTP statuses by the
 // handler.
 var (
@@ -198,12 +217,51 @@ type selectedTool struct {
 // cache; InvalidateTool and the registry's OnReplace hook sweep it.
 func toolPrefix(name string) string { return name + keySep }
 
-// toolKey addresses one (tool, configuration, program) verdict: the
-// digest folds in every configuration axis that can change the verdict.
-func toolKey(name string, ranks int, steps int64, src string) string {
-	ident := fmt.Sprintf("tool:%s|ranks=%d|steps=%d", name, ranks, steps)
-	return toolPrefix(name) + core.DigestIRKeyed(ident, src)
+// progKey addresses one compiled simulator program. The compiled form
+// is rank- and tool-independent: one entry serves every dynamic tool at
+// every world size, so a single /analyze request compiles once and
+// simulates many times, and warm repeats skip compilation entirely.
+func progKey(digest string) string { return "simprog" + keySep + digest }
+
+// compiledProgram resolves the compiled simulator program for a
+// request, through the program cache when enabled. Compilation errors
+// are parse errors (broadcast to coalesced callers, never cached).
+func (e *Engine) compiledProgram(lm *lazyModule) (*mpisim.Program, error) {
+	compile := func() (*mpisim.Program, error) {
+		mod, err := lm.get()
+		if err != nil {
+			return nil, err
+		}
+		e.simCompiles.Add(1)
+		return mpisim.Compile(mod), nil
+	}
+	if e.progCache == nil {
+		return compile()
+	}
+	return e.progCache.GetOrCompute(progKey(lm.digest), compile)
 }
+
+// ProgCacheStats snapshots the compiled-program-cache counters; ok is
+// false when the analysis tier runs uncached or is disabled.
+func (e *Engine) ProgCacheStats() (cache.Stats, bool) {
+	if e.progCache == nil {
+		return cache.Stats{}, false
+	}
+	return e.progCache.Stats(), true
+}
+
+// toolKey addresses one (tool, configuration, program) verdict: the
+// key carries the tool name, every configuration axis that can change
+// the verdict, and the program's canonical digest. The digest is
+// computed once per request (requestDigest) and shared by every tool
+// key and the program-cache key, so the hashing cost does not scale
+// with the tool count.
+func toolKey(name string, ranks int, steps int64, digest string) string {
+	return toolPrefix(name) + fmt.Sprintf("ranks=%d|steps=%d", ranks, steps) + keySep + digest
+}
+
+// requestDigest canonically digests a program once per /analyze request.
+func requestDigest(src string) string { return core.DigestIRKeyed("analyze", src) }
 
 // InvalidateTool sweeps one tool's cached verdicts across every
 // configuration; it returns the number of entries removed.
@@ -293,25 +351,37 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 	}()
 
 	verdicts := make([]ToolVerdict, len(selected))
-	// (A parse failure is counted once, by the ML goroutine's Classify —
-	// not again here.)
-	if mod, perr := ir.Parse(req.Program.IR); perr != nil {
-		for i, st := range selected {
-			verdicts[i] = ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
-				Verdict: "error", Err: "parse: " + perr.Error()}
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i, st := range selected {
-			i, st := i, st
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				verdicts[i] = e.runTool(ctx, st, mod, req.Program.IR, ranks)
-			}()
-		}
-		wg.Wait()
+	// The module parses lazily, at most once, and only if some tool
+	// verdict misses its cache. (A parse failure is counted once, by the
+	// ML goroutine's Classify — not again here.)
+	lm := &lazyModule{src: req.Program.IR}
+	if e.toolCache != nil || e.progCache != nil {
+		// The digest keys the tool-verdict and program caches; with both
+		// disabled it would be dead work on the request path.
+		lm.digest = requestDigest(req.Program.IR)
 	}
+	// Dynamic tools fan out (their simulations run on the sim pool and
+	// dominate latency); static tools run inline on the request
+	// goroutine — a cached verdict is one lookup, an uncached static
+	// analysis microseconds.
+	var wg sync.WaitGroup
+	for i, st := range selected {
+		if !st.dynamic {
+			continue
+		}
+		i, st := i, st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			verdicts[i] = e.runTool(ctx, st, lm, ranks)
+		}()
+	}
+	for i, st := range selected {
+		if !st.dynamic {
+			verdicts[i] = e.runTool(ctx, st, lm, ranks)
+		}
+	}
+	wg.Wait()
 	if err := <-mlDone; err != nil {
 		return nil, err
 	}
@@ -325,9 +395,9 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 // analyses coalesce onto one leader, and a flight aborted by its
 // leader's dead deadline is retried by each waiter on its own budget —
 // the same follower policy as Classify.
-func (e *Engine) runTool(ctx context.Context, st selectedTool, mod *ir.Module, src string, ranks int) ToolVerdict {
+func (e *Engine) runTool(ctx context.Context, st selectedTool, lm *lazyModule, ranks int) ToolVerdict {
 	if e.toolCache == nil {
-		return e.execTool(ctx, st, mod, ranks, nil)
+		return e.execTool(ctx, st, lm, ranks, nil)
 	}
 	// Static analyses are configuration-independent: keying them with a
 	// constant config segment gives one entry per program instead of one
@@ -336,7 +406,7 @@ func (e *Engine) runTool(ctx context.Context, st selectedTool, mod *ir.Module, s
 	if !st.dynamic {
 		keyRanks, keySteps = 0, 0
 	}
-	key := toolKey(st.name, keyRanks, keySteps, src)
+	key := toolKey(st.name, keyRanks, keySteps, lm.digest)
 	for {
 		v, f, state := e.toolCache.Join(key)
 		switch state {
@@ -365,19 +435,38 @@ func (e *Engine) runTool(ctx context.Context, st selectedTool, mod *ir.Module, s
 				return canceledToolVerdict(st)
 			}
 		case cache.Lead:
-			return e.execTool(ctx, st, mod, ranks, f)
+			return e.execTool(ctx, st, lm, ranks, f)
 		}
 	}
 }
 
 // execTool executes one tool (leading flight f when non-nil): static
 // tools inline, dynamic tools on the simulation pool so heavy runs
-// cannot starve the classification workers.
-func (e *Engine) execTool(ctx context.Context, st selectedTool, mod *ir.Module, ranks int, f *cache.Flight[ToolVerdict]) ToolVerdict {
+// cannot starve the classification workers. The program parses (and,
+// for dynamic tools, compiles) on demand here — a cache hit in runTool
+// never reaches this point.
+func (e *Engine) execTool(ctx context.Context, st selectedTool, lm *lazyModule, ranks int, f *cache.Flight[ToolVerdict]) ToolVerdict {
 	if !st.dynamic {
-		v := e.invokeTool(ctx, st, mod, ranks)
+		mod, perr := lm.get()
+		if perr != nil {
+			return e.parseErrVerdict(st, perr, f)
+		}
+		v := e.invokeTool(ctx, st, mod, nil, ranks)
 		e.completeTool(f, v, ctx)
 		return v
+	}
+	// Dynamic tools run the compiled form; the content-addressed program
+	// cache makes the compile step once-per-program across tools, world
+	// sizes and requests.
+	var prog *mpisim.Program
+	if _, ok := st.tool.(verify.ProgramChecker); ok {
+		var perr error
+		prog, perr = e.compiledProgram(lm)
+		if perr != nil {
+			return e.parseErrVerdict(st, perr, f)
+		}
+	} else if _, perr := lm.get(); perr != nil {
+		return e.parseErrVerdict(st, perr, f)
 	}
 	done := make(chan ToolVerdict, 1)
 	job := func() {
@@ -391,7 +480,8 @@ func (e *Engine) execTool(ctx context.Context, st selectedTool, mod *ir.Module, 
 			done <- canceledToolVerdict(st)
 			return
 		}
-		v := e.invokeTool(ctx, st, mod, ranks)
+		mod := lm.mod // parsed above when the tool needs it; nil for ProgramCheckers
+		v := e.invokeTool(ctx, st, mod, prog, ranks)
 		e.completeTool(f, v, ctx)
 		done <- v
 	}
@@ -433,8 +523,22 @@ func (e *Engine) completeTool(f *cache.Flight[ToolVerdict], v ToolVerdict, ctx c
 	}
 }
 
-// invokeTool runs the tool synchronously and maps its verdict.
-func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module, ranks int) ToolVerdict {
+// parseErrVerdict reports a program that failed to parse; the failure
+// is broadcast to coalesced followers but never cached, so a corrected
+// resubmission recomputes.
+func (e *Engine) parseErrVerdict(st selectedTool, perr error, f *cache.Flight[ToolVerdict]) ToolVerdict {
+	v := ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+		Verdict: "error", Err: "parse: " + perr.Error()}
+	if f != nil {
+		e.toolCache.Complete(f, ToolVerdict{}, fmt.Errorf("parse: %w", perr))
+	}
+	return v
+}
+
+// invokeTool runs the tool synchronously and maps its verdict. Dynamic
+// tools that accept a pre-compiled program (prog non-nil) skip the
+// per-run compile entirely.
+func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module, prog *mpisim.Program, ranks int) ToolVerdict {
 	e.toolRuns.Add(1)
 	var cfg mpisim.Config
 	if st.dynamic {
@@ -442,7 +546,12 @@ func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module
 		cfg = mpisim.Config{Ranks: ranks, MaxSteps: e.cfg.SimMaxSteps,
 			WallBudget: e.cfg.SimTimeout}
 	}
-	v := st.tool.CheckModule(ctx, mod, cfg)
+	var v verify.Verdict
+	if prog != nil {
+		v = st.tool.(verify.ProgramChecker).CheckProgram(ctx, prog, cfg)
+	} else {
+		v = st.tool.CheckModule(ctx, mod, cfg)
+	}
 	out := ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
 		Flagged: v.Flagged, Reason: v.Reason}
 	switch {

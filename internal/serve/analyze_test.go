@@ -200,6 +200,50 @@ func TestAnalyzeWarmRepeatRunsZeroSimulations(t *testing.T) {
 	}
 }
 
+// TestAnalyzeCompilesProgramOnce pins the compile-once contract of the
+// program cache: one request fanning a program to both dynamic tools
+// compiles the simulator program exactly once (itac and must share it),
+// a warm repeat compiles nothing even after the tool verdicts are
+// invalidated, and a different world size still reuses the compiled
+// form — it is rank-independent.
+func TestAnalyzeCompilesProgramOnce(t *testing.T) {
+	eng := analyzeEngine(t, Config{CacheSize: 256})
+	req := AnalyzeRequest{Model: "ir2vec", Tools: []string{"itac", "must"},
+		Program: Program{Name: "p", IR: pingpongIR(t)}}
+	ctx := context.Background()
+
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Analyze.SimCompiles != 1 {
+		t.Fatalf("cold request compiled %d times, want 1 (shared by itac+must)",
+			st.Analyze.SimCompiles)
+	}
+	if st.ProgCache == nil {
+		t.Fatal("stats missing prog_cache section with caching enabled")
+	}
+
+	// Tool-verdict invalidation forces re-simulation but not re-compilation.
+	eng.InvalidateTool("itac")
+	eng.InvalidateTool("must")
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Analyze.SimCompiles; got != 1 {
+		t.Fatalf("re-simulation recompiled (compiles %d, want 1)", got)
+	}
+
+	// A different rank count is a different simulation but the same program.
+	req.Ranks = 4
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Analyze.SimCompiles; got != 1 {
+		t.Fatalf("rank change recompiled (compiles %d, want 1)", got)
+	}
+}
+
 // TestAnalyzeStaticSubsetSkipsSimulator: selecting only static tools
 // must never touch the simulation pool.
 func TestAnalyzeStaticSubsetSkipsSimulator(t *testing.T) {

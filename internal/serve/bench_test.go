@@ -2,10 +2,26 @@ package serve
 
 import (
 	"context"
-	"mpidetect/internal/core"
 	"testing"
 	"time"
+
+	"mpidetect/internal/ast"
+	"mpidetect/internal/core"
 )
+
+// boundedSpinIR is a correct program whose ranks burn ~3*iters
+// interpreter steps in a compute loop before finalizing — the
+// simulation-heavy shape the dynamic-analysis tier is slowest on.
+func boundedSpinIR(tb testing.TB, iters int64) string {
+	stmts := ast.MPIBoilerplate()
+	stmts = append(stmts,
+		ast.Decl("i", ast.Int, ast.I(0)),
+		ast.While(ast.Lt(ast.Id("i"), ast.I(iters)),
+			ast.Assign(ast.Id("i"), ast.Add(ast.Id("i"), ast.I(1)))),
+		ast.Finalize(),
+	)
+	return progIR(tb, ast.MainProgram("spin", stmts...))
+}
 
 // benchEngine builds an engine over the shared trained detector.
 func benchEngine(b *testing.B, cfg Config) *Engine {
@@ -113,6 +129,48 @@ func BenchmarkAnalyze(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(eng.Stats().Analyze.SimExecs-simsBefore)/float64(b.N), "sims/op")
+		})
+	}
+}
+
+// BenchmarkAnalyzeDynamic isolates the dynamic tier on a simulation-
+// heavy program (a compute loop that burns tens of thousands of
+// interpreter steps per rank): "cold" invalidates the dynamic tools'
+// verdicts every iteration so both simulators re-execute — the number
+// that tracks raw engine speed — while "warm" measures the cached
+// steady state, whose contract is zero simulator executions and zero
+// compilations per request.
+func BenchmarkAnalyzeDynamic(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			reg := NewRegistry()
+			reg.Register("ir2vec", trained(b))
+			eng := NewEngine(reg, Config{CacheSize: 4096, CacheTTL: time.Hour,
+				Tools: DefaultTools(), SimWorkers: 2})
+			b.Cleanup(eng.Close)
+			req := AnalyzeRequest{Model: "ir2vec",
+				Tools:   []string{"itac", "must"},
+				Program: Program{Name: "spinny", IR: boundedSpinIR(b, 20_000)}}
+			ctx := context.Background()
+			if _, err := eng.Analyze(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			simsBefore := eng.Stats().Analyze.SimExecs
+			compilesBefore := eng.Stats().Analyze.SimCompiles
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cold" {
+					eng.InvalidateTool("itac")
+					eng.InvalidateTool("must")
+				}
+				if _, err := eng.Analyze(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stats := eng.Stats().Analyze
+			b.ReportMetric(float64(stats.SimExecs-simsBefore)/float64(b.N), "sims/op")
+			b.ReportMetric(float64(stats.SimCompiles-compilesBefore)/float64(b.N), "compiles/op")
 		})
 	}
 }

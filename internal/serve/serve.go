@@ -38,6 +38,7 @@ import (
 	"mpidetect/internal/cache"
 	"mpidetect/internal/core"
 	"mpidetect/internal/ir"
+	"mpidetect/internal/mpisim"
 	"mpidetect/internal/passes"
 	"mpidetect/internal/verify"
 )
@@ -249,6 +250,10 @@ type Engine struct {
 	// verdict cache keyed by tool + configuration.
 	tools     *ToolRegistry
 	toolCache *cache.Cache[ToolVerdict] // nil when disabled
+	// progCache holds compiled simulator programs, content-addressed by
+	// program text (rank- and tool-independent), so one /analyze request
+	// compiles once and simulates many times.
+	progCache *cache.Cache[*mpisim.Program] // nil when disabled
 	simJobs   chan func()
 	simWG     sync.WaitGroup
 
@@ -261,6 +266,7 @@ type Engine struct {
 	toolRuns        atomic.Int64
 	simExecs        atomic.Int64
 	simTimeouts     atomic.Int64
+	simCompiles     atomic.Int64
 }
 
 // NewEngine starts the worker pool over the registry. When cfg.CacheSize
@@ -289,6 +295,8 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			e.tools.OnReplace(func(name string) {
 				e.toolCache.InvalidatePrefix(toolPrefix(name))
 			})
+			e.progCache = cache.New[*mpisim.Program](cache.Config{
+				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
 		}
 		e.simJobs = make(chan func(), 2*e.cfg.SimWorkers)
 		for w := 0; w < e.cfg.SimWorkers; w++ {
@@ -550,11 +558,16 @@ type EngineStats struct {
 // AnalyzeStats is the hybrid-analysis half of GET /stats. SimExecs
 // counts actual simulator executions — a warm /analyze repeat leaves it
 // untouched, which is the observable cache contract of the endpoint.
+// SimCompiles counts real compilations of a simulator program; one
+// request fanning a program to several dynamic tools compiles at most
+// once, and warm repeats not at all (the program-cache hit counters in
+// ProgCache track the skips).
 type AnalyzeStats struct {
 	Requests    int64    `json:"requests"`
 	ToolRuns    int64    `json:"tool_runs"`
 	SimExecs    int64    `json:"sim_execs"`
 	SimTimeouts int64    `json:"sim_timeouts"`
+	SimCompiles int64    `json:"sim_compiles"`
 	SimWorkers  int      `json:"sim_workers"`
 	Tools       []string `json:"tools"`
 }
@@ -566,6 +579,7 @@ type StatsSnapshot struct {
 	Cache     *cache.Stats  `json:"cache,omitempty"`
 	Analyze   *AnalyzeStats `json:"analyze,omitempty"`
 	ToolCache *cache.Stats  `json:"tool_cache,omitempty"`
+	ProgCache *cache.Stats  `json:"prog_cache,omitempty"`
 	Models    int           `json:"models"`
 }
 
@@ -591,12 +605,17 @@ func (e *Engine) Stats() StatsSnapshot {
 			ToolRuns:    e.toolRuns.Load(),
 			SimExecs:    e.simExecs.Load(),
 			SimTimeouts: e.simTimeouts.Load(),
+			SimCompiles: e.simCompiles.Load(),
 			SimWorkers:  e.cfg.SimWorkers,
 			Tools:       e.tools.Names(),
 		}
 		if e.toolCache != nil {
 			ts := e.toolCache.Stats()
 			s.ToolCache = &ts
+		}
+		if e.progCache != nil {
+			ps := e.progCache.Stats()
+			s.ProgCache = &ps
 		}
 	}
 	return s

@@ -48,6 +48,16 @@ type ModuleChecker interface {
 	CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict
 }
 
+// ProgramChecker is implemented by the dynamic tools, which execute
+// programs on the runtime simulator: CheckProgram analyzes a
+// pre-compiled simulator program (mpisim.Compile), so a caller that
+// fans one program out to several tools — or to several world sizes —
+// compiles it exactly once. The compiled form is rank-independent.
+type ProgramChecker interface {
+	ModuleChecker
+	CheckProgram(ctx context.Context, prog *mpisim.Program, cfg mpisim.Config) Verdict
+}
+
 // DefaultMaxSteps is the explicit per-rank step budget the harness hands
 // the simulator. It pins the mpisim default so tool timeouts stay
 // deterministic even if the simulator's own default moves.
@@ -120,9 +130,27 @@ func tally(d *dataset.Dataset, verdicts []Verdict) metrics.Confusion {
 	return c
 }
 
+// lower returns the code's IR module, lowering at most once per code:
+// the module is memoized on the Code, so a corpus evaluated by several
+// tools (Table III, Fig. 7) pays one lowering per program instead of
+// one per program-tool pair. Tools treat modules as read-only.
 func lower(c *dataset.Code) (*ir.Module, bool) {
-	m, err := irgen.Lower(c.Prog)
-	return m, err == nil
+	m, _ := c.Memo(dataset.MemoModule, func() any {
+		m, err := irgen.Lower(c.Prog)
+		if err != nil {
+			return (*ir.Module)(nil)
+		}
+		return m
+	}).(*ir.Module)
+	return m, m != nil
+}
+
+// compiled returns the code's pre-compiled simulator program, compiling
+// at most once per code; ITAC and MUST share the result.
+func compiled(c *dataset.Code, m *ir.Module) *mpisim.Program {
+	return c.Memo(dataset.MemoProgram, func() any {
+		return mpisim.Compile(m)
+	}).(*mpisim.Program)
 }
 
 // ---------------------------------------------------------------------------
@@ -144,12 +172,17 @@ func (t ITAC) Check(c *dataset.Code) Verdict {
 	if !ok {
 		return Verdict{CE: true}
 	}
-	return t.CheckModule(context.Background(), m, t.Budget.simConfig(c.Ranks))
+	return t.CheckProgram(context.Background(), compiled(c, m), t.Budget.simConfig(c.Ranks))
 }
 
 // CheckModule implements ModuleChecker.
-func (ITAC) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
-	res := mpisim.RunCtx(ctx, m, cfg)
+func (t ITAC) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
+	return t.CheckProgram(ctx, mpisim.Compile(m), cfg)
+}
+
+// CheckProgram implements ProgramChecker.
+func (ITAC) CheckProgram(ctx context.Context, prog *mpisim.Program, cfg mpisim.Config) Verdict {
+	res := prog.RunCtx(ctx, cfg)
 	switch {
 	case res.Canceled:
 		return Verdict{TO: true, Canceled: true, Reason: "canceled"}
@@ -183,12 +216,17 @@ func (t MUST) Check(c *dataset.Code) Verdict {
 	if !ok {
 		return Verdict{CE: true}
 	}
-	return t.CheckModule(context.Background(), m, t.Budget.simConfig(c.Ranks))
+	return t.CheckProgram(context.Background(), compiled(c, m), t.Budget.simConfig(c.Ranks))
 }
 
 // CheckModule implements ModuleChecker.
-func (MUST) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
-	res := mpisim.RunCtx(ctx, m, cfg)
+func (t MUST) CheckModule(ctx context.Context, m *ir.Module, cfg mpisim.Config) Verdict {
+	return t.CheckProgram(ctx, mpisim.Compile(m), cfg)
+}
+
+// CheckProgram implements ProgramChecker.
+func (MUST) CheckProgram(ctx context.Context, prog *mpisim.Program, cfg mpisim.Config) Verdict {
+	res := prog.RunCtx(ctx, cfg)
 	switch {
 	case res.Canceled:
 		return Verdict{TO: true, Canceled: true, Reason: "canceled"}
