@@ -8,25 +8,44 @@
 //	mpidetect -train mbi -save mbi.bin
 //	mpidetectd -model ir2vec=mbi.bin -addr :8080
 //
-//	curl -s localhost:8080/models
-//	curl -s localhost:8080/stats
-//	curl -s -X POST localhost:8080/classify \
+//	curl -s localhost:8080/v1/models
+//	curl -s localhost:8080/v1/stats
+//	curl -s -X POST localhost:8080/v1/classify \
 //	  -d '{"model":"ir2vec","programs":[{"name":"p","ir":"..."}]}'
+//
+// The API is versioned under /v1/; the original unversioned paths are
+// served as deprecated aliases (Deprecation header + successor Link).
 //
 // A content-addressed verdict cache (-cache-size / -cache-ttl) fronts the
 // classification pipeline: identical programs — resubmitted or concurrent
-// — cost one pipeline execution; GET /stats reports live hit/miss/
+// — cost one pipeline execution; GET /v1/stats reports live hit/miss/
 // eviction/coalesce counters.
 //
-// POST /analyze (enabled by -tools) fans one program out to the ML
+// POST /v1/analyze (enabled by -tools) fans one program out to the ML
 // detector plus the selected expert static/dynamic verification tools
 // and returns per-tool verdicts and a combined ensemble verdict; dynamic
 // tools simulate the program on a separate -sim-workers pool under the
 // -sim-timeout wall-clock budget, with their verdicts cached per
 // tool+configuration:
 //
-//	curl -s -X POST localhost:8080/analyze \
+//	curl -s -X POST localhost:8080/v1/analyze \
 //	  -d '{"model":"ir2vec","tools":["must","parcoach"],"program":{"name":"p","ir":"..."}}'
+//
+// Whole projects go through the batch tier. POST /v1/analyze/batch
+// (up to -max-stream-batch programs) streams one NDJSON verdict line
+// per program as each completes; POST /v1/jobs runs the same batch
+// asynchronously on a bounded queue (-job-workers / -job-queue, full
+// queue = 429 + Retry-After) with status, results, cancellation and an
+// SSE verdict stream under /v1/jobs/{id}; GET /v1/events streams
+// engine-wide events (verdict completions, cache invalidations, model
+// reloads, job transitions) as SSE:
+//
+//	curl -sN -X POST localhost:8080/v1/analyze/batch \
+//	  -d '{"model":"ir2vec","programs":[...]}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"model":"ir2vec","programs":[...]}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -sN localhost:8080/v1/jobs/job-1/events
+//	curl -sN 'localhost:8080/v1/events?types=model.reloaded,job.updated'
 package main
 
 import (
@@ -42,19 +61,26 @@ import (
 	"time"
 
 	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
 )
 
 var (
 	addr       = flag.String("addr", ":8080", "listen address")
 	workers    = flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
-	maxBatch   = flag.Int("max-batch", 64, "max programs per /classify request")
+	maxBatch   = flag.Int("max-batch", 64, "max programs per /v1/classify request")
 	timeout    = flag.Duration("timeout", 30*time.Second, "per-request classification budget")
 	cacheSize  = flag.Int("cache-size", 4096, "verdict cache capacity in entries (0 disables caching and coalescing)")
 	cacheTTL   = flag.Duration("cache-ttl", 15*time.Minute, "verdict cache entry lifetime (0 = no expiry)")
-	toolsFlag  = flag.String("tools", "parcoach,mpi-checker,itac,must", "expert tools served by POST /analyze, comma-separated (empty disables the endpoint)")
+	toolsFlag  = flag.String("tools", "parcoach,mpi-checker,itac,must", "expert tools served by POST /v1/analyze, comma-separated (empty disables the endpoint)")
 	simWorkers = flag.Int("sim-workers", 2, "concurrent dynamic-tool simulations")
 	simTimeout = flag.Duration("sim-timeout", 5*time.Second, "wall-clock budget of one dynamic-tool simulation")
-	models     modelFlags
+
+	maxStreamBatch = flag.Int("max-stream-batch", 1024, "max programs per /v1/analyze/batch or /v1/jobs request")
+	jobWorkers     = flag.Int("job-workers", 2, "async jobs running concurrently")
+	jobQueue       = flag.Int("job-queue", 16, "async jobs queued before submissions get 429")
+	jobTimeout     = flag.Duration("job-timeout", 5*time.Minute, "wall-clock budget of one async job")
+
+	models modelFlags
 )
 
 // modelFlags collects repeated -model name=path specs.
@@ -108,21 +134,25 @@ func main() {
 	eng := serve.NewEngine(reg, serve.Config{
 		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout,
 		CacheSize: *cacheSize, CacheTTL: *cacheTTL,
-		Tools: tools, SimWorkers: *simWorkers, SimTimeout: *simTimeout})
+		Tools: tools, SimWorkers: *simWorkers, SimTimeout: *simTimeout,
+		MaxStreamBatch: *maxStreamBatch,
+		JobWorkers:     *jobWorkers, JobQueueDepth: *jobQueue, JobTimeout: *jobTimeout})
 	if *cacheSize > 0 {
-		fmt.Printf("verdict cache: %d entries, ttl %s (GET /stats for live counters)\n",
+		fmt.Printf("verdict cache: %d entries, ttl %s (GET /v1/stats for live counters)\n",
 			*cacheSize, *cacheTTL)
 	} else {
 		fmt.Println("verdict cache: disabled")
 	}
 	if tools != nil {
-		fmt.Printf("hybrid analysis: POST /analyze with tools %s (%d sim workers, %s budget)\n",
+		fmt.Printf("hybrid analysis: POST /v1/analyze with tools %s (%d sim workers, %s budget)\n",
 			strings.Join(tools.Names(), ", "), *simWorkers, *simTimeout)
+		fmt.Printf("batch tier: /v1/analyze/batch and /v1/jobs (%d job workers, queue %d, %s budget)\n",
+			*jobWorkers, *jobQueue, *jobTimeout)
 	} else {
 		fmt.Println("hybrid analysis: disabled")
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg, eng)}
+	srv := &http.Server{Addr: *addr, Handler: rest.NewHandler(reg, eng)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -2,13 +2,17 @@
 // detector is trained and served next to the four expert tools of the
 // paper's comparison (PARCOACH/MPI-Checker-like static analyses,
 // ITAC/MUST-like dynamic checkers); the client posts a deadlocking
-// program and a correct exchange to POST /analyze and prints every
+// program and a correct exchange to POST /v1/analyze and prints every
 // per-tool verdict plus the combined ensemble verdict. The second pass
-// over the same programs is served from the tool cache — the /stats
-// sim_execs counter shows zero additional simulator executions.
+// over the same programs is served from the tool cache — the /v1/stats
+// sim_execs counter shows zero additional simulator executions. A final
+// pass streams the same programs through POST /v1/analyze/batch: one
+// NDJSON verdict line arrives per program as it completes, and the warm
+// batch is answered entirely from cache.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -23,6 +27,7 @@ import (
 	"mpidetect/internal/ir"
 	"mpidetect/internal/irgen"
 	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
 )
 
 func buildPrograms() []serve.Program {
@@ -70,14 +75,14 @@ func main() {
 		CacheSize: 1024, CacheTTL: 15 * time.Minute,
 		Tools: serve.DefaultTools(), SimWorkers: 2, SimTimeout: 5 * time.Second})
 	defer eng.Close()
-	srv := httptest.NewServer(serve.NewHandler(reg, eng))
+	srv := httptest.NewServer(rest.NewHandler(reg, eng))
 	defer srv.Close()
 	fmt.Printf("serving on %s (tools: %v)\n\n", srv.URL, serve.DefaultTools().Names())
 
 	analyze := func(pass string, prog serve.Program) {
 		body, _ := json.Marshal(serve.AnalyzeRequest{Model: "ir2vec", Program: prog})
 		start := time.Now()
-		resp, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,7 +116,44 @@ func main() {
 		analyze("warm", p)
 	}
 
-	stats, err := http.Get(srv.URL + "/stats")
+	// Batch streaming: both programs in one POST /v1/analyze/batch.
+	// Verdicts arrive as NDJSON lines in completion order — the first
+	// line lands before the last program finishes. The caches warmed by
+	// the passes above serve the whole batch without new simulations
+	// (sim_execs stays flat), so both batch passes return in microseconds.
+	batch := func(pass string) {
+		body, _ := json.Marshal(serve.BatchRequest{Model: "ir2vec", Programs: progs})
+		start := time.Now()
+		resp, err := http.Post(srv.URL+"/v1/analyze/batch", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		fmt.Printf("== batch %s pass (%s) ==\n", pass, resp.Header.Get("Content-Type"))
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev serve.VerdictEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				log.Fatal(err)
+			}
+			cached := ""
+			if len(ev.Tools) > 0 && ev.Tools[0].Cached {
+				cached = " (cached)"
+			}
+			fmt.Printf("  +%-10v #%d %-10s ensemble incorrect=%v%s\n",
+				time.Since(start).Round(time.Microsecond), ev.Index, ev.Name,
+				ev.Ensemble.Incorrect, cached)
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	batch("first")
+	batch("second")
+	fmt.Println()
+
+	stats, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,8 +3,9 @@
 // into a model registry (exactly what cmd/mpidetectd does at startup), and
 // served over a local HTTP listener with the content-addressed verdict
 // cache enabled; the client side then posts a batch of textual-IR
-// programs to POST /classify twice — the resubmission is served entirely
-// from the cache — and reads the live counters back from GET /stats.
+// programs to POST /v1/classify twice — the resubmission is served
+// entirely from the cache — and reads the live counters back from
+// GET /v1/stats.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"mpidetect/internal/ir"
 	"mpidetect/internal/irgen"
 	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
 )
 
 func main() {
@@ -53,27 +55,27 @@ func main() {
 	}
 	eng := serve.NewEngine(reg, serve.Config{CacheSize: 1024, CacheTTL: 15 * time.Minute})
 	defer eng.Close()
-	srv := httptest.NewServer(serve.NewHandler(reg, eng))
+	srv := httptest.NewServer(rest.NewHandler(reg, eng))
 	defer srv.Close()
 	fmt.Printf("serving on %s\n", srv.URL)
 
 	// Client side: classify held-out programs as textual IR.
 	held := dataset.GenerateCorrBench(9, false)
-	req := serve.ClassifyRequest{Model: "ir2vec"}
+	req := rest.ClassifyRequest{Model: "ir2vec"}
 	codes := held.Codes[:6]
 	for _, c := range codes {
 		m := irgen.MustLower(c.Prog)
 		req.Programs = append(req.Programs, serve.Program{Name: c.Name, IR: ir.Print(m)})
 	}
 	body, _ := json.Marshal(req)
-	classify := func(pass string) serve.ClassifyResponse {
+	classify := func(pass string) rest.ClassifyResponse {
 		start := time.Now()
-		resp, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(srv.URL+"/v1/classify", "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var out serve.ClassifyResponse
+		var out rest.ClassifyResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			log.Fatal(err)
 		}
@@ -96,14 +98,14 @@ func main() {
 
 	// Resubmit the identical batch: every program is a cache hit — the
 	// content-addressed cache skips the parse→optimise→embed→predict
-	// pipeline entirely — then read the live counters from /stats.
+	// pipeline entirely — then read the live counters from /v1/stats.
 	again := classify("warm (cached)")
 	for i := range out.Results {
 		if out.Results[i] != again.Results[i] {
 			log.Fatalf("cached verdict diverged for %s", out.Results[i].Name)
 		}
 	}
-	sresp, err := http.Get(srv.URL + "/stats")
+	sresp, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func main() {
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("/stats: %d requests, %d programs, %d pipeline execs; cache %d hits / %d misses (%d entries)\n",
+	fmt.Printf("/v1/stats: %d requests, %d programs, %d pipeline execs; cache %d hits / %d misses (%d entries)\n",
 		stats.Engine.Requests, stats.Engine.Programs, stats.Engine.PipelineExecs,
 		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Size)
 }

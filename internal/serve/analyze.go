@@ -26,6 +26,7 @@ import (
 
 	"mpidetect/internal/cache"
 	"mpidetect/internal/core"
+	"mpidetect/internal/events"
 	"mpidetect/internal/ir"
 	"mpidetect/internal/mpisim"
 	"mpidetect/internal/verify"
@@ -264,12 +265,16 @@ func toolKey(name string, ranks int, steps int64, digest string) string {
 func requestDigest(src string) string { return core.DigestIRKeyed("analyze", src) }
 
 // InvalidateTool sweeps one tool's cached verdicts across every
-// configuration; it returns the number of entries removed.
+// configuration; it returns the number of entries removed. The sweep is
+// published on the event bus.
 func (e *Engine) InvalidateTool(name string) int {
 	if e.toolCache == nil {
 		return 0
 	}
-	return e.toolCache.InvalidatePrefix(toolPrefix(name))
+	n := e.toolCache.InvalidatePrefix(toolPrefix(name))
+	e.bus.Publish(events.CacheInvalidated,
+		CacheInvalidatedData{Scope: "tool", Name: name, Entries: n})
+	return n
 }
 
 // ToolCacheStats snapshots the tool-verdict-cache counters; ok is false
@@ -317,9 +322,6 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 	if e.tools == nil {
 		return nil, ErrAnalysisDisabled
 	}
-	if strings.TrimSpace(req.Program.IR) == "" {
-		return nil, ErrEmptyProgram
-	}
 	if _, ok := e.reg.Get(req.Model); !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
 	}
@@ -327,23 +329,38 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
-	defer cancel()
 	e.analyzeRequests.Add(1)
+	return e.analyzeProgram(ctx, req.Model, selected, clampRanks(req.Ranks), req.Program)
+}
 
-	ranks := req.Ranks
+// clampRanks maps a requested world size into [2, maxSimRanks].
+func clampRanks(ranks int) int {
 	if ranks <= 0 {
-		ranks = 2
+		return 2
 	}
 	if ranks > maxSimRanks {
-		ranks = maxSimRanks
+		return maxSimRanks
 	}
+	return ranks
+}
+
+// analyzeProgram fans one program out to the ML detector plus the
+// resolved tools under its own min(caller deadline, engine timeout)
+// budget — the shared core of Analyze and AnalyzeBatch (each program of
+// a batch gets this full per-program budget, not a share of one). The
+// finished verdict is published on the event bus.
+func (e *Engine) analyzeProgram(ctx context.Context, model string, selected []selectedTool, ranks int, prog Program) (*AnalyzeResponse, error) {
+	if strings.TrimSpace(prog.IR) == "" {
+		return nil, ErrEmptyProgram
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	defer cancel()
 
 	// The ML verdict computes concurrently with the expert tools.
-	resp := &AnalyzeResponse{Model: req.Model, Name: req.Program.Name}
+	resp := &AnalyzeResponse{Model: model, Name: prog.Name}
 	mlDone := make(chan error, 1)
 	go func() {
-		res, err := e.Classify(ctx, req.Model, []Program{req.Program})
+		res, err := e.Classify(ctx, model, []Program{prog})
 		if err == nil {
 			resp.ML = res[0]
 		}
@@ -354,11 +371,11 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 	// The module parses lazily, at most once, and only if some tool
 	// verdict misses its cache. (A parse failure is counted once, by the
 	// ML goroutine's Classify — not again here.)
-	lm := &lazyModule{src: req.Program.IR}
+	lm := &lazyModule{src: prog.IR}
 	if e.toolCache != nil || e.progCache != nil {
 		// The digest keys the tool-verdict and program caches; with both
 		// disabled it would be dead work on the request path.
-		lm.digest = requestDigest(req.Program.IR)
+		lm.digest = requestDigest(prog.IR)
 	}
 	// Dynamic tools fan out (their simulations run on the sim pool and
 	// dominate latency); static tools run inline on the request
@@ -387,6 +404,10 @@ func (e *Engine) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeRespo
 	}
 	resp.Tools = verdicts
 	resp.Ensemble = ensembleOf(resp.ML, verdicts)
+	e.bus.Publish(events.VerdictCompleted, VerdictCompletedData{
+		Model: model, Name: prog.Name, Incorrect: resp.Ensemble.Incorrect,
+		Flags: resp.Ensemble.Flags, Voters: resp.Ensemble.Voters,
+	})
 	return resp, nil
 }
 

@@ -1,11 +1,8 @@
 package serve
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
-	"net/http"
 	"testing"
 	"time"
 
@@ -96,46 +93,27 @@ func verdictOf(t *testing.T, resp *AnalyzeResponse, tool string) ToolVerdict {
 	return ToolVerdict{}
 }
 
-// TestAnalyzeHybridVerdicts is the endpoint acceptance path over HTTP:
-// one deadlocking and one correct program, each fanned out to the ML
+// TestAnalyzeHybridVerdicts is the analysis acceptance path: one
+// deadlocking and one correct program, each fanned out to the ML
 // detector plus all four expert tools, with per-tool archetype behaviour
-// visible in the response.
+// visible in the response. (The HTTP form lives in serve/rest.)
 func TestAnalyzeHybridVerdicts(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{Tools: DefaultTools(), CacheSize: 256})
-
-	post := func(req AnalyzeRequest) (*http.Response, AnalyzeResponse) {
-		t.Helper()
-		body, err := json.Marshal(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var out AnalyzeResponse
-		if resp.StatusCode == http.StatusOK {
-			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-				t.Fatal(err)
-			}
-		}
-		return resp, out
-	}
+	eng := analyzeEngine(t, Config{CacheSize: 256})
+	ctx := context.Background()
 
 	// Deadlocking program: MUST flags it, ITAC times out on it.
-	hr, dead := post(AnalyzeRequest{Model: "ir2vec",
+	dead, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
 		Program: Program{Name: "headtohead", IR: headToHeadIR(t)}})
-	if hr.StatusCode != http.StatusOK {
-		t.Fatalf("analyze status %d", hr.StatusCode)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if len(dead.Tools) != 4 {
 		t.Fatalf("got %d tool verdicts, want 4: %+v", len(dead.Tools), dead.Tools)
 	}
-	if v := verdictOf(t, &dead, "must"); v.Verdict != "flagged" || !v.Dynamic {
+	if v := verdictOf(t, dead, "must"); v.Verdict != "flagged" || !v.Dynamic {
 		t.Fatalf("must verdict %+v, want dynamic flagged", v)
 	}
-	if v := verdictOf(t, &dead, "itac"); v.Verdict != "timeout" {
+	if v := verdictOf(t, dead, "itac"); v.Verdict != "timeout" {
 		t.Fatalf("itac verdict %+v, want timeout (inconclusive on deadlock)", v)
 	}
 	if dead.Ensemble.Voters < 3 || dead.Ensemble.Flags < 1 {
@@ -143,10 +121,13 @@ func TestAnalyzeHybridVerdicts(t *testing.T) {
 	}
 
 	// Correct program: both dynamic tools answer clean.
-	_, ok := post(AnalyzeRequest{Model: "ir2vec",
+	ok, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
 		Program: Program{Name: "pingpong", IR: pingpongIR(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tool := range []string{"itac", "must"} {
-		if v := verdictOf(t, &ok, tool); v.Verdict != "clean" || v.Flagged {
+		if v := verdictOf(t, ok, tool); v.Verdict != "clean" || v.Flagged {
 			t.Fatalf("%s on correct code: %+v, want clean", tool, v)
 		}
 	}
@@ -373,16 +354,14 @@ func TestAnalyzeErrorsAndDisabled(t *testing.T) {
 		t.Fatalf("parse_errors = %d for one bad program, want 1 (no double count)", got)
 	}
 
-	// An engine without tools 404s the endpoint.
-	srv, _, _ := newTestServer(t, Config{})
-	body, _ := json.Marshal(AnalyzeRequest{Model: "ir2vec", Program: Program{IR: irText}})
-	hr, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusNotFound {
-		t.Fatalf("disabled /analyze returned %d, want 404", hr.StatusCode)
+	// An engine without tools reports the tier disabled.
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	bare := NewEngine(reg, Config{})
+	defer bare.Close()
+	if _, err := bare.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
+		Program: Program{IR: irText}}); !errors.Is(err, ErrAnalysisDisabled) {
+		t.Fatalf("disabled analysis: %v, want ErrAnalysisDisabled", err)
 	}
 }
 

@@ -175,6 +175,53 @@ func BenchmarkAnalyzeDynamic(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeBatchStream measures the streaming batch tier on an
+// 8-program batch against all four expert tools: "cold" sweeps the tool
+// cache every iteration so every program re-runs its analyses, "warm"
+// measures the steady state where the whole batch is answered from the
+// verdict/tool caches. events/op confirms every program streamed a
+// verdict; sims/op is the dynamic-tier work per batch (0 when warm).
+func BenchmarkAnalyzeBatchStream(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			eng := benchEngine(b, Config{CacheSize: 4096, CacheTTL: time.Hour,
+				Tools: DefaultTools(), SimWorkers: 2})
+			progs := batchOf(b, 8)
+			req := BatchRequest{Model: "ir2vec", Programs: progs}
+			ctx := context.Background()
+			stream := func() int {
+				ch, err := eng.AnalyzeBatch(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for ev := range ch {
+					if ev.Err != "" {
+						b.Fatalf("%s: %s", ev.Name, ev.Err)
+					}
+					n++
+				}
+				return n
+			}
+			stream() // one pass so warm measures the steady state
+			simsBefore := eng.Stats().Analyze.SimExecs
+			events := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cold" {
+					for _, tool := range eng.tools.Names() {
+						eng.InvalidateTool(tool)
+					}
+				}
+				events += stream()
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(eng.Stats().Analyze.SimExecs-simsBefore)/float64(b.N), "sims/op")
+		})
+	}
+}
+
 // BenchmarkDigest isolates the per-request cost the cache adds on the hot
 // path: digesting a program's textual IR without parsing it.
 func BenchmarkDigest(b *testing.B) {

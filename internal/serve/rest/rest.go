@@ -1,0 +1,410 @@
+// Package rest is the HTTP/JSON transport over the serve engine — the
+// only layer of the serving stack that knows about net/http. It mounts
+// the versioned v1 API:
+//
+//	POST /v1/classify            batched ML classification
+//	POST /v1/analyze             hybrid single-program analysis
+//	POST /v1/analyze/batch       streaming batch analysis (NDJSON)
+//	POST /v1/jobs                submit an async batch job (202 + id)
+//	GET  /v1/jobs/{id}           job status + progress
+//	GET  /v1/jobs/{id}/results   verdicts accumulated so far
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET  /v1/jobs/{id}/events    per-job verdict stream (SSE)
+//	GET  /v1/events              engine-wide event stream (SSE)
+//	GET  /v1/healthz             liveness + model count
+//	GET  /v1/models              registered models
+//	GET  /v1/stats               engine/cache/jobs/events counters
+//
+// The pre-versioning paths (/classify, /analyze, /healthz, /models,
+// /stats) are served as deprecated aliases: same handlers, plus a
+// "Deprecation: true" header and a Link to the successor route.
+//
+// Every error leaves through one JSON envelope,
+//
+//	{"error": {"code": "batch_too_large", "message": "..."}}
+//
+// with engine sentinel errors mapped to stable codes and statuses:
+// validation 400, unknown names 404, oversized payloads 413, budget
+// exhaustion 504, client disconnect 499, and backpressure 429/503 with
+// Retry-After.
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"mpidetect/internal/events"
+	"mpidetect/internal/serve"
+)
+
+// maxBodyBytes bounds a request body.
+const maxBodyBytes = 32 << 20
+
+// retryAfterSeconds is the Retry-After hint on 429/503 backpressure
+// responses.
+const retryAfterSeconds = 1
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest struct {
+	Model    string          `json:"model"`
+	Programs []serve.Program `json:"programs"`
+}
+
+// ClassifyResponse is the POST /v1/classify reply.
+type ClassifyResponse struct {
+	Model   string         `json:"model"`
+	Results []serve.Result `json:"results"`
+}
+
+// ModelInfo describes one registered model for GET /v1/models.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Detector string `json:"detector"`
+	Opt      string `json:"opt"`
+}
+
+// ErrorBody is the unified error envelope carried by every non-2xx
+// response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope payload: a stable machine-readable code
+// and a human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// statusClientClosed is the de-facto (nginx) status for client-closed
+// requests.
+const statusClientClosed = 499
+
+// engineError maps an engine sentinel error onto the envelope.
+func engineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrUnknownModel):
+		writeError(w, http.StatusNotFound, "unknown_model", err.Error())
+	case errors.Is(err, serve.ErrAnalysisDisabled):
+		writeError(w, http.StatusNotFound, "analysis_disabled", err.Error())
+	case errors.Is(err, serve.ErrUnknownTool):
+		writeError(w, http.StatusBadRequest, "unknown_tool", err.Error())
+	case errors.Is(err, serve.ErrEmptyBatch):
+		writeError(w, http.StatusBadRequest, "empty_batch", err.Error())
+	case errors.Is(err, serve.ErrEmptyProgram):
+		writeError(w, http.StatusBadRequest, "empty_program", err.Error())
+	case errors.Is(err, serve.ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", err.Error())
+	case errors.Is(err, serve.ErrTimeout):
+		writeError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+	case errors.Is(err, serve.ErrCanceled):
+		writeError(w, statusClientClosed, "canceled", err.Error())
+	case errors.Is(err, serve.ErrJobQueueFull):
+		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// decode parses a bounded JSON body into v; on failure it writes the
+// envelope and reports false.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"decoding request: "+err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid_json",
+			"decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// NewHandler wires the v1 API (plus deprecated unversioned aliases)
+// over the registry and engine.
+func NewHandler(reg *serve.Registry, eng *serve.Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	classify := func(w http.ResponseWriter, r *http.Request) {
+		var req ClassifyRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		results, err := eng.Classify(r.Context(), req.Model, req.Programs)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ClassifyResponse{Model: req.Model, Results: results})
+	}
+	analyze := func(w http.ResponseWriter, r *http.Request) {
+		var req serve.AnalyzeRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := eng.Analyze(r.Context(), req)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+	healthz := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"models": len(reg.Names()),
+		})
+	}
+	models := func(w http.ResponseWriter, r *http.Request) {
+		infos := []ModelInfo{}
+		for _, name := range reg.Names() {
+			if d, ok := reg.Get(name); ok {
+				infos = append(infos, ModelInfo{Name: name,
+					Detector: d.Name(), Opt: d.Opt().String()})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	}
+	stats := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
+	}
+
+	// v1 surface.
+	mux.HandleFunc("POST /v1/classify", classify)
+	mux.HandleFunc("POST /v1/analyze", analyze)
+	mux.HandleFunc("POST /v1/analyze/batch", batchHandler(eng))
+	mux.HandleFunc("POST /v1/jobs", submitJobHandler(eng))
+	mux.HandleFunc("GET /v1/jobs/{id}", jobStatusHandler(eng))
+	mux.HandleFunc("GET /v1/jobs/{id}/results", jobResultsHandler(eng))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", jobCancelHandler(eng))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", jobEventsHandler(eng))
+	mux.HandleFunc("GET /v1/events", busEventsHandler(eng))
+	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /v1/models", models)
+	mux.HandleFunc("GET /v1/stats", stats)
+
+	// Deprecated unversioned aliases: same behavior, plus deprecation
+	// headers pointing at the successor route.
+	mux.HandleFunc("POST /classify", deprecated("/v1/classify", classify))
+	mux.HandleFunc("POST /analyze", deprecated("/v1/analyze", analyze))
+	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", healthz))
+	mux.HandleFunc("GET /models", deprecated("/v1/models", models))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", stats))
+	return mux
+}
+
+// deprecated wraps a handler with the RFC 9745 Deprecation header and a
+// successor-version Link.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// batchHandler streams NDJSON: one VerdictEvent object per line, flushed
+// as each program's analysis completes. Request-level validation errors
+// are ordinary JSON envelopes (the stream never starts); per-program
+// failures ride the stream in the event's "error" field.
+func batchHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		ch, err := eng.AnalyzeBatch(r.Context(), req)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			// Push the headers now: the client must see the stream open
+			// before the first verdict lands, not when it does.
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		for ev := range ch {
+			if err := enc.Encode(ev); err != nil {
+				// The client is gone; r.Context() cancellation unwinds the
+				// engine side, we just stop writing.
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func submitJobHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		snap, err := eng.SubmitJob(req)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+		writeJSON(w, http.StatusAccepted, snap)
+	}
+}
+
+func jobStatusHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := eng.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_job",
+				"no job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	}
+}
+
+func jobResultsHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		results, snap, ok := eng.JobResults(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_job",
+				"no job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"job":     snap,
+			"results": results,
+		})
+	}
+}
+
+func jobCancelHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := eng.CancelJob(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_job",
+				"no job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	}
+}
+
+// sseWriter frames Server-Sent Events onto a response.
+type sseWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+func newSSE(w http.ResponseWriter) *sseWriter {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Headers go out immediately; frames may be a long time coming.
+		flusher.Flush()
+	}
+	return &sseWriter{w: w, flusher: flusher}
+}
+
+// send writes one SSE frame ("event: name" + JSON data line).
+func (s *sseWriter) send(event string, data any) error {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, payload); err != nil {
+		return err
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return nil
+}
+
+// jobEventsHandler streams one job's verdicts as SSE "verdict" events
+// (replaying from the start), closing with a terminal "done" event
+// carrying the job's final snapshot.
+func jobEventsHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := eng.Job(id); !ok {
+			writeError(w, http.StatusNotFound, "unknown_job", "no job "+id)
+			return
+		}
+		sse := newSSE(w)
+		cursor := 0
+		for {
+			results, snap, ok := eng.FollowJob(r.Context(), id, cursor)
+			if !ok {
+				return // client gone or job evicted
+			}
+			for _, ev := range results {
+				if err := sse.send("verdict", ev); err != nil {
+					return
+				}
+			}
+			cursor += len(results)
+			if snap.State.Terminal() && cursor >= snap.Done {
+				_ = sse.send("done", snap)
+				return
+			}
+		}
+	}
+}
+
+// busEventsHandler streams the engine's event bus as SSE, one frame per
+// event with the bus type as the SSE event name. The optional ?types=
+// query (comma-separated) filters event types. A slow client's events
+// are dropped, never buffered unboundedly (the bus contract).
+func busEventsHandler(eng *serve.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var types []events.Type
+		if q := r.URL.Query().Get("types"); q != "" {
+			for _, t := range strings.Split(q, ",") {
+				if t = strings.TrimSpace(t); t != "" {
+					types = append(types, events.Type(t))
+				}
+			}
+		}
+		sub := eng.Bus().Subscribe(events.DefaultBuffer, types...)
+		defer sub.Close()
+		sse := newSSE(w)
+		for {
+			select {
+			case ev := <-sub.C():
+				if err := sse.send(string(ev.Type), ev); err != nil {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}

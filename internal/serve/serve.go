@@ -1,9 +1,16 @@
 // Package serve turns trained detectors into a concurrent inference
-// service: a model Registry, a batched worker-pool classification Engine
+// engine: a model Registry, a batched worker-pool classification Engine
 // with per-request timeouts, a content-addressed verdict cache with
-// request coalescing in front of the pipeline, and an HTTP/JSON front end
-// (POST /classify, GET /healthz, GET /models, GET /stats) used by
-// cmd/mpidetectd.
+// request coalescing in front of the pipeline, a streaming batch
+// analyzer (AnalyzeBatch), an async job tier (SubmitJob/Job/CancelJob,
+// backed by internal/jobs), and a typed event bus (internal/events)
+// publishing verdict completions, cache invalidations, model reloads and
+// job transitions.
+//
+// This package is transport-free: it never touches net/http. The
+// HTTP/JSON front end lives in the sibling package serve/rest, which
+// cmd/mpidetectd mounts; any other transport (gRPC, CLI, tests) can sit
+// on the same engine API.
 //
 // The wire format for programs is the repo's textual IR (ir.Print /
 // ir.Parse); each submitted program is parsed, optimised to the serving
@@ -24,10 +31,8 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
@@ -37,13 +42,15 @@ import (
 
 	"mpidetect/internal/cache"
 	"mpidetect/internal/core"
+	"mpidetect/internal/events"
 	"mpidetect/internal/ir"
+	"mpidetect/internal/jobs"
 	"mpidetect/internal/mpisim"
 	"mpidetect/internal/passes"
 	"mpidetect/internal/verify"
 )
 
-// Sentinel errors mapped to HTTP statuses by the handler.
+// Sentinel errors mapped to HTTP statuses by the transport.
 var (
 	ErrUnknownModel  = errors.New("serve: unknown model")
 	ErrEmptyBatch    = errors.New("serve: empty batch")
@@ -175,6 +182,31 @@ type Config struct {
 	// SimMaxSteps is the per-rank interpreter step budget of one
 	// simulation (default verify.DefaultMaxSteps).
 	SimMaxSteps int64
+
+	// MaxStreamBatch caps a streaming AnalyzeBatch request (default
+	// 1024). Streaming batches deliver results incrementally, so they may
+	// be far larger than the synchronous MaxBatch.
+	MaxStreamBatch int
+	// BatchParallel caps the programs of one batch analyzed concurrently
+	// (default Workers + SimWorkers). The per-program work still runs on
+	// the shared classify and simulation pools; this only bounds how many
+	// programs a single batch has in flight at once.
+	BatchParallel int
+
+	// JobWorkers is the async-job worker count (default 2); JobQueueDepth
+	// bounds the accepted-but-not-running jobs (default 16; a full queue
+	// is backpressure, surfaced as 429 by the transport). JobTimeout
+	// bounds one job's run (default 5m); JobMaxRetained caps finished
+	// jobs kept pollable (default 256).
+	JobWorkers     int
+	JobQueueDepth  int
+	JobTimeout     time.Duration
+	JobMaxRetained int
+
+	// Bus receives the engine's events (verdict completions, cache
+	// invalidations, model reloads, job transitions). Nil creates a
+	// private bus; inject one to share it across components.
+	Bus *events.Bus
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +227,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SimMaxSteps <= 0 {
 		c.SimMaxSteps = verify.DefaultMaxSteps
+	}
+	if c.MaxStreamBatch <= 0 {
+		c.MaxStreamBatch = 1024
+	}
+	if c.BatchParallel <= 0 {
+		c.BatchParallel = c.Workers + c.SimWorkers
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.JobMaxRetained <= 0 {
+		c.JobMaxRetained = 256
+	}
+	if c.Bus == nil {
+		c.Bus = events.NewBus()
 	}
 	return c
 }
@@ -257,6 +310,10 @@ type Engine struct {
 	simJobs   chan func()
 	simWG     sync.WaitGroup
 
+	// bus publishes engine events; jobMgr runs the async job tier.
+	bus    *events.Bus
+	jobMgr *jobs.Manager[VerdictEvent]
+
 	requests      atomic.Int64
 	programs      atomic.Int64
 	pipelineExecs atomic.Int64
@@ -267,21 +324,31 @@ type Engine struct {
 	simExecs        atomic.Int64
 	simTimeouts     atomic.Int64
 	simCompiles     atomic.Int64
+
+	batchRequests atomic.Int64
+	batchPrograms atomic.Int64
 }
 
 // NewEngine starts the worker pool over the registry. When cfg.CacheSize
 // is positive the engine fronts the pipeline with a verdict cache and
 // registers an OnReplace hook so reloading a model invalidates only that
-// model's entries.
+// model's entries. Every model reload, cache sweep and async-job
+// transition is also published on the engine's event bus.
 func NewEngine(reg *Registry, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), reg: reg}
+	e.bus = e.cfg.Bus
 	if e.cfg.CacheSize > 0 {
 		e.cache = cache.New[Result](cache.Config{
 			Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
 		reg.OnReplace(func(name string) {
-			e.cache.InvalidatePrefix(name + keySep)
+			n := e.cache.InvalidatePrefix(name + keySep)
+			e.bus.Publish(events.CacheInvalidated,
+				CacheInvalidatedData{Scope: "model", Name: name, Entries: n})
 		})
 	}
+	reg.OnReplace(func(name string) {
+		e.bus.Publish(events.ModelReloaded, ModelReloadedData{Model: name})
+	})
 	e.jobs = make(chan job, 2*e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
 		e.wg.Add(1)
@@ -293,7 +360,9 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			e.toolCache = cache.New[ToolVerdict](cache.Config{
 				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
 			e.tools.OnReplace(func(name string) {
-				e.toolCache.InvalidatePrefix(toolPrefix(name))
+				n := e.toolCache.InvalidatePrefix(toolPrefix(name))
+				e.bus.Publish(events.CacheInvalidated,
+					CacheInvalidatedData{Scope: "tool", Name: name, Entries: n})
 			})
 			e.progCache = cache.New[*mpisim.Program](cache.Config{
 				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
@@ -304,14 +373,26 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			go e.simWorker()
 		}
 	}
+	e.jobMgr = jobs.New[VerdictEvent](jobs.Config{
+		Workers:     e.cfg.JobWorkers,
+		QueueDepth:  e.cfg.JobQueueDepth,
+		MaxRetained: e.cfg.JobMaxRetained,
+		Timeout:     e.cfg.JobTimeout,
+		OnTransition: func(s jobs.Snapshot) {
+			e.bus.Publish(events.JobUpdated, s)
+		},
+	})
 	return e
 }
 
 // Close drains the pools. It must not be called concurrently with
-// Classify or Analyze; the HTTP server is shut down first. Every queued
-// job is still executed (workers drain the channels), so no cache flight
-// is left incomplete.
+// Classify or Analyze; the transport server is shut down first. The job
+// manager closes first (cancelling live jobs, whose per-program work
+// unwinds through the pools), then the pools drain. Every queued job is
+// still executed (workers drain the channels), so no cache flight is
+// left incomplete.
 func (e *Engine) Close() {
+	e.jobMgr.Close()
 	close(e.jobs)
 	if e.simJobs != nil {
 		close(e.simJobs)
@@ -319,6 +400,10 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 	e.simWG.Wait()
 }
+
+// Bus exposes the engine's event bus for subscribers (the transport's
+// GET /v1/events stream, tests).
+func (e *Engine) Bus() *events.Bus { return e.bus }
 
 // MaxBatch reports the per-request batch cap.
 func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
@@ -523,27 +608,8 @@ func isCancellation(err error) bool {
 }
 
 // ---------------------------------------------------------------------------
-// HTTP front end.
+// Stats.
 // ---------------------------------------------------------------------------
-
-// ClassifyRequest is the POST /classify body.
-type ClassifyRequest struct {
-	Model    string    `json:"model"`
-	Programs []Program `json:"programs"`
-}
-
-// ClassifyResponse is the POST /classify reply.
-type ClassifyResponse struct {
-	Model   string   `json:"model"`
-	Results []Result `json:"results"`
-}
-
-// ModelInfo describes one registered model for GET /models.
-type ModelInfo struct {
-	Name     string `json:"name"`
-	Detector string `json:"detector"`
-	Opt      string `json:"opt"`
-}
 
 // EngineStats is the engine half of GET /stats.
 type EngineStats struct {
@@ -570,16 +636,26 @@ type AnalyzeStats struct {
 	SimCompiles int64    `json:"sim_compiles"`
 	SimWorkers  int      `json:"sim_workers"`
 	Tools       []string `json:"tools"`
+
+	// The streaming tier: batch requests accepted and programs streamed.
+	// Per-program work rides the same caches and pools as the sync path,
+	// so the counters above (and sim_execs in particular) move — or stay
+	// put, on warm repeats — identically for both.
+	BatchRequests int64 `json:"batch_requests"`
+	BatchPrograms int64 `json:"batch_programs"`
 }
 
 // StatsSnapshot is the GET /stats body: live engine counters plus, when
-// enabled, the verdict-cache, hybrid-analysis, and tool-cache counters.
+// enabled, the verdict-cache, hybrid-analysis, and tool-cache counters,
+// the async-job tier, and the event bus.
 type StatsSnapshot struct {
 	Engine    EngineStats   `json:"engine"`
 	Cache     *cache.Stats  `json:"cache,omitempty"`
 	Analyze   *AnalyzeStats `json:"analyze,omitempty"`
 	ToolCache *cache.Stats  `json:"tool_cache,omitempty"`
 	ProgCache *cache.Stats  `json:"prog_cache,omitempty"`
+	Jobs      *jobs.Stats   `json:"jobs,omitempty"`
+	Events    *events.Stats `json:"events,omitempty"`
 	Models    int           `json:"models"`
 }
 
@@ -601,13 +677,15 @@ func (e *Engine) Stats() StatsSnapshot {
 	}
 	if e.tools != nil {
 		s.Analyze = &AnalyzeStats{
-			Requests:    e.analyzeRequests.Load(),
-			ToolRuns:    e.toolRuns.Load(),
-			SimExecs:    e.simExecs.Load(),
-			SimTimeouts: e.simTimeouts.Load(),
-			SimCompiles: e.simCompiles.Load(),
-			SimWorkers:  e.cfg.SimWorkers,
-			Tools:       e.tools.Names(),
+			Requests:      e.analyzeRequests.Load(),
+			ToolRuns:      e.toolRuns.Load(),
+			SimExecs:      e.simExecs.Load(),
+			SimTimeouts:   e.simTimeouts.Load(),
+			SimCompiles:   e.simCompiles.Load(),
+			SimWorkers:    e.cfg.SimWorkers,
+			Tools:         e.tools.Names(),
+			BatchRequests: e.batchRequests.Load(),
+			BatchPrograms: e.batchPrograms.Load(),
 		}
 		if e.toolCache != nil {
 			ts := e.toolCache.Stats()
@@ -618,105 +696,9 @@ func (e *Engine) Stats() StatsSnapshot {
 			s.ProgCache = &ps
 		}
 	}
+	js := e.jobMgr.Stats()
+	s.Jobs = &js
+	es := e.bus.Stats()
+	s.Events = &es
 	return s
-}
-
-// maxBodyBytes bounds a /classify request body.
-const maxBodyBytes = 32 << 20
-
-// NewHandler wires the endpoints over the registry and engine.
-func NewHandler(reg *Registry, eng *Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		var req ClassifyRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge, "decoding request: "+err.Error())
-				return
-			}
-			httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
-			return
-		}
-		results, err := eng.Classify(r.Context(), req.Model, req.Programs)
-		switch {
-		case err == nil:
-			writeJSON(w, http.StatusOK, ClassifyResponse{Model: req.Model, Results: results})
-		case errors.Is(err, ErrUnknownModel):
-			httpError(w, http.StatusNotFound, err.Error())
-		case errors.Is(err, ErrEmptyBatch):
-			httpError(w, http.StatusBadRequest, err.Error())
-		case errors.Is(err, ErrBatchTooLarge):
-			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
-		case errors.Is(err, ErrTimeout):
-			httpError(w, http.StatusGatewayTimeout, err.Error())
-		case errors.Is(err, ErrCanceled):
-			// The client is gone; 499 is the de-facto (nginx) status for
-			// client-closed requests.
-			httpError(w, 499, err.Error())
-		default:
-			httpError(w, http.StatusInternalServerError, err.Error())
-		}
-	})
-	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		var req AnalyzeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge, "decoding request: "+err.Error())
-				return
-			}
-			httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
-			return
-		}
-		resp, err := eng.Analyze(r.Context(), req)
-		switch {
-		case err == nil:
-			writeJSON(w, http.StatusOK, resp)
-		case errors.Is(err, ErrAnalysisDisabled):
-			httpError(w, http.StatusNotFound, err.Error())
-		case errors.Is(err, ErrUnknownModel):
-			httpError(w, http.StatusNotFound, err.Error())
-		case errors.Is(err, ErrUnknownTool), errors.Is(err, ErrEmptyProgram):
-			httpError(w, http.StatusBadRequest, err.Error())
-		case errors.Is(err, ErrTimeout):
-			httpError(w, http.StatusGatewayTimeout, err.Error())
-		case errors.Is(err, ErrCanceled):
-			httpError(w, 499, err.Error())
-		default:
-			httpError(w, http.StatusInternalServerError, err.Error())
-		}
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"models": len(reg.Names()),
-		})
-	})
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
-		infos := []ModelInfo{}
-		for _, name := range reg.Names() {
-			if d, ok := reg.Get(name); ok {
-				infos = append(infos, ModelInfo{Name: name,
-					Detector: d.Name(), Opt: d.Opt().String()})
-			}
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, eng.Stats())
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
 }

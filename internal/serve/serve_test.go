@@ -1,13 +1,9 @@
 package serve
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
-	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -60,43 +56,11 @@ func corpusIR(t testing.TB, n int) ([]Program, []*dataset.Code) {
 	return progs, codes
 }
 
-func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Registry, *Engine) {
-	t.Helper()
-	reg := NewRegistry()
-	reg.Register("ir2vec", trained(t))
-	eng := NewEngine(reg, cfg)
-	srv := httptest.NewServer(NewHandler(reg, eng))
-	t.Cleanup(func() {
-		srv.Close()
-		eng.Close()
-	})
-	return srv, reg, eng
-}
-
-func postClassify(t *testing.T, url string, req ClassifyRequest) (*http.Response, ClassifyResponse) {
-	t.Helper()
-	body, err := json.Marshal(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url+"/classify", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out ClassifyResponse
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return resp, out
-}
-
-// TestSavedArtifactServesConcurrently is the acceptance path: a detector
-// trained and saved through the CLI's code path (core.SaveDetectorFile) is
-// loaded by the server's registry and serves concurrent /classify traffic
-// with verdicts identical to the in-process detector.
+// TestSavedArtifactServesConcurrently is the engine acceptance path: a
+// detector trained and saved through the CLI's code path
+// (core.SaveDetectorFile) is loaded by the registry and serves
+// concurrent Classify traffic with verdicts identical to the in-process
+// detector. (The HTTP form of this path lives in serve/rest.)
 func TestSavedArtifactServesConcurrently(t *testing.T) {
 	det := trained(t)
 	path := filepath.Join(t.TempDir(), "model.bin")
@@ -109,11 +73,7 @@ func TestSavedArtifactServesConcurrently(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(reg, Config{})
-	srv := httptest.NewServer(NewHandler(reg, eng))
-	defer func() {
-		srv.Close()
-		eng.Close()
-	}()
+	defer eng.Close()
 
 	progs, codes := corpusIR(t, 12)
 	want := make([]core.Verdict, len(codes))
@@ -132,16 +92,12 @@ func TestSavedArtifactServesConcurrently(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, out := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
-			if resp.StatusCode != http.StatusOK {
-				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			out, err := eng.Classify(context.Background(), "ir2vec", progs)
+			if err != nil {
+				errs <- err
 				return
 			}
-			if len(out.Results) != len(progs) {
-				errs <- fmt.Errorf("got %d results, want %d", len(out.Results), len(progs))
-				return
-			}
-			for i, r := range out.Results {
+			for i, r := range out {
 				if r.Err != "" {
 					errs <- fmt.Errorf("%s: %s", r.Name, r.Err)
 					return
@@ -164,52 +120,21 @@ func TestSavedArtifactServesConcurrently(t *testing.T) {
 	}
 }
 
-func TestUnknownModel(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{})
+func TestParseErrorIsPerItem(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	eng := NewEngine(reg, Config{})
+	defer eng.Close()
 	progs, _ := corpusIR(t, 1)
-	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "nope", Programs: progs})
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("status %d, want 404", resp.StatusCode)
-	}
-}
-
-func TestOversizedBatch(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{MaxBatch: 2})
-	progs, _ := corpusIR(t, 3)
-	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("status %d, want 413", resp.StatusCode)
-	}
-}
-
-func TestEmptyBatchAndBadJSON(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{})
-	resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec"})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
-	}
-	raw, err := http.Post(srv.URL+"/classify", "application/json", bytes.NewReader([]byte("{nope")))
+	progs = append(progs, Program{Name: "broken", IR: "define garbage {"})
+	out, err := eng.Classify(context.Background(), "ir2vec", progs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw.Body.Close()
-	if raw.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad json: status %d, want 400", raw.StatusCode)
+	if out[0].Err != "" {
+		t.Fatalf("healthy program errored: %s", out[0].Err)
 	}
-}
-
-func TestParseErrorIsPerItem(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{})
-	progs, _ := corpusIR(t, 1)
-	progs = append(progs, Program{Name: "broken", IR: "define garbage {"})
-	resp, out := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d, want 200", resp.StatusCode)
-	}
-	if out.Results[0].Err != "" {
-		t.Fatalf("healthy program errored: %s", out.Results[0].Err)
-	}
-	if out.Results[1].Err == "" {
+	if out[1].Err == "" {
 		t.Fatal("broken program did not report a parse error")
 	}
 }
@@ -279,33 +204,6 @@ func TestCallerCancellationIsNotATimeout(t *testing.T) {
 	}
 	if errors.Is(err, ErrTimeout) {
 		t.Fatalf("cancellation misreported as timeout: %v", err)
-	}
-}
-
-func TestHealthzAndModels(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{})
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
-	}
-	mresp, err := http.Get(srv.URL + "/models")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mresp.Body.Close()
-	var models struct {
-		Models []ModelInfo `json:"models"`
-	}
-	if err := json.NewDecoder(mresp.Body).Decode(&models); err != nil {
-		t.Fatal(err)
-	}
-	if len(models.Models) != 1 || models.Models[0].Name != "ir2vec" ||
-		models.Models[0].Detector != "IR2Vec+DT" {
-		t.Fatalf("unexpected model listing: %+v", models.Models)
 	}
 }
 
@@ -534,33 +432,24 @@ func TestReloadInvalidatesOnlyThatModel(t *testing.T) {
 	}
 }
 
-// TestStatsEndpoint: GET /stats exposes live engine and cache counters.
-func TestStatsEndpoint(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{CacheSize: 128, CacheTTL: time.Hour})
+// TestStatsCounters: Stats() exposes live engine and cache counters.
+func TestStatsCounters(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	eng := NewEngine(reg, Config{CacheSize: 128, CacheTTL: time.Hour})
+	defer eng.Close()
 	progs, _ := corpusIR(t, 3)
 	for i := 0; i < 2; i++ {
-		resp, _ := postClassify(t, srv.URL, ClassifyRequest{Model: "ir2vec", Programs: progs})
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("classify status %d", resp.StatusCode)
+		if _, err := eng.Classify(context.Background(), "ir2vec", progs); err != nil {
+			t.Fatal(err)
 		}
 	}
-	resp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/stats status %d", resp.StatusCode)
-	}
-	var st StatsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
+	st := eng.Stats()
 	if st.Engine.Requests != 2 || st.Engine.Programs != 6 {
 		t.Fatalf("engine counters %+v: want 2 requests, 6 programs", st.Engine)
 	}
 	if st.Cache == nil {
-		t.Fatal("/stats omitted cache counters with caching enabled")
+		t.Fatal("stats omitted cache counters with caching enabled")
 	}
 	if st.Cache.Hits != 3 || st.Cache.Misses != 3 || st.Cache.Size != 3 {
 		t.Fatalf("cache counters %+v: want 3 hits, 3 misses, size 3", *st.Cache)
@@ -571,26 +460,11 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Models != 1 {
 		t.Fatalf("models = %d, want 1", st.Models)
 	}
-}
-
-// TestStatsOmitsCacheWhenDisabled: an uncached engine reports engine
-// counters only.
-func TestStatsOmitsCacheWhenDisabled(t *testing.T) {
-	srv, _, _ := newTestServer(t, Config{})
-	resp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
+	if st.Jobs == nil || st.Jobs.QueueCapacity == 0 {
+		t.Fatalf("stats missing jobs section: %+v", st.Jobs)
 	}
-	defer resp.Body.Close()
-	var raw map[string]json.RawMessage
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := raw["cache"]; ok {
-		t.Fatal("/stats reported cache counters with caching disabled")
-	}
-	if _, ok := raw["engine"]; !ok {
-		t.Fatal("/stats missing engine counters")
+	if st.Events == nil {
+		t.Fatal("stats missing events section")
 	}
 }
 
