@@ -46,6 +46,17 @@
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -sN localhost:8080/v1/jobs/job-1/events
 //	curl -sN 'localhost:8080/v1/events?types=model.reloaded,job.updated'
+//
+// A durable verdict store (-store-dir) persists classify and tool
+// verdicts across restarts in an append-only segment log: inserts are
+// written behind, boot replays the log so a restarted daemon serves
+// previously-seen programs warm (zero pipeline/simulator executions),
+// and named archives are managed over the admin surface:
+//
+//	mpidetectd -model ir2vec=mbi.bin -store-dir /var/lib/mpidetect
+//	curl -s -X POST localhost:8080/v1/admin/snapshot -d '{"name":"nightly"}'
+//	curl -s localhost:8080/v1/admin/snapshots
+//	curl -s -X POST localhost:8080/v1/admin/restore -d '{"name":"nightly"}'
 package main
 
 import (
@@ -62,6 +73,7 @@ import (
 
 	"mpidetect/internal/serve"
 	"mpidetect/internal/serve/rest"
+	"mpidetect/internal/store"
 )
 
 var (
@@ -79,6 +91,10 @@ var (
 	jobWorkers     = flag.Int("job-workers", 2, "async jobs running concurrently")
 	jobQueue       = flag.Int("job-queue", 16, "async jobs queued before submissions get 429")
 	jobTimeout     = flag.Duration("job-timeout", 5*time.Minute, "wall-clock budget of one async job")
+
+	storeDir      = flag.String("store-dir", "", "durable verdict store directory (empty disables persistence)")
+	storeMaxBytes = flag.Int64("store-max-bytes", 64<<20, "segment roll threshold of the durable store")
+	storeSync     = flag.Bool("store-sync", false, "fsync the durable store after every append (safest, slowest)")
 
 	models modelFlags
 )
@@ -131,12 +147,34 @@ func main() {
 		}
 	}
 
+	// Open the durable store before the engine so its replayed index
+	// backs the caches from the first request (warm boot). Models are
+	// registered above, before the engine attaches its OnReplace hooks —
+	// loading a model AFTER the store is attached deliberately dooms that
+	// model's persisted verdicts (reload semantics).
+	var st *store.Store
+	if *storeDir != "" {
+		if *cacheSize <= 0 {
+			log.Fatal("mpidetectd: -store-dir requires a verdict cache (-cache-size > 0)")
+		}
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			SegmentBytes: *storeMaxBytes, SyncEveryAppend: *storeSync})
+		if err != nil {
+			log.Fatalf("mpidetectd: opening store: %v", err)
+		}
+		stats := st.Stats()
+		fmt.Printf("durable store: %s (%d records warm, %d segments, %d bytes)\n",
+			*storeDir, stats.Records, stats.Segments, stats.TotalBytes)
+	}
+
 	eng := serve.NewEngine(reg, serve.Config{
 		Workers: *workers, MaxBatch: *maxBatch, Timeout: *timeout,
 		CacheSize: *cacheSize, CacheTTL: *cacheTTL,
 		Tools: tools, SimWorkers: *simWorkers, SimTimeout: *simTimeout,
 		MaxStreamBatch: *maxStreamBatch,
-		JobWorkers:     *jobWorkers, JobQueueDepth: *jobQueue, JobTimeout: *jobTimeout})
+		JobWorkers:     *jobWorkers, JobQueueDepth: *jobQueue, JobTimeout: *jobTimeout,
+		Store: st})
 	if *cacheSize > 0 {
 		fmt.Printf("verdict cache: %d entries, ttl %s (GET /v1/stats for live counters)\n",
 			*cacheSize, *cacheTTL)
@@ -171,6 +209,15 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("mpidetectd: %v", err)
 	}
-	<-done      // in-flight requests drained by Shutdown
-	eng.Close() // then the worker pool
+	// Shutdown ordering: stop intake (srv.Shutdown drains in-flight
+	// requests), drain the engine (job queue, worker pools, write-behind
+	// queues — Close returns only after every accepted persist reached
+	// the store), then close the store itself.
+	<-done
+	eng.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("mpidetectd: closing store: %v", err)
+		}
+	}
 }

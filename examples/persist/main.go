@@ -1,0 +1,103 @@
+// Example persist: the serve → kill → reboot-warm loop of the durable
+// verdict store. A detector is trained and served with -store-dir-style
+// persistence enabled; a workload is classified (cold: every program
+// pays the pipeline), the whole serving stack is torn down exactly like
+// a process exit, and a second "boot" against the same store directory
+// replays the workload — zero pipeline executions, every verdict
+// hydrated from the segment log. The snapshot admin surface then
+// archives the warm state, the segment files are wiped (simulating disk
+// loss of the live log but not the archive), and a restore brings the
+// third boot back to warm.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/serve"
+	"mpidetect/internal/store"
+)
+
+func main() {
+	cfg := core.DefaultIR2VecConfig()
+	cfg.Dim = 64
+	train := dataset.GenerateCorrBench(1, false)
+	fmt.Printf("training IR2Vec+DT on %s (%d codes)...\n", train.Name, len(train.Codes))
+	det, err := core.TrainIR2Vec(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "mpidetect-persist-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "store")
+
+	held := dataset.GenerateCorrBench(9, false)
+	var progs []serve.Program
+	for _, c := range held.Codes[:8] {
+		progs = append(progs, serve.Program{Name: c.Name, IR: ir.Print(irgen.MustLower(c.Prog))})
+	}
+
+	// boot stands up one "process": open the store (replaying whatever
+	// the previous life left in the segment log), mount it under a fresh
+	// engine, run the workload, report the cost, and shut down cleanly —
+	// in the daemon's ordering: engine (drains write-behind), then store.
+	boot := func(life string, preRun func(*serve.Engine)) {
+		st, err := store.Open(storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := serve.NewRegistry()
+		reg.Register("ir2vec", det) // before NewEngine: same generation every life
+		eng := serve.NewEngine(reg, serve.Config{CacheSize: 1024, Store: st})
+		if preRun != nil {
+			preRun(eng)
+		}
+		start := time.Now()
+		if _, err := eng.Classify(context.Background(), "ir2vec", progs); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start).Round(time.Microsecond)
+		stats := eng.Stats()
+		fmt.Printf("%-12s %d programs in %8v — %d pipeline execs, %d hydrations (store: %d records)\n",
+			life, len(progs), elapsed, stats.Engine.PipelineExecs,
+			stats.Cache.Hydrations, stats.Store.Log.Records)
+		if life == "first boot" {
+			if _, err := eng.SnapshotStore("example"); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("             snapshotted warm state as \"example\"")
+		}
+		eng.Close()
+		if err := st.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	boot("first boot", nil) // cold: every program pays the pipeline
+	boot("reboot", nil)     // warm: index replayed from the segment log
+
+	// Disk loss of the live log: wipe the segments, keep the archive.
+	segs, _ := filepath.Glob(filepath.Join(storeDir, "seg-*.log"))
+	for _, p := range segs {
+		if err := os.Remove(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wiped %d segment file(s); restoring from snapshot...\n", len(segs))
+	boot("restored", func(eng *serve.Engine) {
+		if _, err := eng.RestoreStore("example"); err != nil {
+			log.Fatal(err)
+		}
+	})
+}

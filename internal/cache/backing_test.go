@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memBacking is an in-memory Backing double with call counters.
+type memBacking struct {
+	mu      sync.Mutex
+	data    map[string]int
+	loads   int
+	stores  int
+	deletes int
+}
+
+func newMemBacking() *memBacking { return &memBacking{data: map[string]int{}} }
+
+func (b *memBacking) Load(key string) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	v, ok := b.data[key]
+	return v, ok
+}
+
+func (b *memBacking) Store(key string, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.data[key] = v
+}
+
+func (b *memBacking) DeletePrefix(prefix string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deletes++
+	n := 0
+	for key := range b.data {
+		if strings.HasPrefix(key, prefix) {
+			delete(b.data, key)
+			n++
+		}
+	}
+	return n
+}
+
+func (b *memBacking) get(key string) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.data[key]
+	return v, ok
+}
+
+func backedCache(t *testing.T) (*Cache[int], *memBacking) {
+	t.Helper()
+	c := New[int](Config{Capacity: 8, Shards: 1})
+	b := newMemBacking()
+	c.SetBacking(b)
+	return c, b
+}
+
+func TestBackingWriteThroughOnComplete(t *testing.T) {
+	c, b := backedCache(t)
+	v, err := c.GetOrCompute("k", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("GetOrCompute = %d, %v", v, err)
+	}
+	if got, ok := b.get("k"); !ok || got != 42 {
+		t.Fatalf("backing not written: %d, %v", got, ok)
+	}
+	// Errors never reach the backing.
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("bad", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("error not broadcast: %v", err)
+	}
+	if _, ok := b.get("bad"); ok {
+		t.Fatal("errored compute persisted")
+	}
+}
+
+func TestBackingHydratesOnMiss(t *testing.T) {
+	c, b := backedCache(t)
+	b.data["warm"] = 7
+
+	// Join path: memory miss → backing hit → served as Hit, promoted.
+	v, f, st := c.Join("warm")
+	if st != Hit || f != nil || v != 7 {
+		t.Fatalf("Join = %d, %v, %v; want hydrated Hit", v, f, st)
+	}
+	storesBefore := b.stores
+	// Second lookup is a pure memory hit — no backing traffic.
+	loadsBefore := b.loads
+	if v, ok := c.Get("warm"); !ok || v != 7 {
+		t.Fatalf("Get after hydration = %d, %v", v, ok)
+	}
+	if b.loads != loadsBefore {
+		t.Fatal("memory hit still consulted the backing")
+	}
+	if b.stores != storesBefore {
+		t.Fatal("hydration re-persisted the value")
+	}
+	st2 := c.Stats()
+	if st2.Hydrations != 1 || st2.Hits != 2 || st2.Misses != 0 {
+		t.Fatalf("stats %+v; want 1 hydration, 2 hits, 0 misses", st2)
+	}
+}
+
+func TestBackingGetFallsThrough(t *testing.T) {
+	c, b := backedCache(t)
+	b.data["disk-only"] = 11
+	if v, ok := c.Get("disk-only"); !ok || v != 11 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("nowhere"); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Hydrations != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBackingPutWritesThrough(t *testing.T) {
+	c, b := backedCache(t)
+	c.Put("p", 5)
+	if got, ok := b.get("p"); !ok || got != 5 {
+		t.Fatalf("Put not persisted: %d, %v", got, ok)
+	}
+}
+
+func TestBackingInvalidateSweepsBothTiers(t *testing.T) {
+	c, b := backedCache(t)
+	c.Put("modelA/1", 1)
+	c.Put("modelA/2", 2)
+	c.Put("modelB/1", 3)
+	if n := c.InvalidatePrefix("modelA/"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := b.get("modelA/1"); ok {
+		t.Fatal("backing kept invalidated key")
+	}
+	// Crucially: the doomed key must not hydrate back.
+	if _, ok := c.Get("modelA/1"); ok {
+		t.Fatal("invalidated key hydrated from backing")
+	}
+	if v, ok := c.Get("modelB/1"); !ok || v != 3 {
+		t.Fatal("unrelated key swept")
+	}
+}
+
+func TestBackingEvictedEntryHydratesBack(t *testing.T) {
+	c, b := backedCache(t)
+	// Capacity 8, shard 1: the 9th insert evicts the LRU tail.
+	for i := 0; i < 9; i++ {
+		c.Put(string(rune('a'+i)), i)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+	if _, ok := b.get("a"); !ok {
+		t.Fatal("evicted key lost from backing")
+	}
+	// The evicted entry is served from the durable tier, not recomputed.
+	v, err := c.GetOrCompute("a", func() (int, error) {
+		t.Fatal("recompute despite durable copy")
+		return 0, nil
+	})
+	if err != nil || v != 0 {
+		t.Fatalf("GetOrCompute = %d, %v", v, err)
+	}
+}
+
+func TestBackingMidFlightInvalidationNotPersisted(t *testing.T) {
+	c, b := backedCache(t)
+	_, f, st := c.Join("k")
+	if st != Lead {
+		t.Fatalf("state = %v, want Lead", st)
+	}
+	c.InvalidatePrefix("k")
+	c.Complete(f, 99, nil)
+	if _, ok := b.get("k"); ok {
+		t.Fatal("no-store flight persisted to backing")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("no-store flight cached")
+	}
+}
+
+func TestNoBackingUnchanged(t *testing.T) {
+	c := New[int](Config{Capacity: 4, Shards: 1})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit without backing")
+	}
+	_, f, st := c.Join("k")
+	if st != Lead {
+		t.Fatalf("state = %v", st)
+	}
+	c.Complete(f, 1, nil)
+	if v, ok := c.Get("k"); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+}

@@ -57,9 +57,21 @@ type Stats struct {
 	Evictions     int64 `json:"evictions"`
 	Expirations   int64 `json:"expirations"`
 	Invalidations int64 `json:"invalidations"`
+	Hydrations    int64 `json:"hydrations"`
 	Inflight      int64 `json:"inflight"`
 	Size          int64 `json:"size"`
 	Capacity      int64 `json:"capacity"`
+}
+
+// Backing is an optional durable tier under the in-memory cache (see
+// store.Tier). Load must be safe to call concurrently; Store must not
+// block the caller (the store tier enqueues on a bounded write-behind
+// queue and drops under pressure); DeletePrefix must be synchronous —
+// once it returns, no swept key may be loadable again.
+type Backing[V any] interface {
+	Load(key string) (V, bool)
+	Store(key string, v V)
+	DeletePrefix(prefix string) int
 }
 
 // JoinState is the outcome of Join for a key.
@@ -111,9 +123,10 @@ type shard[V any] struct {
 // Cache is a sharded LRU+TTL cache with singleflight coalescing. The
 // zero value is not usable; construct with New.
 type Cache[V any] struct {
-	cfg    Config
-	shards []*shard[V]
-	now    func() time.Time // overridable in tests
+	cfg     Config
+	shards  []*shard[V]
+	now     func() time.Time // overridable in tests
+	backing Backing[V]       // optional durable tier; nil = memory only
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -121,6 +134,7 @@ type Cache[V any] struct {
 	evictions     atomic.Int64
 	expirations   atomic.Int64
 	invalidations atomic.Int64
+	hydrations    atomic.Int64
 	inflight      atomic.Int64
 	size          atomic.Int64
 }
@@ -139,6 +153,12 @@ func New[V any](cfg Config) *Cache[V] {
 	}
 	return c
 }
+
+// SetBacking installs a durable tier under the cache: misses fall
+// through to it before computing, fresh computes and Puts are persisted
+// through it, and prefix invalidations sweep it. Install before the
+// cache takes traffic (the field is not synchronized against lookups).
+func (c *Cache[V]) SetBacking(b Backing[V]) { c.backing = b }
 
 func (c *Cache[V]) shardFor(key string) *shard[V] {
 	h := fnv.New32a()
@@ -199,12 +219,35 @@ func (c *Cache[V]) expiry() time.Time {
 	return c.now().Add(c.cfg.TTL)
 }
 
-// Get serves key if cached and fresh.
+// hydrate falls through to the backing tier on a memory miss, promoting
+// a loaded value into the LRU. The promoted value is NOT re-persisted —
+// only fresh computes and Puts write through. Caller must not hold s.mu.
+func (c *Cache[V]) hydrate(s *shard[V], key string) (V, bool) {
+	var zero V
+	if c.backing == nil {
+		return zero, false
+	}
+	v, ok := c.backing.Load(key)
+	if !ok {
+		return zero, false
+	}
+	s.mu.Lock()
+	c.storeLocked(s, key, v)
+	s.mu.Unlock()
+	c.hydrations.Add(1)
+	return v, true
+}
+
+// Get serves key if cached and fresh, falling through to the backing
+// tier on a memory miss.
 func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	v, ok := c.lookupLocked(s, key)
 	s.mu.Unlock()
+	if !ok {
+		v, ok = c.hydrate(s, key)
+	}
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -213,20 +256,53 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return v, ok
 }
 
-// Put stores key unconditionally (no coalescing bookkeeping).
+// Put stores key unconditionally (no coalescing bookkeeping) and
+// persists it through the backing tier.
 func (c *Cache[V]) Put(key string, v V) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	c.storeLocked(s, key, v)
 	s.mu.Unlock()
+	if c.backing != nil {
+		c.backing.Store(key, v)
+	}
 }
 
 // Join looks up key and, on a miss, either joins the in-flight
-// computation (Wait) or makes the caller its leader (Lead). A Lead
-// caller must call Complete on the flight on every path.
+// computation (Wait) or makes the caller its leader (Lead). A memory
+// miss falls through to the backing tier first — a hydrated value is
+// promoted into the LRU and served as a Hit, so a restarted process
+// never recomputes what the durable tier already holds. A Lead caller
+// must call Complete on the flight on every path.
 func (c *Cache[V]) Join(key string) (V, *Flight[V], JoinState) {
 	var zero V
 	s := c.shardFor(key)
+	s.mu.Lock()
+	if v, ok := c.lookupLocked(s, key); ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil, Hit
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		return zero, f, Wait
+	}
+	if c.backing == nil {
+		f := &Flight[V]{key: key, done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+		c.misses.Add(1)
+		c.inflight.Add(1)
+		return zero, f, Lead
+	}
+	s.mu.Unlock()
+	if v, ok := c.hydrate(s, key); ok {
+		c.hits.Add(1)
+		return v, nil, Hit
+	}
+	// The shard was unlocked across the backing lookup; re-check both
+	// the entry and the flight table before claiming leadership.
 	s.mu.Lock()
 	if v, ok := c.lookupLocked(s, key); ok {
 		s.mu.Unlock()
@@ -248,15 +324,23 @@ func (c *Cache[V]) Join(key string) (V, *Flight[V], JoinState) {
 
 // Complete finishes a flight obtained from Join with state Lead: the
 // value is stored (unless err is non-nil or the key was invalidated
-// mid-flight) and broadcast to every waiting follower.
+// mid-flight) and broadcast to every waiting follower. A stored value
+// is also persisted through the backing tier — never-store outcomes
+// (errors, including wall timeouts, and mid-flight invalidations) are
+// kept out of the durable tier by the same condition that keeps them
+// out of the LRU.
 func (c *Cache[V]) Complete(f *Flight[V], v V, err error) {
 	s := c.shardFor(f.key)
 	s.mu.Lock()
 	delete(s.flights, f.key)
-	if err == nil && !f.noStore {
+	stored := err == nil && !f.noStore
+	if stored {
 		c.storeLocked(s, f.key, v)
 	}
 	s.mu.Unlock()
+	if stored && c.backing != nil {
+		c.backing.Store(f.key, v)
+	}
 	f.val, f.err = v, err
 	close(f.done)
 	c.inflight.Add(-1)
@@ -303,7 +387,9 @@ func (c *Cache[V]) Prime(keys []string, compute func(key string) (V, error)) int
 // InvalidatePrefix removes every cached entry whose key starts with
 // prefix and marks matching in-flight computations no-store, so a
 // verdict computed against a model that was since replaced is broadcast
-// to its waiters but never cached. Returns the number of stored entries
+// to its waiters but never cached. The sweep extends through the
+// backing tier (synchronously — after return, no doomed key can be
+// hydrated back). Returns the number of stored in-memory entries
 // removed.
 func (c *Cache[V]) InvalidatePrefix(prefix string) int {
 	removed := 0
@@ -324,6 +410,9 @@ func (c *Cache[V]) InvalidatePrefix(prefix string) int {
 		}
 		s.mu.Unlock()
 	}
+	if c.backing != nil {
+		c.backing.DeletePrefix(prefix)
+	}
 	c.invalidations.Add(int64(removed))
 	return removed
 }
@@ -340,6 +429,7 @@ func (c *Cache[V]) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Expirations:   c.expirations.Load(),
 		Invalidations: c.invalidations.Load(),
+		Hydrations:    c.hydrations.Load(),
 		Inflight:      c.inflight.Load(),
 		Size:          c.size.Load(),
 		Capacity:      int64(c.cfg.Capacity),

@@ -37,6 +37,12 @@ const (
 	// JobUpdated fires on every async-job state transition
 	// (queued -> running -> completed/failed/canceled).
 	JobUpdated Type = "job.updated"
+	// SnapshotCreated fires when an admin snapshot of the durable
+	// verdict store lands on disk.
+	SnapshotCreated Type = "snapshot.created"
+	// StoreCompacted fires when the durable store finishes a compaction
+	// pass (automatic at segment roll, or explicit).
+	StoreCompacted Type = "store.compacted"
 )
 
 // Event is one published occurrence. Seq is a bus-wide monotonically

@@ -13,11 +13,15 @@
 //	GET  /v1/events              engine-wide event stream (SSE)
 //	GET  /v1/healthz             liveness + model count
 //	GET  /v1/models              registered models
-//	GET  /v1/stats               engine/cache/jobs/events counters
+//	GET  /v1/stats               engine/cache/jobs/events/store counters
+//	POST /v1/admin/snapshot      archive the durable verdict store
+//	GET  /v1/admin/snapshots     list snapshot archives
+//	POST /v1/admin/restore       restore the store from an archive
 //
 // The pre-versioning paths (/classify, /analyze, /healthz, /models,
 // /stats) are served as deprecated aliases: same handlers, plus a
-// "Deprecation: true" header and a Link to the successor route.
+// "Deprecation: true" header and a Link to the successor route. The
+// admin endpoints are v1-only — no unversioned aliases.
 //
 // Every error leaves through one JSON envelope,
 //
@@ -202,6 +206,9 @@ func NewHandler(reg *serve.Registry, eng *serve.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", healthz)
 	mux.HandleFunc("GET /v1/models", models)
 	mux.HandleFunc("GET /v1/stats", stats)
+	mux.HandleFunc("POST /v1/admin/snapshot", snapshotHandler(eng))
+	mux.HandleFunc("GET /v1/admin/snapshots", snapshotsHandler(eng))
+	mux.HandleFunc("POST /v1/admin/restore", restoreHandler(eng))
 
 	// Deprecated unversioned aliases: same behavior, plus deprecation
 	// headers pointing at the successor route.

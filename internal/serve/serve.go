@@ -47,6 +47,7 @@ import (
 	"mpidetect/internal/jobs"
 	"mpidetect/internal/mpisim"
 	"mpidetect/internal/passes"
+	"mpidetect/internal/store"
 	"mpidetect/internal/verify"
 )
 
@@ -140,6 +141,15 @@ func (r *Registry) getWithGen(name string) (core.Detector, uint64, bool) {
 	return d, r.gens[name], ok
 }
 
+// Generation reports the current generation of a model slot (0 when the
+// name was never registered). Snapshot restores compare persisted record
+// generations against this to drop verdicts from conflicting artifacts.
+func (r *Registry) Generation(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gens[name]
+}
+
 // Names lists the registered model names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -207,6 +217,16 @@ type Config struct {
 	// invalidations, model reloads, job transitions). Nil creates a
 	// private bus; inject one to share it across components.
 	Bus *events.Bus
+
+	// Store is the durable verdict tier: an opened segment store mounted
+	// under the classify and tool caches as write-behind backing. Nil
+	// (and nil whenever CacheSize is 0) runs memory-only. The engine
+	// drains its write-behind queues on Close but does NOT close the
+	// store — the owner that opened it does, after the engine.
+	Store *store.Store
+	// StoreQueue bounds each tier's pending write-behind persists
+	// (default 1024); beyond it persists are dropped and counted.
+	StoreQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -314,6 +334,15 @@ type Engine struct {
 	bus    *events.Bus
 	jobMgr *jobs.Manager[VerdictEvent]
 
+	// Durable tier (nil when Config.Store is nil): the shared segment
+	// store plus one typed write-behind tier per persisted cache. The
+	// compiled-program cache is deliberately NOT persisted — programs
+	// hold closures, and recompiling from a durable tool verdict is
+	// never needed to keep the warm path sim-free.
+	st           *store.Store
+	classifyTier *store.Tier[Result]
+	toolTier     *store.Tier[ToolVerdict]
+
 	requests      atomic.Int64
 	programs      atomic.Int64
 	pipelineExecs atomic.Int64
@@ -340,6 +369,15 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if e.cfg.CacheSize > 0 {
 		e.cache = cache.New[Result](cache.Config{
 			Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
+		if e.cfg.Store != nil {
+			e.st = e.cfg.Store
+			e.classifyTier = store.NewTier[Result](e.st, "classify",
+				store.TierOptions{Queue: e.cfg.StoreQueue, GenOf: classifyKeyGen})
+			e.cache.SetBacking(e.classifyTier)
+			e.st.OnCompact(func(ci store.CompactionInfo) {
+				e.bus.Publish(events.StoreCompacted, ci)
+			})
+		}
 		reg.OnReplace(func(name string) {
 			n := e.cache.InvalidatePrefix(name + keySep)
 			e.bus.Publish(events.CacheInvalidated,
@@ -359,6 +397,11 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		if e.cfg.CacheSize > 0 {
 			e.toolCache = cache.New[ToolVerdict](cache.Config{
 				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
+			if e.st != nil {
+				e.toolTier = store.NewTier[ToolVerdict](e.st, "tool",
+					store.TierOptions{Queue: e.cfg.StoreQueue})
+				e.toolCache.SetBacking(e.toolTier)
+			}
 			e.tools.OnReplace(func(name string) {
 				n := e.toolCache.InvalidatePrefix(toolPrefix(name))
 				e.bus.Publish(events.CacheInvalidated,
@@ -390,7 +433,10 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 // manager closes first (cancelling live jobs, whose per-program work
 // unwinds through the pools), then the pools drain. Every queued job is
 // still executed (workers drain the channels), so no cache flight is
-// left incomplete.
+// left incomplete. Last, the write-behind tiers drain: every persist
+// those completed jobs enqueued reaches the durable store before Close
+// returns, so a clean shutdown loses no accepted verdict. The store
+// itself stays open — its owner closes it after the engine.
 func (e *Engine) Close() {
 	e.jobMgr.Close()
 	close(e.jobs)
@@ -399,6 +445,12 @@ func (e *Engine) Close() {
 	}
 	e.wg.Wait()
 	e.simWG.Wait()
+	if e.classifyTier != nil {
+		e.classifyTier.Close()
+	}
+	if e.toolTier != nil {
+		e.toolTier.Close()
+	}
 }
 
 // Bus exposes the engine's event bus for subscribers (the transport's
@@ -656,6 +708,7 @@ type StatsSnapshot struct {
 	ProgCache *cache.Stats  `json:"prog_cache,omitempty"`
 	Jobs      *jobs.Stats   `json:"jobs,omitempty"`
 	Events    *events.Stats `json:"events,omitempty"`
+	Store     *StoreStats   `json:"store,omitempty"`
 	Models    int           `json:"models"`
 }
 
@@ -700,5 +753,8 @@ func (e *Engine) Stats() StatsSnapshot {
 	s.Jobs = &js
 	es := e.bus.Stats()
 	s.Events = &es
+	if ss, ok := e.StoreStats(); ok {
+		s.Store = &ss
+	}
 	return s
 }

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mpidetect/internal/events"
+	"mpidetect/internal/store"
+)
+
+// storedEngine builds an engine over an opened store, with the standard
+// model/tool fixtures registered BEFORE the engine attaches invalidation
+// hooks (registering after attachment dooms persisted verdicts — that is
+// the reload semantics, exercised separately below).
+func storedEngine(t *testing.T, st *store.Store, cfg Config) *Engine {
+	t.Helper()
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Tools == nil {
+		cfg.Tools = DefaultTools()
+	}
+	cfg.Store = st
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t))
+	return NewEngine(reg, cfg)
+}
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// mixedWorkload serves a classify batch and two hybrid analyze requests
+// (one clean, one deadlocking) — the ISSUE's "mixed classify/analyze
+// workload".
+func mixedWorkload(t *testing.T, eng *Engine) {
+	t.Helper()
+	ctx := context.Background()
+	progs, _ := corpusIR(t, 6)
+	if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+		t.Fatal(err)
+	}
+	for _, irText := range []string{pingpongIR(t), headToHeadIR(t)} {
+		if _, err := eng.Analyze(ctx, AnalyzeRequest{Model: "ir2vec",
+			Program: Program{IR: irText}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestartWarmStartZeroExecs is the restart-durability acceptance
+// criterion: serve a mixed workload, shut the engine down cleanly, boot
+// a fresh engine against the same store directory, replay the workload —
+// every verdict hydrates from disk, so the new process runs zero ML
+// pipeline executions and zero simulator executions.
+func TestRestartWarmStartZeroExecs(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	mixedWorkload(t, eng)
+	cold := eng.Stats()
+	if cold.Engine.PipelineExecs == 0 || cold.Analyze.SimExecs == 0 {
+		t.Fatalf("cold pass did no work: %+v", cold)
+	}
+	eng.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new store handle (index rebuilt by replaying the
+	// segments) and a brand-new engine with empty in-memory caches.
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, Config{})
+	defer eng2.Close()
+	mixedWorkload(t, eng2)
+	warm := eng2.Stats()
+	if warm.Engine.PipelineExecs != 0 {
+		t.Fatalf("replay ran %d pipeline execs, want 0", warm.Engine.PipelineExecs)
+	}
+	if warm.Analyze.SimExecs != 0 {
+		t.Fatalf("replay ran %d simulations, want 0", warm.Analyze.SimExecs)
+	}
+	if warm.Analyze.SimCompiles != 0 {
+		t.Fatalf("replay compiled %d simulator programs, want 0 (tool verdicts hydrate)", warm.Analyze.SimCompiles)
+	}
+	if warm.Cache.Hydrations == 0 || warm.ToolCache.Hydrations == 0 {
+		t.Fatalf("no hydrations recorded: cache %+v tool %+v", warm.Cache, warm.ToolCache)
+	}
+}
+
+// TestEngineCloseFlushesWriteBehind is the graceful-shutdown satellite:
+// persists enqueued by the workload must all reach the store before
+// Close returns — nothing lost, nothing still queued.
+func TestEngineCloseFlushesWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	mixedWorkload(t, eng)
+	eng.Close()
+
+	ss, ok := eng.StoreStats()
+	if !ok {
+		t.Fatal("store stats missing")
+	}
+	for _, tier := range []store.TierStats{ss.Classify, *ss.Tool} {
+		if tier.Dropped != 0 {
+			t.Fatalf("clean shutdown dropped %d persists: %+v", tier.Dropped, tier)
+		}
+		if tier.Persisted != tier.Enqueued {
+			t.Fatalf("close left %d enqueued persists unapplied: %+v",
+				tier.Enqueued-tier.Persisted, tier)
+		}
+		if tier.QueueDepth != 0 {
+			t.Fatalf("queue not drained: %+v", tier)
+		}
+	}
+	if got := int64(st.Len()); got != ss.Classify.Persisted+ss.Tool.Persisted {
+		t.Fatalf("store holds %d records, tiers persisted %d",
+			got, ss.Classify.Persisted+ss.Tool.Persisted)
+	}
+	st.Close()
+}
+
+// TestFailedRestoreLeavesStoreIntact: RestoreStore's cache sweep is
+// destructive (backing tombstones doom every persisted record), so a
+// bad or unknown snapshot name must be rejected BEFORE the sweep runs —
+// a typo'd restore against a warm tier previously wiped it.
+func TestFailedRestoreLeavesStoreIntact(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	mixedWorkload(t, eng)
+	eng.flushTiers()
+	warmRecords := st.Len()
+	if warmRecords == 0 {
+		t.Fatal("workload persisted nothing")
+	}
+
+	if _, err := eng.RestoreStore("no-such-archive"); !errors.Is(err, store.ErrUnknownSnapshot) {
+		t.Fatalf("restore of unknown archive: %v", err)
+	}
+	if _, err := eng.RestoreStore("../escape"); !errors.Is(err, store.ErrBadName) {
+		t.Fatalf("restore of bad name: %v", err)
+	}
+	if got := st.Len(); got != warmRecords {
+		t.Fatalf("failed restore mutated the store: %d records, want %d", got, warmRecords)
+	}
+	eng.Close()
+	st.Close()
+
+	// The surviving records must still serve a warm restart end to end.
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, Config{})
+	defer eng2.Close()
+	mixedWorkload(t, eng2)
+	warm := eng2.Stats()
+	if warm.Engine.PipelineExecs != 0 || warm.Analyze.SimExecs != 0 {
+		t.Fatalf("replay after failed restore recomputed: %d execs, %d sims",
+			warm.Engine.PipelineExecs, warm.Analyze.SimExecs)
+	}
+}
+
+// TestSnapshotWipeRestoreRoundTrip: snapshot the warm store, wipe the
+// segment files entirely, restore the archive — the replayed workload is
+// served exec-free from the restored state.
+func TestSnapshotWipeRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	sub := eng.Bus().Subscribe(8, events.SnapshotCreated)
+	defer sub.Close()
+	mixedWorkload(t, eng)
+
+	info, err := eng.SnapshotStore("pr7-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records == 0 {
+		t.Fatal("snapshot archived zero records")
+	}
+	select {
+	case ev := <-sub.C():
+		if ev.Type != events.SnapshotCreated {
+			t.Fatalf("event %+v, want snapshot.created", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no snapshot.created event")
+	}
+	list, err := eng.StoreSnapshots()
+	if err != nil || len(list) != 1 || list[0].Name != "pr7-test" {
+		t.Fatalf("StoreSnapshots = %+v, %v", list, err)
+	}
+	eng.Close()
+	st.Close()
+
+	// Wipe the segments; the snapshots/ subdirectory survives.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no segment files to wipe")
+	}
+	for _, p := range segs {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, Config{})
+	defer eng2.Close()
+	ri, err := eng2.RestoreStore("pr7-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Restored != info.Records || ri.Dropped != 0 {
+		t.Fatalf("restore %+v, want %d restored / 0 dropped", ri, info.Records)
+	}
+	mixedWorkload(t, eng2)
+	warm := eng2.Stats()
+	if warm.Engine.PipelineExecs != 0 || warm.Analyze.SimExecs != 0 {
+		t.Fatalf("restored state not warm: %d pipeline, %d sim execs",
+			warm.Engine.PipelineExecs, warm.Analyze.SimExecs)
+	}
+}
+
+// TestRestoreDropsConflictingGenerations: a snapshot taken before a
+// model retrain carries records pinned to the old slot generation; the
+// restore keep-filter must drop them so the retrained model recomputes.
+func TestRestoreDropsConflictingGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	defer st.Close()
+	cfg := Config{CacheSize: 256, Tools: DefaultTools(), Store: st}
+	reg := NewRegistry()
+	reg.Register("ir2vec", trained(t)) // generation 1
+	eng := NewEngine(reg, cfg)
+	defer eng.Close()
+	ctx := context.Background()
+	progs, _ := corpusIR(t, 3)
+	if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SnapshotStore("pre-retrain"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Register("ir2vec", trained(t)) // generation 2: snapshot is stale
+	ri, err := eng.RestoreStore("pre-retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Dropped == 0 {
+		t.Fatalf("restore kept stale-generation records: %+v", ri)
+	}
+	if ri.Restored != 0 {
+		t.Fatalf("restore revived %d classify records for a retrained model", ri.Restored)
+	}
+	execsBefore := eng.Stats().Engine.PipelineExecs
+	if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Engine.PipelineExecs; got == execsBefore {
+		t.Fatal("retrained model served stale restored verdicts")
+	}
+}
+
+// TestModelReplaceDoomsPersistedVerdicts is the tentpole's invalidation
+// requirement: registry OnReplace must doom the replaced model's
+// persisted entries, not just the LRU — after a reload AND a restart,
+// the old verdicts are unreachable.
+func TestModelReplaceDoomsPersistedVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	ctx := context.Background()
+	progs, _ := corpusIR(t, 3)
+	if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+		t.Fatal(err)
+	}
+	eng.reg.Register("ir2vec", trained(t)) // reload: dooms gen-1 verdicts everywhere
+	eng.Close()
+	st.Close()
+
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, Config{}) // fresh process: slot back at gen 1
+	defer eng2.Close()
+	if _, err := eng2.Classify(ctx, "ir2vec", progs); err != nil {
+		t.Fatal(err)
+	}
+	warm := eng2.Stats()
+	if warm.Engine.PipelineExecs == 0 {
+		t.Fatal("replaced model's persisted verdicts survived the reload")
+	}
+	if warm.Cache.Hydrations != 0 {
+		t.Fatalf("%d hydrations from doomed records", warm.Cache.Hydrations)
+	}
+}
+
+// TestWallTimeoutNeverHydratedFromDisk is the tool-parity satellite: a
+// wall-budget timeout verdict is never cached, so it must also never be
+// persisted — a restarted engine re-runs the simulation.
+func TestWallTimeoutNeverHydratedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	cfg := Config{SimMaxSteps: 1 << 40, SimTimeout: time.Millisecond}
+	eng := storedEngine(t, st, cfg)
+	req := AnalyzeRequest{Model: "ir2vec", Tools: []string{"must"},
+		Program: Program{IR: spinIR(t)}}
+	ctx := context.Background()
+	resp, err := eng.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, resp, "must"); v.Verdict != "timeout" {
+		t.Fatalf("verdict %+v, want wall timeout", v)
+	}
+	eng.Close()
+	st.Close()
+
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, cfg)
+	defer eng2.Close()
+	resp2, err := eng2.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, resp2, "must"); v.Cached {
+		t.Fatalf("wall-timeout verdict hydrated from disk: %+v", v)
+	}
+	if got := eng2.Stats().Analyze.SimExecs; got != 1 {
+		t.Fatalf("restarted engine ran %d sims, want 1 (timeout never persisted)", got)
+	}
+}
+
+// TestInvalidateToolSweepsDurableTier: InvalidateTool must doom the
+// tool's persisted verdicts too — after invalidate + restart, the tool
+// re-simulates.
+func TestInvalidateToolSweepsDurableTier(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	eng := storedEngine(t, st, Config{})
+	req := AnalyzeRequest{Model: "ir2vec", Tools: []string{"itac", "must"},
+		Program: Program{IR: pingpongIR(t)}}
+	ctx := context.Background()
+	if _, err := eng.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if removed := eng.InvalidateTool("must"); removed != 1 {
+		t.Fatalf("InvalidateTool removed %d, want 1", removed)
+	}
+	eng.Close()
+	st.Close()
+
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	eng2 := storedEngine(t, st2, Config{})
+	defer eng2.Close()
+	if _, err := eng2.Analyze(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.Stats().Analyze.SimExecs; got != 1 {
+		t.Fatalf("restarted engine ran %d sims, want 1 (itac hydrated, must re-run)", got)
+	}
+}
+
+// TestStoreStatsAndDisabledErrors: the /v1/stats store section appears
+// exactly when a store is configured, and the admin operations surface
+// ErrStoreDisabled without one.
+func TestStoreStatsAndDisabledErrors(t *testing.T) {
+	bare := analyzeEngine(t, Config{CacheSize: 256})
+	if s := bare.Stats(); s.Store != nil {
+		t.Fatal("store section present without a store")
+	}
+	if _, err := bare.SnapshotStore("x"); !errors.Is(err, ErrStoreDisabled) {
+		t.Fatalf("SnapshotStore: %v", err)
+	}
+	if _, err := bare.StoreSnapshots(); !errors.Is(err, ErrStoreDisabled) {
+		t.Fatalf("StoreSnapshots: %v", err)
+	}
+	if _, err := bare.RestoreStore("x"); !errors.Is(err, ErrStoreDisabled) {
+		t.Fatalf("RestoreStore: %v", err)
+	}
+
+	st := openStoreT(t, t.TempDir())
+	defer st.Close()
+	eng := storedEngine(t, st, Config{})
+	defer eng.Close()
+	mixedWorkload(t, eng)
+	s := eng.Stats()
+	if s.Store == nil {
+		t.Fatal("store section missing")
+	}
+	if s.Store.Log.Segments == 0 || s.Store.Classify.QueueCapacity == 0 || s.Store.Tool == nil {
+		t.Fatalf("store stats incomplete: %+v", s.Store)
+	}
+	if _, err := eng.SnapshotStore("../escape"); !errors.Is(err, store.ErrBadName) {
+		t.Fatalf("bad snapshot name: %v", err)
+	}
+	if _, err := eng.RestoreStore("never-made"); !errors.Is(err, store.ErrUnknownSnapshot) {
+		t.Fatalf("unknown snapshot: %v", err)
+	}
+}
+
+func TestClassifyKeyGen(t *testing.T) {
+	for _, tc := range []struct {
+		key  string
+		want uint64
+	}{
+		{cacheKey("m", 1, "abc"), 1},
+		{cacheKey("model-x", 35, "abc"), 35},
+		{cacheKey("m", 12345, "abc"), 12345},
+		{"garbage", 0},
+		{"a" + keySep + "zz", 0},
+	} {
+		if got := classifyKeyGen(tc.key); got != tc.want {
+			t.Errorf("classifyKeyGen(%q) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+}

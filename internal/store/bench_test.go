@@ -1,0 +1,72 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload approximates a gob-encoded classify verdict.
+var benchPayload = make([]byte, 256)
+
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("bench-key-%d", i), 1, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreHydrate(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 1024
+	for i := 0; i < keys; i++ {
+		if err := s.Put(fmt.Sprintf("bench-key-%d", i), 1, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := s.Get(fmt.Sprintf("bench-key-%d", i%keys)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkBootWarmStart(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 4096
+	for i := 0; i < records; i++ {
+		if err := s.Put(fmt.Sprintf("bench-key-%d", i), 1, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != records {
+			b.Fatalf("warm boot recovered %d records", r.Len())
+		}
+		r.Close()
+	}
+	b.ReportMetric(records, "records/boot")
+}

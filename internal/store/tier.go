@@ -1,0 +1,236 @@
+// Tier: the typed write-behind adapter between one in-memory cache and
+// the shared segment store. It satisfies the cache package's Backing
+// interface (Load / Store / DeletePrefix) without either package
+// importing the other.
+//
+// Writes are asynchronous: Store enqueues onto a bounded queue drained
+// by one writer goroutine, and when the queue is full the persist is
+// dropped and counted — the durable tier is an accelerator, and backing
+// up the serving path to guarantee a disk write would invert that
+// priority. Deletes and flushes ride the same queue, so they order after
+// every persist enqueued before them; DeletePrefix blocks until the
+// tombstone lands, which is what invalidation correctness needs (after
+// it returns, no swept entry can be hydrated). Close drains the queue
+// completely — a cleanly shut down server loses no accepted persist.
+//
+// Each Tier owns a key namespace inside the store ("classify", "tool"),
+// so several caches share one segment log without key collisions, and
+// payloads are gob-encoded from the cache's value type.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"sync/atomic"
+)
+
+// NamespaceSep separates the tier namespace from the cache key inside
+// store keys. NUL cannot appear in model names, tool names or hex
+// digests. Exported so store-owning layers can parse raw record keys
+// (snapshot-restore filtering).
+const NamespaceSep = "\x00"
+
+// nsSep is the internal alias.
+const nsSep = NamespaceSep
+
+// TierOptions sizes a tier; zero values take the documented defaults.
+type TierOptions struct {
+	// Queue bounds the pending write-behind persists (default 1024).
+	Queue int
+	// GenOf extracts the model generation carried on each persisted
+	// record from its cache key (nil = every record is generation 0).
+	// The serving layer parses the generation segment of its classify
+	// keys here, so snapshot restores can reject records from model
+	// generations that no longer match the live registry.
+	GenOf func(key string) uint64
+}
+
+// TierStats is a point-in-time snapshot of one tier's counters.
+type TierStats struct {
+	Enqueued      int64 `json:"enqueued"`
+	Persisted     int64 `json:"persisted"`
+	Dropped       int64 `json:"dropped"`
+	Loads         int64 `json:"loads"`
+	LoadMisses    int64 `json:"load_misses"`
+	DecodeErrors  int64 `json:"decode_errors"`
+	PersistErrors int64 `json:"persist_errors"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+}
+
+// tierOp is one queued operation: a put, a prefix delete, or (neither
+// flag) a flush barrier.
+type tierOp[V any] struct {
+	key  string
+	val  V
+	put  bool     // persist val under key
+	del  bool     // append a prefix tombstone for key
+	done chan int // delete ack / flush barrier; receives the delete count
+}
+
+// Tier adapts one typed cache to the shared store with a write-behind
+// queue. Construct with NewTier; Close when the owning engine drains.
+type Tier[V any] struct {
+	st    *Store
+	ns    string
+	genOf func(string) uint64
+
+	mu     sync.RWMutex // guards ch against send-after-close
+	closed bool
+	ch     chan tierOp[V]
+	wg     sync.WaitGroup
+
+	enqueued      atomic.Int64
+	persisted     atomic.Int64
+	dropped       atomic.Int64
+	loads         atomic.Int64
+	loadMisses    atomic.Int64
+	decodeErrors  atomic.Int64
+	persistErrors atomic.Int64
+}
+
+// NewTier builds a tier over st with its own key namespace and starts
+// its writer goroutine.
+func NewTier[V any](st *Store, namespace string, opts TierOptions) *Tier[V] {
+	if opts.Queue <= 0 {
+		opts.Queue = 1024
+	}
+	t := &Tier[V]{st: st, ns: namespace, genOf: opts.GenOf,
+		ch: make(chan tierOp[V], opts.Queue)}
+	t.wg.Add(1)
+	go t.writer()
+	return t
+}
+
+func (t *Tier[V]) storeKey(key string) string { return t.ns + nsSep + key }
+
+// Namespace reports the tier's store-key namespace.
+func (t *Tier[V]) Namespace() string { return t.ns }
+
+func (t *Tier[V]) writer() {
+	defer t.wg.Done()
+	for op := range t.ch {
+		switch {
+		case op.del:
+			n, _ := t.st.DeletePrefix(t.storeKey(op.key))
+			if op.done != nil {
+				op.done <- n
+			}
+		case op.put:
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&op.val); err != nil {
+				t.persistErrors.Add(1)
+				continue
+			}
+			gen := uint64(0)
+			if t.genOf != nil {
+				gen = t.genOf(op.key)
+			}
+			if err := t.st.Put(t.storeKey(op.key), gen, buf.Bytes()); err != nil {
+				t.persistErrors.Add(1)
+				continue
+			}
+			t.persisted.Add(1)
+		default: // flush barrier
+			if op.done != nil {
+				op.done <- 0
+			}
+		}
+	}
+}
+
+// Load hydrates key from the store. A missing, corrupt, or undecodable
+// record is a miss — the caller recomputes and the next persist
+// supersedes the bad record.
+func (t *Tier[V]) Load(key string) (V, bool) {
+	var v V
+	raw, _, ok := t.st.Get(t.storeKey(key))
+	if !ok {
+		t.loadMisses.Add(1)
+		return v, false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err != nil {
+		t.decodeErrors.Add(1)
+		return v, false
+	}
+	t.loads.Add(1)
+	return v, true
+}
+
+// Store enqueues an asynchronous persist of (key, v). Never blocks: when
+// the queue is full the persist is dropped and counted.
+func (t *Tier[V]) Store(key string, v V) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		t.dropped.Add(1)
+		return
+	}
+	select {
+	case t.ch <- tierOp[V]{key: key, val: v, put: true}:
+		t.enqueued.Add(1)
+	default:
+		t.dropped.Add(1)
+	}
+}
+
+// DeletePrefix dooms every persisted record under prefix, blocking until
+// the tombstone is durable in the log (ordered after all previously
+// enqueued persists). Returns the number of records removed.
+func (t *Tier[V]) DeletePrefix(prefix string) int {
+	done := make(chan int, 1)
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		n, _ := t.st.DeletePrefix(t.storeKey(prefix))
+		return n
+	}
+	t.ch <- tierOp[V]{key: prefix, del: true, done: done}
+	t.mu.RUnlock()
+	return <-done
+}
+
+// Flush blocks until every operation enqueued before it has been
+// applied to the store.
+func (t *Tier[V]) Flush() {
+	done := make(chan int, 1)
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return
+	}
+	t.ch <- tierOp[V]{done: done}
+	t.mu.RUnlock()
+	<-done
+}
+
+// Close drains the queue and stops the writer: every persist accepted
+// before Close is applied to the store. Idempotent; Store calls after
+// Close drop-and-count.
+func (t *Tier[V]) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.ch)
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// Stats snapshots the tier counters.
+func (t *Tier[V]) Stats() TierStats {
+	return TierStats{
+		Enqueued:      t.enqueued.Load(),
+		Persisted:     t.persisted.Load(),
+		Dropped:       t.dropped.Load(),
+		Loads:         t.loads.Load(),
+		LoadMisses:    t.loadMisses.Load(),
+		DecodeErrors:  t.decodeErrors.Load(),
+		PersistErrors: t.persistErrors.Load(),
+		QueueDepth:    len(t.ch),
+		QueueCapacity: cap(t.ch),
+	}
+}

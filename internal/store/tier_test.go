@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type verdict struct {
+	Label string
+	Score float64
+	Ranks int
+}
+
+func newTierT(t *testing.T, opts TierOptions) (*Store, *Tier[verdict]) {
+	t.Helper()
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", opts)
+	t.Cleanup(tr.Close)
+	return s, tr
+}
+
+func TestTierStoreLoadRoundTrip(t *testing.T) {
+	_, tr := newTierT(t, TierOptions{})
+	tr.Store("m\x1f1\x1fdigest", verdict{Label: "deadlock", Score: 0.93, Ranks: 4})
+	tr.Flush()
+	v, ok := tr.Load("m\x1f1\x1fdigest")
+	if !ok || v.Label != "deadlock" || v.Score != 0.93 || v.Ranks != 4 {
+		t.Fatalf("Load = %+v, %v", v, ok)
+	}
+	if _, ok := tr.Load("absent"); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := tr.Stats()
+	if st.Enqueued != 1 || st.Persisted != 1 || st.Loads != 1 || st.LoadMisses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTierNamespaceIsolation(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	a := NewTier[verdict](s, "classify", TierOptions{})
+	b := NewTier[verdict](s, "tool", TierOptions{})
+	defer a.Close()
+	defer b.Close()
+	a.Store("same-key", verdict{Label: "from-a"})
+	a.Flush()
+	if _, ok := b.Load("same-key"); ok {
+		t.Fatal("namespace leak: tier b sees tier a's key")
+	}
+	if v, ok := a.Load("same-key"); !ok || v.Label != "from-a" {
+		t.Fatal("tier a lost its own key")
+	}
+}
+
+// TestTierCloseDrainsQueue is the shutdown-ordering satellite at the
+// store level: every persist accepted before Close must be durable.
+func TestTierCloseDrainsQueue(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{Queue: 4096})
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Store(fmt.Sprintf("key-%03d", i), verdict{Ranks: i})
+	}
+	tr.Close()
+	st := tr.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("%d persists dropped with a roomy queue", st.Dropped)
+	}
+	if st.Persisted != n {
+		t.Fatalf("persisted %d of %d enqueued before Close", st.Persisted, n)
+	}
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	rt := NewTier[verdict](r, "classify", TierOptions{})
+	defer rt.Close()
+	for i := 0; i < n; i++ {
+		v, ok := rt.Load(fmt.Sprintf("key-%03d", i))
+		if !ok || v.Ranks != i {
+			t.Fatalf("key-%03d lost across clean shutdown (%+v, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestTierDropAndCountUnderPressure(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{Queue: 1})
+	// Park the writer on a blocking delete ack so the queue backs up.
+	ack := make(chan int)
+	tr.ch <- tierOp[verdict]{key: "park", del: true, done: ack}
+	for i := 0; i < 50; i++ {
+		tr.Store(fmt.Sprintf("k%d", i), verdict{})
+	}
+	st := tr.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops with a full queue")
+	}
+	if st.Enqueued+st.Dropped != 50 {
+		t.Fatalf("enqueued %d + dropped %d != 50", st.Enqueued, st.Dropped)
+	}
+	<-ack
+	tr.Close()
+	if got := tr.Stats(); got.Persisted != got.Enqueued {
+		t.Fatalf("close left %d accepted persists unapplied", got.Enqueued-got.Persisted)
+	}
+}
+
+// TestTierDeleteOrdersAfterQueuedPuts: a DeletePrefix must doom persists
+// enqueued before it — the FIFO queue may not let an older put land
+// after the tombstone and resurrect the entry.
+func TestTierDeleteOrdersAfterQueuedPuts(t *testing.T) {
+	_, tr := newTierT(t, TierOptions{Queue: 256})
+	for i := 0; i < 100; i++ {
+		tr.Store(fmt.Sprintf("modelA\x1f1\x1fd%d", i), verdict{Ranks: i})
+	}
+	if n := tr.DeletePrefix("modelA\x1f"); n != 100 {
+		t.Fatalf("DeletePrefix removed %d, want 100", n)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := tr.Load(fmt.Sprintf("modelA\x1f1\x1fd%d", i)); ok {
+			t.Fatalf("doomed key d%d resurrected", i)
+		}
+	}
+}
+
+func TestTierDeleteAfterCloseStillWorks(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{})
+	tr.Store("k", verdict{Label: "x"})
+	tr.Close()
+	if n := tr.DeletePrefix("k"); n != 1 {
+		t.Fatalf("post-close DeletePrefix = %d, want 1", n)
+	}
+	// Store after close: dropped, not panicking.
+	tr.Store("k2", verdict{})
+	if st := tr.Stats(); st.Dropped != 1 {
+		t.Fatalf("post-close Store not counted as drop: %+v", st)
+	}
+	tr.Close() // idempotent
+}
+
+func TestTierGenOfStampsRecords(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{
+		GenOf: func(key string) uint64 { return uint64(len(key)) },
+	})
+	defer tr.Close()
+	tr.Store("abc", verdict{})
+	tr.Flush()
+	_, gen, ok := s.Get("classify" + nsSep + "abc")
+	if !ok || gen != 3 {
+		t.Fatalf("gen = %d, ok=%v; want 3,true", gen, ok)
+	}
+}
+
+func TestTierConcurrentStoreLoad(t *testing.T) {
+	_, tr := newTierT(t, TierOptions{Queue: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				tr.Store(key, verdict{Ranks: i})
+				tr.Load(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Flush()
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 200; i++ {
+			if v, ok := tr.Load(fmt.Sprintf("g%d-k%d", g, i)); !ok || v.Ranks != i {
+				t.Fatalf("g%d-k%d missing after flush", g, i)
+			}
+		}
+	}
+}
