@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-diff clean
+.PHONY: ci fmt-check vet build test race chaos bench bench-diff clean
 
 # bench-diff both gates regressions and emits the fresh numbers
 # (BENCH_diff.json), so ci does not need a second full benchmark run;
 # `make bench` is the deliberate act of rebaselining BENCH_serve.json.
-ci: fmt-check vet build race bench-diff
+ci: fmt-check vet build race chaos bench-diff
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -27,6 +27,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite: every registered fault point fired against a mixed
+# classify/analyze/jobs workload under the race detector. -count 1
+# defeats test caching — chaos that doesn't run proves nothing.
+chaos:
+	$(GO) test -race -run 'Chaos' -count 1 ./internal/serve/...
 
 # One iteration of every benchmark — catches bit-rot in the bench harness
 # without paying for a full measurement run — and emits machine-readable

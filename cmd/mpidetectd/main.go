@@ -96,6 +96,9 @@ var (
 	storeMaxBytes = flag.Int64("store-max-bytes", 64<<20, "segment roll threshold of the durable store")
 	storeSync     = flag.Bool("store-sync", false, "fsync the durable store after every append (safest, slowest)")
 
+	breakerFailures = flag.Int("breaker-failures", 5, "consecutive internal failures that trip a tool or store circuit breaker")
+	breakerCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "open period before a tripped breaker probes for recovery")
+
 	models modelFlags
 )
 
@@ -174,7 +177,8 @@ func main() {
 		Tools: tools, SimWorkers: *simWorkers, SimTimeout: *simTimeout,
 		MaxStreamBatch: *maxStreamBatch,
 		JobWorkers:     *jobWorkers, JobQueueDepth: *jobQueue, JobTimeout: *jobTimeout,
-		Store: st})
+		Store:           st,
+		BreakerFailures: *breakerFailures, BreakerCooldown: *breakerCooldown})
 	if *cacheSize > 0 {
 		fmt.Printf("verdict cache: %d entries, ttl %s (GET /v1/stats for live counters)\n",
 			*cacheSize, *cacheTTL)
@@ -198,6 +202,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("shutting down...")
+		// Flip readyz to draining first: load balancers stop routing here
+		// while srv.Shutdown drains the requests already in flight.
+		eng.StartDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

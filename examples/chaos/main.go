@@ -1,0 +1,197 @@
+// Example chaos: the resilience layer end to end — trip, degrade,
+// recover — against a live serving stack. A detector is trained and
+// served with the expert-tool ensemble and a durable verdict store, then
+// the admin fault-injection API breaks things on purpose:
+//
+//  1. An armed fault at tool.must makes every MUST run an internal
+//     failure; after BreakerFailures consecutive failures the tool's
+//     circuit breaker trips and MUST drops out of the /v1/analyze
+//     ensemble with a "degraded" verdict — requests keep answering.
+//  2. An armed fault at store.append fails durable persists; the store
+//     tier's breaker flips it into read-only degraded mode while the
+//     in-memory cache keeps serving every verdict.
+//  3. GET /v1/readyz and the /v1/stats resilience section report both
+//     degradations while they last.
+//  4. Disarming the faults lets the half-open probes close the breakers:
+//     the ensemble is whole again and the store tier persists again.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/resilience"
+	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
+	"mpidetect/internal/store"
+)
+
+const cooldown = 1500 * time.Millisecond
+
+func main() {
+	// Train and serve: tools + durable store + fast breakers (production
+	// defaults are 5 failures / 30s cooldown; the demo shrinks both).
+	cfg := core.DefaultIR2VecConfig()
+	cfg.Dim = 32
+	det, err := core.TrainIR2Vec(dataset.GenerateCorrBench(1, false), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "mpidetect-chaos-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	reg := serve.NewRegistry()
+	reg.Register("ir2vec", det)
+	eng := serve.NewEngine(reg, serve.Config{
+		CacheSize: 1024, Tools: serve.DefaultTools(), Store: st,
+		BreakerFailures: 2, BreakerCooldown: cooldown,
+	})
+	defer eng.Close()
+	srv := httptest.NewServer(rest.NewHandler(reg, eng))
+	defer srv.Close()
+	fmt.Printf("serving on %s (breakers: 2 failures, %s cooldown)\n\n", srv.URL, cooldown)
+
+	held := dataset.GenerateCorrBench(9, false)
+	irOf := func(i int) string { return ir.Print(irgen.MustLower(held.Codes[i].Prog)) }
+
+	fmt.Println("== healthy baseline ==")
+	showReadyz(srv.URL)
+	analyze(srv.URL, "baseline", held.Codes[0].Name, irOf(0))
+
+	// -- Trip: break MUST with an injected internal fault. ---------------
+	fmt.Println("\n== trip: arm an internal fault at tool.must ==")
+	adminPost(srv.URL, `{"point":"tool.must","mode":"error","message":"simulated MUST crash"}`)
+	for i := 1; i <= 3; i++ {
+		analyze(srv.URL, fmt.Sprintf("fault hit %d", i), held.Codes[i].Name, irOf(i))
+	}
+	showReadyz(srv.URL)
+	showResilience(srv.URL)
+
+	// -- Degrade the store too: durable appends start failing. -----------
+	fmt.Println("\n== degrade: arm store.append — durable tier goes read-only ==")
+	adminPost(srv.URL, `{"point":"store.append","mode":"error","message":"disk failure"}`)
+	for i := 4; i <= 6; i++ {
+		analyze(srv.URL, "memory-only serving", held.Codes[i].Name, irOf(i))
+	}
+	showReadyz(srv.URL)
+	showResilience(srv.URL)
+
+	// -- Recover: disarm everything, wait out the cooldowns. -------------
+	fmt.Println("\n== recover: disarm all faults, wait for the half-open probes ==")
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/admin/faults", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	time.Sleep(cooldown + 100*time.Millisecond)
+	// The probe runs ride real traffic: one clean MUST run closes the
+	// tool breaker, one persisted verdict closes the store breaker.
+	for i := 7; i <= 8; i++ {
+		analyze(srv.URL, "probe traffic", held.Codes[i].Name, irOf(i))
+	}
+	showReadyz(srv.URL)
+	showResilience(srv.URL)
+}
+
+// analyze posts one program to /v1/analyze and prints the MUST verdict
+// plus the ensemble's degraded flag.
+func analyze(base, phase, name, irText string) {
+	body, _ := json.Marshal(serve.AnalyzeRequest{Model: "ir2vec",
+		Tools:   []string{"must", "parcoach"},
+		Program: serve.Program{Name: name, IR: irText}})
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	must := "?"
+	for _, v := range out.Tools {
+		if v.Tool == "must" {
+			must = v.Verdict
+			if v.Err != "" {
+				must += " (" + v.Err + ")"
+			}
+			if v.Reason != "" {
+				must += " (" + v.Reason + ")"
+			}
+		}
+	}
+	fmt.Printf("  [%-18s] %-28s must=%-60s ensemble degraded=%v\n",
+		phase, name, must, out.Ensemble.Degraded)
+}
+
+func adminPost(base, body string) {
+	resp, err := http.Post(base+"/v1/admin/faults", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("arming fault: status %d: %s", resp.StatusCode, b)
+	}
+	fmt.Printf("  armed: %s\n", body)
+}
+
+func showReadyz(base string) {
+	resp, err := http.Get(base + "/v1/readyz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep resilience.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  readyz (HTTP %d): %s\n", resp.StatusCode, rep.Status)
+	for _, s := range rep.Subsystems {
+		if s.Status != resilience.StatusOK {
+			fmt.Printf("    %-8s %-9s %s\n", s.Name, s.Status, s.Detail)
+		}
+	}
+}
+
+func showResilience(base string) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats serve.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	rs := stats.Resilience
+	fmt.Printf("  resilience: store_mode=%q degraded_verdicts=%d shed=%d\n",
+		rs.StoreMode, rs.DegradedVerdicts, rs.ShedRequests)
+	for _, b := range rs.Breakers {
+		fmt.Printf("    breaker %-12s %-9s trips=%d rejected=%d\n",
+			b.Tool, b.State, b.Trips, b.Rejected)
+	}
+}

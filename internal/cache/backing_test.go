@@ -14,16 +14,20 @@ type memBacking struct {
 	loads   int
 	stores  int
 	deletes int
+	loadErr error // when set, every Load fails
 }
 
 func newMemBacking() *memBacking { return &memBacking{data: map[string]int{}} }
 
-func (b *memBacking) Load(key string) (int, bool) {
+func (b *memBacking) Load(key string) (int, bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.loads++
+	if b.loadErr != nil {
+		return 0, false, b.loadErr
+	}
 	v, ok := b.data[key]
-	return v, ok
+	return v, ok, nil
 }
 
 func (b *memBacking) Store(key string, v int) {
@@ -186,6 +190,39 @@ func TestBackingMidFlightInvalidationNotPersisted(t *testing.T) {
 	}
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("no-store flight cached")
+	}
+}
+
+func TestBackingLoadErrorCountedNotHidden(t *testing.T) {
+	c, b := backedCache(t)
+	b.data["warm"] = 7
+	b.mu.Lock()
+	b.loadErr = errors.New("disk gone")
+	b.mu.Unlock()
+
+	// A failed load is a miss to the caller, but counted — never silently
+	// folded into load_misses.
+	if _, ok := c.Get("warm"); ok {
+		t.Fatal("hit through a failing backing")
+	}
+	if _, f, st := c.Join("warm"); st != Lead {
+		t.Fatalf("Join state = %v, want Lead (recompute)", st)
+	} else {
+		c.Complete(f, 7, nil)
+	}
+	st := c.Stats()
+	if st.BackingErrors != 2 {
+		t.Fatalf("backing_errors = %d, want 2", st.BackingErrors)
+	}
+
+	// Recovery: errors stop, hydration works again.
+	b.mu.Lock()
+	b.loadErr = nil
+	b.mu.Unlock()
+	c.InvalidatePrefix("warm")
+	b.data["warm"] = 8
+	if v, ok := c.Get("warm"); !ok || v != 8 {
+		t.Fatalf("Get after recovery = %d, %v", v, ok)
 	}
 }
 

@@ -49,7 +49,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats is a point-in-time snapshot of the cache counters, shaped for
-// direct JSON encoding by GET /stats.
+// direct JSON encoding by GET /stats. BackingErrors counts Load calls
+// that failed with a real error (I/O, decode, injected fault) rather
+// than a plain miss — the durable tier's health signal.
 type Stats struct {
 	Hits          int64 `json:"hits"`
 	Misses        int64 `json:"misses"`
@@ -58,18 +60,23 @@ type Stats struct {
 	Expirations   int64 `json:"expirations"`
 	Invalidations int64 `json:"invalidations"`
 	Hydrations    int64 `json:"hydrations"`
+	BackingErrors int64 `json:"backing_errors"`
 	Inflight      int64 `json:"inflight"`
 	Size          int64 `json:"size"`
 	Capacity      int64 `json:"capacity"`
 }
 
 // Backing is an optional durable tier under the in-memory cache (see
-// store.Tier). Load must be safe to call concurrently; Store must not
-// block the caller (the store tier enqueues on a bounded write-behind
-// queue and drops under pressure); DeletePrefix must be synchronous —
-// once it returns, no swept key may be loadable again.
+// store.Tier). Load must be safe to call concurrently and distinguishes
+// a plain miss (false, nil) from a failed load (false, non-nil error) —
+// the cache treats both as misses but counts errors separately and
+// reports them, so store trouble is never silently folded into the miss
+// rate. Store must not block the caller (the store tier enqueues on a
+// bounded write-behind queue and drops under pressure); DeletePrefix
+// must be synchronous — once it returns, no swept key may be loadable
+// again.
 type Backing[V any] interface {
-	Load(key string) (V, bool)
+	Load(key string) (V, bool, error)
 	Store(key string, v V)
 	DeletePrefix(prefix string) int
 }
@@ -135,6 +142,7 @@ type Cache[V any] struct {
 	expirations   atomic.Int64
 	invalidations atomic.Int64
 	hydrations    atomic.Int64
+	backingErrors atomic.Int64
 	inflight      atomic.Int64
 	size          atomic.Int64
 }
@@ -221,13 +229,20 @@ func (c *Cache[V]) expiry() time.Time {
 
 // hydrate falls through to the backing tier on a memory miss, promoting
 // a loaded value into the LRU. The promoted value is NOT re-persisted —
-// only fresh computes and Puts write through. Caller must not hold s.mu.
+// only fresh computes and Puts write through. A failed load (as opposed
+// to a plain miss) is counted in backing_errors and served as a miss, so
+// a sick durable tier degrades the cache to memory-only rather than
+// failing lookups. Caller must not hold s.mu.
 func (c *Cache[V]) hydrate(s *shard[V], key string) (V, bool) {
 	var zero V
 	if c.backing == nil {
 		return zero, false
 	}
-	v, ok := c.backing.Load(key)
+	v, ok, err := c.backing.Load(key)
+	if err != nil {
+		c.backingErrors.Add(1)
+		return zero, false
+	}
 	if !ok {
 		return zero, false
 	}
@@ -430,6 +445,7 @@ func (c *Cache[V]) Stats() Stats {
 		Expirations:   c.expirations.Load(),
 		Invalidations: c.invalidations.Load(),
 		Hydrations:    c.hydrations.Load(),
+		BackingErrors: c.backingErrors.Load(),
 		Inflight:      c.inflight.Load(),
 		Size:          c.size.Load(),
 		Capacity:      int64(c.cfg.Capacity),

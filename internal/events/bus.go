@@ -43,6 +43,13 @@ const (
 	// StoreCompacted fires when the durable store finishes a compaction
 	// pass (automatic at segment roll, or explicit).
 	StoreCompacted Type = "store.compacted"
+	// FaultRecovered fires when a pooled goroutine recovers a panic
+	// (classify worker, tool runner, job worker, tier writer) instead of
+	// crashing the process.
+	FaultRecovered Type = "fault.recovered"
+	// BreakerUpdated fires on every circuit-breaker state transition
+	// (a tool breaker tripping or closing, the store tier changing mode).
+	BreakerUpdated Type = "breaker.updated"
 )
 
 // Event is one published occurrence. Seq is a bus-wide monotonically

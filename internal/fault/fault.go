@@ -1,0 +1,207 @@
+// Package fault is the process-wide fault-injection registry of the
+// serving stack: named fault points compiled into production code paths
+// (store appends, backing loads, simulator runs, tool invocations, job
+// workers) that tests and the admin API can arm with error, panic, or
+// latency faults. It is the chaos harness the resilience layer is proven
+// against — every recovery path in serve/store/jobs exists because a
+// fault point can exercise it on demand.
+//
+// The disarmed cost is one atomic load: Inject returns immediately when
+// nothing is armed anywhere in the process, so fault points are free to
+// leave compiled into hot paths (the bench-diff gate pins this). Arming
+// is process-global and meant for tests and the admin-only
+// /v1/admin/faults surface, never for multi-tenant exposure.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the root of every error produced by an Error-mode
+// fault; recovery layers match it to tag failures as injected rather
+// than organic.
+var ErrInjected = errors.New("fault: injected")
+
+// PanicValue is what Panic-mode faults throw, so recovery sites (and
+// chaos tests) can tell an injected panic from a real bug.
+type PanicValue struct{ Point string }
+
+func (p PanicValue) String() string { return "fault: injected panic at " + p.Point }
+
+// Mode selects what an armed fault does when its point is hit.
+type Mode string
+
+const (
+	// Error: Inject returns an error wrapping ErrInjected.
+	Error Mode = "error"
+	// Panic: Inject panics with a PanicValue.
+	Panic Mode = "panic"
+	// Latency: Inject sleeps for Spec.Delay, then succeeds.
+	Latency Mode = "latency"
+)
+
+// Spec describes one armed fault.
+type Spec struct {
+	Mode    Mode          `json:"mode"`
+	Message string        `json:"message,omitempty"` // Error-mode message
+	Delay   time.Duration `json:"delay,omitempty"`   // Latency-mode sleep
+	// Count is how many hits the fault survives before auto-disarming;
+	// 0 means it stays armed until Disarm.
+	Count int `json:"count,omitempty"`
+}
+
+// PointInfo is one point's state for listing (GET /v1/admin/faults).
+type PointInfo struct {
+	Point    string `json:"point"`
+	Armed    bool   `json:"armed"`
+	Spec     *Spec  `json:"spec,omitempty"`
+	Injected int64  `json:"injected"`
+}
+
+type point struct {
+	spec      *Spec // nil = disarmed
+	remaining int   // hits left before auto-disarm; <0 = unlimited
+	injected  int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed counts the armed points; Inject's fast path reads only this.
+	armed atomic.Int32
+)
+
+// Register declares a fault point so it appears in List even while
+// disarmed. Packages register their points in init; registering an
+// existing point is a no-op. Returns the name for declaration-site use.
+func Register(name string) string {
+	mu.Lock()
+	if _, ok := points[name]; !ok {
+		points[name] = &point{}
+	}
+	mu.Unlock()
+	return name
+}
+
+// Arm installs (or replaces) a fault at the named point, registering
+// the point if needed. An invalid mode is an error.
+func Arm(name string, spec Spec) error {
+	switch spec.Mode {
+	case Error, Panic, Latency:
+	default:
+		return fmt.Errorf("fault: unknown mode %q (want error, panic or latency)", spec.Mode)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		p = &point{}
+		points[name] = p
+	}
+	if p.spec == nil {
+		armed.Add(1)
+	}
+	sp := spec
+	p.spec = &sp
+	p.remaining = -1
+	if spec.Count > 0 {
+		p.remaining = spec.Count
+	}
+	return nil
+}
+
+// Disarm removes the fault at the named point; ok reports whether one
+// was armed.
+func Disarm(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok || p.spec == nil {
+		return false
+	}
+	p.spec = nil
+	armed.Add(-1)
+	return true
+}
+
+// DisarmAll removes every armed fault, returning how many were armed.
+// Chaos tests defer it so one armed point cannot leak into later tests.
+func DisarmAll() int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, p := range points {
+		if p.spec != nil {
+			p.spec = nil
+			n++
+		}
+	}
+	armed.Add(-int32(n))
+	return n
+}
+
+// List snapshots every registered point, sorted by name.
+func List() []PointInfo {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]PointInfo, 0, len(points))
+	for name, p := range points {
+		info := PointInfo{Point: name, Armed: p.spec != nil, Injected: p.injected}
+		if p.spec != nil {
+			sp := *p.spec
+			info.Spec = &sp
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// Inject fires the fault armed at name, if any: Error mode returns an
+// error wrapping ErrInjected, Panic mode panics with a PanicValue,
+// Latency mode sleeps then returns nil. Disarmed (the production state)
+// it is a single atomic load.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return injectSlow(name)
+}
+
+func injectSlow(name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	if !ok || p.spec == nil {
+		mu.Unlock()
+		return nil
+	}
+	spec := *p.spec
+	p.injected++
+	if p.remaining > 0 {
+		p.remaining--
+		if p.remaining == 0 {
+			p.spec = nil
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+
+	switch spec.Mode {
+	case Panic:
+		panic(PanicValue{Point: name})
+	case Latency:
+		time.Sleep(spec.Delay)
+		return nil
+	default:
+		msg := spec.Message
+		if msg == "" {
+			msg = "armed fault"
+		}
+		return fmt.Errorf("%w: %s: %s", ErrInjected, name, msg)
+	}
+}

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	defer DisarmAll()
+	Register("test.disarmed")
+	if err := Inject("test.disarmed"); err != nil {
+		t.Fatalf("disarmed Inject = %v, want nil", err)
+	}
+	// Unregistered points are equally free.
+	if err := Inject("test.never-registered"); err != nil {
+		t.Fatalf("unregistered Inject = %v, want nil", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer DisarmAll()
+	pt := Register("test.error")
+	if err := Arm(pt, Spec{Mode: Error, Message: "disk on fire"}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	err := Inject(pt)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if got := err.Error(); !strings.Contains(got, "disk on fire") {
+		t.Fatalf("error %q missing armed message", got)
+	}
+	// Arming one point must not fire others.
+	Register("test.error-bystander")
+	if err := Inject("test.error-bystander"); err != nil {
+		t.Fatalf("bystander Inject = %v, want nil", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer DisarmAll()
+	pt := Register("test.panic")
+	if err := Arm(pt, Spec{Mode: Panic}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T %v, want PanicValue", r, r)
+		}
+		if pv.Point != pt {
+			t.Fatalf("PanicValue.Point = %q, want %q", pv.Point, pt)
+		}
+	}()
+	Inject(pt)
+	t.Fatal("Inject did not panic")
+}
+
+func TestLatencyMode(t *testing.T) {
+	defer DisarmAll()
+	pt := Register("test.latency")
+	if err := Arm(pt, Spec{Mode: Latency, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	start := time.Now()
+	if err := Inject(pt); err != nil {
+		t.Fatalf("latency Inject = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency Inject returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestCountAutoDisarms(t *testing.T) {
+	defer DisarmAll()
+	pt := Register("test.count")
+	if err := Arm(pt, Spec{Mode: Error, Count: 2}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject(pt); err == nil {
+			t.Fatalf("hit %d: Inject = nil, want error", i)
+		}
+	}
+	if err := Inject(pt); err != nil {
+		t.Fatalf("after count exhausted: Inject = %v, want nil", err)
+	}
+	if Disarm(pt) {
+		t.Fatal("Disarm = true after auto-disarm, want false")
+	}
+}
+
+func TestArmRejectsUnknownMode(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm("test.bad-mode", Spec{Mode: "explode"}); err == nil {
+		t.Fatal("Arm with unknown mode succeeded")
+	}
+}
+
+func TestDisarmAllAndList(t *testing.T) {
+	defer DisarmAll()
+	a, b := Register("test.list-a"), Register("test.list-b")
+	if err := Arm(a, Spec{Mode: Error}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm(b, Spec{Mode: Latency, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	Inject(a)
+
+	var sawA, sawB bool
+	for _, info := range List() {
+		switch info.Point {
+		case a:
+			sawA = true
+			if !info.Armed || info.Spec == nil || info.Spec.Mode != Error {
+				t.Fatalf("point %s listed as %+v, want armed error spec", a, info)
+			}
+			if info.Injected < 1 {
+				t.Fatalf("point %s injected = %d, want >= 1", a, info.Injected)
+			}
+		case b:
+			sawB = true
+			if !info.Armed {
+				t.Fatalf("point %s listed disarmed", b)
+			}
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("List missing registered points (sawA=%v sawB=%v)", sawA, sawB)
+	}
+
+	if n := DisarmAll(); n < 2 {
+		t.Fatalf("DisarmAll = %d, want >= 2", n)
+	}
+	for _, info := range List() {
+		if info.Armed {
+			t.Fatalf("point %s still armed after DisarmAll", info.Point)
+		}
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	defer DisarmAll()
+	pt := Register("test.idem")
+	if err := Arm(pt, Spec{Mode: Error}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering an armed point must not clear the armed spec.
+	Register(pt)
+	if err := Inject(pt); err == nil {
+		t.Fatal("Inject = nil after re-Register, want armed error")
+	}
+}

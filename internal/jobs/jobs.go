@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mpidetect/internal/fault"
 )
 
 // Sentinel errors mapped to backpressure statuses by the transport.
@@ -32,6 +34,11 @@ var (
 	// ErrClosed: the manager is shutting down and accepts no work.
 	ErrClosed = errors.New("jobs: manager closed")
 )
+
+// FaultWorker is the job-runner fault point: an armed panic here
+// exercises the worker's panic isolation (the job fails, the pool
+// survives).
+var FaultWorker = fault.Register("jobs.worker")
 
 // State is a job's lifecycle phase.
 type State string
@@ -69,6 +76,10 @@ type Config struct {
 	// every state change with the job's fresh snapshot. The serving
 	// engine publishes these to its event bus.
 	OnTransition func(Snapshot)
+	// OnPanic, when set, is invoked after a job's RunFunc panic is
+	// recovered (the job fails; the worker survives). The serving engine
+	// publishes a fault.recovered event from it.
+	OnPanic func(id string, v any)
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +115,7 @@ type Stats struct {
 	Completed     int64 `json:"completed"`
 	Failed        int64 `json:"failed"`
 	Canceled      int64 `json:"canceled"`
+	Panics        int64 `json:"panics"`
 	QueueDepth    int64 `json:"queue_depth"`
 	QueueCapacity int64 `json:"queue_capacity"`
 	Watchers      int64 `json:"watchers"`
@@ -167,6 +179,12 @@ type Manager[R any] struct {
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	watchers  atomic.Int64
+	panics    atomic.Int64
+
+	// avgRunNanos is an EWMA of finished-job wall time, feeding
+	// DrainEstimate (the dynamic Retry-After). Plain load/compute/store:
+	// a lost update under concurrency only costs one sample.
+	avgRunNanos atomic.Int64
 }
 
 // New builds a manager and starts its worker pool.
@@ -249,12 +267,8 @@ func (m *Manager[R]) runJob(j *job[R]) {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
 		defer cancel()
 	}
-	err := j.run(ctx, func(r R) {
-		j.mu.Lock()
-		j.results = append(j.results, r)
-		j.bumpLocked()
-		j.mu.Unlock()
-	})
+	err := m.runIsolated(ctx, j)
+	m.observeRun(time.Since(j.started))
 
 	j.mu.Lock()
 	m.running.Add(-1)
@@ -276,6 +290,62 @@ func (m *Manager[R]) runJob(j *job[R]) {
 	j.mu.Unlock()
 	m.transition(snap)
 	m.retire(j.id)
+}
+
+// runIsolated runs one job's RunFunc with panic isolation: a panicking
+// job (or an armed jobs.worker fault) fails that job with a structured
+// error instead of killing the worker and, with it, the whole pool.
+func (m *Manager[R]) runIsolated(ctx context.Context, j *job[R]) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			err = fmt.Errorf("jobs: worker panic: %v", r)
+			if m.cfg.OnPanic != nil {
+				m.cfg.OnPanic(j.id, r)
+			}
+		}
+	}()
+	if err := fault.Inject(FaultWorker); err != nil {
+		return err
+	}
+	return j.run(ctx, func(r R) {
+		j.mu.Lock()
+		j.results = append(j.results, r)
+		j.bumpLocked()
+		j.mu.Unlock()
+	})
+}
+
+// observeRun folds one finished job's wall time into the EWMA.
+func (m *Manager[R]) observeRun(d time.Duration) {
+	const alpha = 0.3
+	prev := m.avgRunNanos.Load()
+	if prev == 0 {
+		m.avgRunNanos.Store(int64(d))
+		return
+	}
+	m.avgRunNanos.Store(int64(alpha*float64(d) + (1-alpha)*float64(prev)))
+}
+
+// DrainEstimate predicts how long a newly rejected submission should
+// wait before retrying: the observed average job duration times the
+// backlog ahead of it, spread across the worker pool. Clamped to
+// [1s, 5m]; with no observed completions yet it answers the floor.
+func (m *Manager[R]) DrainEstimate() time.Duration {
+	const floor, ceil = time.Second, 5 * time.Minute
+	avg := time.Duration(m.avgRunNanos.Load())
+	if avg <= 0 {
+		return floor
+	}
+	backlog := m.queued.Load() + m.running.Load()
+	est := avg * time.Duration(backlog) / time.Duration(m.cfg.Workers)
+	if est < floor {
+		return floor
+	}
+	if est > ceil {
+		return ceil
+	}
+	return est
 }
 
 // retire records a terminal job and evicts the oldest finished jobs past
@@ -402,6 +472,7 @@ func (m *Manager[R]) Stats() Stats {
 		Completed:     m.completed.Load(),
 		Failed:        m.failed.Load(),
 		Canceled:      m.canceled.Load(),
+		Panics:        m.panics.Load(),
 		QueueDepth:    int64(len(m.queue)),
 		QueueCapacity: int64(m.cfg.QueueDepth),
 		Watchers:      m.watchers.Load(),

@@ -3,11 +3,33 @@ package jobs
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mpidetect/internal/fault"
 )
+
+// waitTerminal polls until the job goes terminal.
+func waitTerminal(t *testing.T, m *Manager[int], id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s", id, snap.State)
+	panic("unreachable")
+}
 
 // waitState polls until the job reaches state s or the deadline expires.
 func waitState(t *testing.T, m *Manager[int], id string, s State) Snapshot {
@@ -327,5 +349,95 @@ func TestCloseRejectsSubmitAndDrains(t *testing.T) {
 	m.Close() // idempotent
 	if _, err := m.Submit(0, func(ctx context.Context, emit func(int)) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestWorkerPanicIsolated: a panicking RunFunc fails its own job with a
+// structured error; the worker survives and runs the next job.
+func TestWorkerPanicIsolated(t *testing.T) {
+	var hookID atomic.Value
+	m := New[int](Config{Workers: 1, OnPanic: func(id string, v any) { hookID.Store(id) }})
+	defer m.Close()
+
+	snap, err := m.Submit(0, func(ctx context.Context, emit func(int)) error {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, snap.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "worker panic") ||
+		!strings.Contains(got.Error, "kaboom") {
+		t.Fatalf("panicked job = %+v; want failed with structured panic error", got)
+	}
+	if id, _ := hookID.Load().(string); id != snap.ID {
+		t.Fatalf("OnPanic hook saw %q, want %q", id, snap.ID)
+	}
+
+	// The pool is alive: the next job completes normally.
+	snap2, err := m.Submit(1, func(ctx context.Context, emit func(int)) error {
+		emit(7)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, m, snap2.ID); got.State != StateCompleted {
+		t.Fatalf("job after panic = %+v; want completed", got)
+	}
+	if st := m.Stats(); st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+}
+
+// TestWorkerFaultPoint: an armed jobs.worker fault fails jobs without
+// touching their RunFunc.
+func TestWorkerFaultPoint(t *testing.T) {
+	defer fault.DisarmAll()
+	m := New[int](Config{Workers: 1})
+	defer m.Close()
+	if err := fault.Arm(FaultWorker, fault.Spec{Mode: fault.Error, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	snap, err := m.Submit(0, func(ctx context.Context, emit func(int)) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, snap.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "injected") {
+		t.Fatalf("faulted job = %+v", got)
+	}
+	if ran {
+		t.Fatal("RunFunc ran despite injected worker fault")
+	}
+}
+
+// TestDrainEstimateTracksBacklog: with no completions the estimate is
+// the 1s floor; after observed runs it scales with queue depth.
+func TestDrainEstimateTracksBacklog(t *testing.T) {
+	m := New[int](Config{Workers: 1, QueueDepth: 8})
+	defer m.Close()
+	if got := m.DrainEstimate(); got != time.Second {
+		t.Fatalf("cold estimate = %v, want 1s floor", got)
+	}
+	snap, err := m.Submit(0, func(ctx context.Context, emit func(int)) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, snap.ID)
+	if m.avgRunNanos.Load() <= 0 {
+		t.Fatal("no run-time sample observed")
+	}
+	// Estimate stays clamped to the floor for tiny backlogs and never
+	// exceeds the 5m ceiling.
+	if got := m.DrainEstimate(); got < time.Second || got > 5*time.Minute {
+		t.Fatalf("estimate %v outside [1s, 5m]", got)
 	}
 }

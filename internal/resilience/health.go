@@ -1,0 +1,80 @@
+// Subsystem health aggregation for GET /v1/readyz: each serving layer
+// reports ok/degraded, the process-level draining flag overrides both,
+// and the report carries per-subsystem detail so an operator (or the
+// router's health-based ejection) can see *what* degraded, not just
+// that something did.
+package resilience
+
+import "sort"
+
+// Status is one subsystem's (or the whole process's) health.
+type Status string
+
+const (
+	// StatusOK: fully serving.
+	StatusOK Status = "ok"
+	// StatusDegraded: serving with reduced capability (a tripped tool
+	// breaker, a read-only durable tier) — still routable.
+	StatusDegraded Status = "degraded"
+	// StatusDraining: shutting down; load balancers should eject.
+	StatusDraining Status = "draining"
+)
+
+// rank orders statuses by severity for aggregation.
+func (s Status) rank() int {
+	switch s {
+	case StatusDraining:
+		return 2
+	case StatusDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Subsystem is one layer's health line in a readyz report.
+type Subsystem struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the GET /v1/readyz body: the worst subsystem status (or
+// draining, which overrides everything), plus the per-subsystem detail.
+type Report struct {
+	Status     Status      `json:"status"`
+	Subsystems []Subsystem `json:"subsystems"`
+}
+
+// Health accumulates subsystem statuses into a Report. It is a plain
+// builder — the serving engine constructs one per readyz call from live
+// counters rather than maintaining mutable shared state.
+type Health struct {
+	subs []Subsystem
+}
+
+// NewHealth returns an empty builder.
+func NewHealth() *Health { return &Health{} }
+
+// Set records one subsystem's status.
+func (h *Health) Set(name string, st Status, detail string) {
+	h.subs = append(h.subs, Subsystem{Name: name, Status: st, Detail: detail})
+}
+
+// Report aggregates: draining overrides, otherwise the worst subsystem
+// wins. Subsystems are sorted by name for a stable wire shape.
+func (h *Health) Report(draining bool) Report {
+	rep := Report{Status: StatusOK, Subsystems: append([]Subsystem(nil), h.subs...)}
+	sort.Slice(rep.Subsystems, func(i, j int) bool {
+		return rep.Subsystems[i].Name < rep.Subsystems[j].Name
+	})
+	for _, s := range rep.Subsystems {
+		if s.Status.rank() > rep.Status.rank() {
+			rep.Status = s.Status
+		}
+	}
+	if draining {
+		rep.Status = StatusDraining
+	}
+	return rep
+}

@@ -1,0 +1,193 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Failures: 3, Cooldown: time.Minute, Clock: clk.Now,
+		OnChange: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+
+	// Two failures, one success: the streak resets, no trip.
+	for _, ok := range []bool{false, false, true} {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.Record(ok)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after reset streak, want Closed", b.State())
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after 3 consecutive failures, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+
+	st := b.Stats()
+	if st.State != "open" || st.Trips != 1 || st.Failures != 5 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want open/1 trip/5 failures/1 rejected", st)
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", transitions)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Minute, Clock: clk.Now})
+	b.Allow()
+	b.Record(false) // trip
+
+	clk.Advance(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("breaker allowed a probe before the cooldown elapsed")
+	}
+	clk.Advance(2 * time.Second)
+
+	// Cooldown elapsed: exactly one probe at a time.
+	if !b.Allow() {
+		t.Fatal("breaker rejected the half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v during probe, want HalfOpen", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed a second concurrent probe")
+	}
+
+	// Failed probe re-opens for another full cooldown.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed a call right after a failed probe")
+	}
+
+	// Successful probe closes.
+	clk.Advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the second probe")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want Closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+	b.Record(true)
+}
+
+func TestBreakerSkipReleasesProbeSlot(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second, Clock: clk.Now})
+	b.Allow()
+	b.Record(false)
+	clk.Advance(2 * time.Second)
+
+	if !b.Allow() {
+		t.Fatal("breaker rejected the probe")
+	}
+	// The probe was canceled — inconclusive. Skip must free the slot
+	// without closing or re-opening.
+	b.Skip()
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after Skip, want HalfOpen", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("breaker rejected the next probe after Skip")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 4 failures, want Closed (default trips at 5)", b.State())
+	}
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v after 5 failures, want Open", b.State())
+	}
+}
+
+func TestHealthAggregation(t *testing.T) {
+	h := NewHealth()
+	h.Set("store", StatusOK, "")
+	h.Set("engine", StatusOK, "")
+	rep := h.Report(false)
+	if rep.Status != StatusOK {
+		t.Fatalf("status = %v, want ok", rep.Status)
+	}
+	// Sorted by name for a stable wire shape.
+	if rep.Subsystems[0].Name != "engine" || rep.Subsystems[1].Name != "store" {
+		t.Fatalf("subsystems = %+v, want sorted by name", rep.Subsystems)
+	}
+
+	h2 := NewHealth()
+	h2.Set("tools", StatusDegraded, "breaker open: must")
+	h2.Set("engine", StatusOK, "")
+	if rep := h2.Report(false); rep.Status != StatusDegraded {
+		t.Fatalf("status = %v, want degraded (worst subsystem wins)", rep.Status)
+	}
+	// Draining overrides everything, even all-ok subsystems.
+	if rep := h2.Report(true); rep.Status != StatusDraining {
+		t.Fatalf("status = %v, want draining", rep.Status)
+	}
+	if rep := NewHealth().Report(true); rep.Status != StatusDraining {
+		t.Fatalf("empty draining report = %v, want draining", rep.Status)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		Closed: "closed", Open: "open", HalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"mpidetect/internal/cache"
 	"mpidetect/internal/core"
 	"mpidetect/internal/events"
+	"mpidetect/internal/fault"
 	"mpidetect/internal/ir"
 	"mpidetect/internal/mpisim"
 	"mpidetect/internal/verify"
@@ -111,6 +112,9 @@ func DefaultTools() *ToolRegistry {
 // OnReplace hooks (the engine uses them to sweep that tool's cached
 // verdicts).
 func (tr *ToolRegistry) Register(name string, t verify.ModuleChecker, dynamic bool) {
+	// Every tool gets a named fault point ("tool.<name>") so tests and
+	// the fault admin endpoint can fail or panic exactly one tool.
+	fault.Register("tool." + name)
 	tr.mu.Lock()
 	tr.tools[name] = registeredTool{tool: t, dynamic: dynamic}
 	hooks := make([]func(string), len(tr.onReplace))
@@ -164,16 +168,21 @@ type AnalyzeRequest struct {
 }
 
 // ToolVerdict is one expert tool's outcome on the analyzed program.
-// Verdict is one of "clean", "flagged", "timeout", "canceled" or
-// "error"; only "clean" and "flagged" verdicts vote in the ensemble.
+// Verdict is one of "clean", "flagged", "timeout", "canceled",
+// "degraded" or "error"; only "clean" and "flagged" verdicts vote in
+// the ensemble. "degraded" means the tool's circuit breaker kept it out
+// of this request entirely. Internal marks error verdicts caused by the
+// tool itself (a panic, an injected fault) rather than by the analyzed
+// program — these feed the tool's breaker and are never cached.
 type ToolVerdict struct {
-	Tool    string `json:"tool"`
-	Dynamic bool   `json:"dynamic"`
-	Verdict string `json:"verdict"`
-	Flagged bool   `json:"flagged"`
-	Reason  string `json:"reason,omitempty"`
-	Cached  bool   `json:"cached,omitempty"`
-	Err     string `json:"error,omitempty"`
+	Tool     string `json:"tool"`
+	Dynamic  bool   `json:"dynamic"`
+	Verdict  string `json:"verdict"`
+	Flagged  bool   `json:"flagged"`
+	Reason   string `json:"reason,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Err      string `json:"error,omitempty"`
+	Internal bool   `json:"internal,omitempty"`
 
 	// wallTO marks a timeout caused by the wall-clock budget; it keeps
 	// the verdict out of the cache (see errWallTimeout).
@@ -192,6 +201,10 @@ type Ensemble struct {
 	Flags     int     `json:"flags"`
 	Voters    int     `json:"voters"`
 	Agreement float64 `json:"agreement"`
+	// Degraded marks an ensemble that ran without some requested tool —
+	// a breaker held it out, or it failed internally — so the verdict
+	// rests on fewer voters than the caller asked for.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // AnalyzeResponse is the POST /analyze reply.
@@ -360,6 +373,17 @@ func (e *Engine) analyzeProgram(ctx context.Context, model string, selected []se
 	resp := &AnalyzeResponse{Model: model, Name: prog.Name}
 	mlDone := make(chan error, 1)
 	go func() {
+		// Pipeline panics are already isolated inside the worker pool;
+		// this recover guards the fan-out goroutine itself, which would
+		// otherwise take down the process.
+		defer func() {
+			if r := recover(); r != nil {
+				e.classifyPanics.Add(1)
+				e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+					Subsystem: "classify", Panic: fmt.Sprint(r)})
+				mlDone <- fmt.Errorf("serve: classify panic: %v", r)
+			}
+		}()
 		res, err := e.Classify(ctx, model, []Program{prog})
 		if err == nil {
 			resp.ML = res[0]
@@ -417,8 +441,15 @@ func (e *Engine) analyzeProgram(ctx context.Context, model string, selected []se
 // leader's dead deadline is retried by each waiter on its own budget —
 // the same follower policy as Classify.
 func (e *Engine) runTool(ctx context.Context, st selectedTool, lm *lazyModule, ranks int) ToolVerdict {
+	b := e.toolBreaker(st.name)
 	if e.toolCache == nil {
-		return e.execTool(ctx, st, lm, ranks, nil)
+		if !b.Allow() {
+			e.degradedVerdicts.Add(1)
+			return degradedToolVerdict(st)
+		}
+		v := e.execTool(ctx, st, lm, ranks, nil)
+		recordToolOutcome(b, v)
+		return v
 	}
 	// Static analyses are configuration-independent: keying them with a
 	// constant config segment gives one entry per program instead of one
@@ -444,6 +475,15 @@ func (e *Engine) runTool(ctx context.Context, st selectedTool, lm *lazyModule, r
 				case errors.Is(err, errWallTimeout):
 					// Conclusive for this request window, just uncached.
 					return v
+				case errors.Is(err, errBreakerOpen):
+					// The leader was refused by the tool's open breaker; the
+					// whole coalesced group degrades with it.
+					e.degradedVerdicts.Add(1)
+					return v
+				case errors.Is(err, errToolInternal):
+					// The leader's tool failed internally (panic, injected
+					// fault): conclusive for this window, never cached.
+					return v
 				case isCancellation(err):
 					// The leader's request died; its deadline says nothing
 					// about ours — run the tool on our own budget.
@@ -456,7 +496,17 @@ func (e *Engine) runTool(ctx context.Context, st selectedTool, lm *lazyModule, r
 				return canceledToolVerdict(st)
 			}
 		case cache.Lead:
-			return e.execTool(ctx, st, lm, ranks, f)
+			// Cached verdicts above serve even while the breaker is open —
+			// only fresh executions are gated.
+			if !b.Allow() {
+				e.degradedVerdicts.Add(1)
+				v := degradedToolVerdict(st)
+				e.toolCache.Complete(f, v, errBreakerOpen)
+				return v
+			}
+			v := e.execTool(ctx, st, lm, ranks, f)
+			recordToolOutcome(b, v)
+			return v
 		}
 	}
 }
@@ -537,6 +587,12 @@ func (e *Engine) completeTool(f *cache.Flight[ToolVerdict], v ToolVerdict, ctx c
 	switch {
 	case v.Verdict == "canceled":
 		e.toolCache.Complete(f, ToolVerdict{}, ctxErr(ctx))
+	case v.Internal:
+		// Internal failures (panics, injected faults) are the tool's, not
+		// the program's: broadcast so the coalesced group shares the
+		// outcome, never cached so a recovered tool serves real verdicts
+		// and a disarmed fault stops echoing immediately.
+		e.toolCache.Complete(f, v, errToolInternal)
 	case v.wallTO:
 		e.toolCache.Complete(f, v, errWallTimeout)
 	default:
@@ -558,11 +614,28 @@ func (e *Engine) parseErrVerdict(st selectedTool, perr error, f *cache.Flight[To
 
 // invokeTool runs the tool synchronously and maps its verdict. Dynamic
 // tools that accept a pre-compiled program (prog non-nil) skip the
-// per-run compile entirely.
-func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module, prog *mpisim.Program, ranks int) ToolVerdict {
+// per-run compile entirely. The call is panic-isolated: a panicking
+// tool (or an armed panic fault) becomes an internal error verdict that
+// feeds the tool's breaker instead of killing the goroutine — for
+// dynamic tools, a pooled sim worker the whole engine shares.
+func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module, prog *mpisim.Program, ranks int) (out ToolVerdict) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.toolPanics.Add(1)
+			out = internalToolVerdict(st, fmt.Sprintf("tool panic: %v", r))
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "tool", Detail: st.name, Panic: fmt.Sprint(r)})
+		}
+	}()
 	e.toolRuns.Add(1)
+	if err := fault.Inject("tool." + st.name); err != nil {
+		return internalToolVerdict(st, err.Error())
+	}
 	var cfg mpisim.Config
 	if st.dynamic {
+		if err := fault.Inject(FaultSimRun); err != nil {
+			return internalToolVerdict(st, err.Error())
+		}
 		e.simExecs.Add(1)
 		cfg = mpisim.Config{Ranks: ranks, MaxSteps: e.cfg.SimMaxSteps,
 			WallBudget: e.cfg.SimTimeout}
@@ -573,7 +646,7 @@ func (e *Engine) invokeTool(ctx context.Context, st selectedTool, mod *ir.Module
 	} else {
 		v = st.tool.CheckModule(ctx, mod, cfg)
 	}
-	out := ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+	out = ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
 		Flagged: v.Flagged, Reason: v.Reason}
 	switch {
 	case v.Canceled:
@@ -597,6 +670,13 @@ func canceledToolVerdict(st selectedTool) ToolVerdict {
 	return ToolVerdict{Tool: st.name, Dynamic: st.dynamic, Verdict: "canceled"}
 }
 
+// internalToolVerdict reports a tool that failed for reasons internal
+// to the tool (panic, injected fault) — a breaker-feeding error verdict.
+func internalToolVerdict(st selectedTool, msg string) ToolVerdict {
+	return ToolVerdict{Tool: st.name, Dynamic: st.dynamic,
+		Verdict: "error", Err: "internal: " + msg, Internal: true}
+}
+
 // ensembleOf tallies the majority vote described on Ensemble.
 func ensembleOf(ml Result, tools []ToolVerdict) Ensemble {
 	var ens Ensemble
@@ -613,6 +693,11 @@ func ensembleOf(ml Result, tools []ToolVerdict) Ensemble {
 			ens.Flags++
 		case "clean":
 			ens.Voters++
+		case "degraded":
+			ens.Degraded = true
+		}
+		if v.Internal {
+			ens.Degraded = true
 		}
 	}
 	ens.Incorrect = ens.Flags > 0 && 2*ens.Flags >= ens.Voters

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpidetect/internal/events"
 	"mpidetect/internal/jobs"
 )
 
@@ -154,12 +155,25 @@ func (e *Engine) runBatch(ctx context.Context, req BatchRequest, selected []sele
 			defer wg.Done()
 			defer func() { <-sem }()
 			ev := VerdictEvent{Index: i, Name: p.Name}
-			resp, err := e.analyzeProgram(ctx, req.Model, selected, ranks, p)
-			if err != nil {
-				ev.Err = err.Error()
-			} else {
-				ev.ML, ev.Tools, ev.Ensemble = resp.ML, resp.Tools, resp.Ensemble
-			}
+			// Panic isolation per program: one panicking analysis becomes
+			// that program's structured error, not a dead batch (and, since
+			// this goroutine is unsupervised, not a dead process).
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						e.batchPanics.Add(1)
+						ev.Err = fmt.Sprintf("internal: batch panic: %v", r)
+						e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+							Subsystem: "batch", Detail: p.Name, Panic: fmt.Sprint(r)})
+					}
+				}()
+				resp, err := e.analyzeProgram(ctx, req.Model, selected, ranks, p)
+				if err != nil {
+					ev.Err = err.Error()
+				} else {
+					ev.ML, ev.Tools, ev.Ensemble = resp.ML, resp.Tools, resp.Ensemble
+				}
+			}()
 			emit(ev)
 		}(i, p)
 	}
@@ -186,7 +200,12 @@ func (e *Engine) SubmitJob(req BatchRequest) (jobs.Snapshot, error) {
 		return ctx.Err()
 	})
 	if errors.Is(err, jobs.ErrQueueFull) {
-		return jobs.Snapshot{}, fmt.Errorf("%w: %v", ErrJobQueueFull, err)
+		// Attach the job tier's observed drain estimate so the transport's
+		// Retry-After reflects how fast the queue actually moves.
+		return jobs.Snapshot{}, &QueueFullError{
+			RetryAfter: e.jobMgr.DrainEstimate(),
+			msg:        fmt.Sprintf("%v: %v", ErrJobQueueFull, err),
+		}
 	}
 	return snap, err
 }

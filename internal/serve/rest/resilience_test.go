@@ -1,0 +1,312 @@
+package rest
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mpidetect/internal/fault"
+	"mpidetect/internal/resilience"
+	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/servetest"
+)
+
+func doJSON(t *testing.T, method, url string, body string) *http.Response {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestReadyzEndpoint: ok and degraded map to 200 (still routable),
+// draining to 503 — the load-balancer ejection signal.
+func TestReadyzEndpoint(t *testing.T) {
+	srv, eng, _ := newServer(t, serve.Config{CacheSize: 64})
+
+	resp, err := http.Get(srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy readyz status %d, want 200", resp.StatusCode)
+	}
+	var rep resilience.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != resilience.StatusOK || len(rep.Subsystems) == 0 {
+		t.Fatalf("healthy readyz body %+v, want ok with subsystems", rep)
+	}
+
+	eng.StartDraining()
+	resp2, err := http.Get(srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d, want 503", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != resilience.StatusDraining {
+		t.Fatalf("draining readyz body %+v, want draining", rep)
+	}
+}
+
+// TestFaultsAdminSurface walks the chaos admin API: list, arm, misfire
+// on unknown points and modes, disarm one, disarm all.
+func TestFaultsAdminSurface(t *testing.T) {
+	defer fault.DisarmAll()
+	srv, _, _ := newServer(t, serve.Config{CacheSize: 64})
+	base := srv.URL + "/v1/admin/faults"
+
+	// The registry is listable, and linked-in fault points are present.
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Faults []fault.PointInfo `json:"faults"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	points := map[string]bool{}
+	for _, info := range list.Faults {
+		points[info.Point] = true
+	}
+	for _, want := range []string{"store.append", "store.open", "cache.backing.load", "jobs.worker", "sim.run"} {
+		if !points[want] {
+			t.Fatalf("fault list missing %q: have %v", want, points)
+		}
+	}
+
+	// Typos 404 instead of silently arming a point nothing hits.
+	resp = doJSON(t, http.MethodPost, base, `{"point":"store.appendd","mode":"error"}`)
+	if resp.StatusCode != http.StatusNotFound || errorCode(t, resp) != "unknown_fault_point" {
+		t.Fatalf("unknown point: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad modes 400.
+	resp = doJSON(t, http.MethodPost, base, `{"point":"store.append","mode":"explode"}`)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, resp) != "invalid_fault" {
+		t.Fatalf("invalid mode: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Arm a real point; it shows armed in the listing.
+	resp = doJSON(t, http.MethodPost, base,
+		`{"point":"store.append","mode":"error","message":"chaos","count":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arm status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	armed := false
+	for _, info := range list.Faults {
+		if info.Point == "store.append" && info.Armed {
+			armed = true
+			if info.Spec == nil || info.Spec.Mode != fault.Error || info.Spec.Count != 3 {
+				t.Fatalf("armed spec %+v, want error count=3", info.Spec)
+			}
+		}
+	}
+	if !armed {
+		t.Fatal("store.append not listed armed after POST")
+	}
+
+	// Disarm it; disarming an unknown point 404s.
+	resp = doJSON(t, http.MethodDelete, base+"/store.append", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarm status %d, want 200", resp.StatusCode)
+	}
+	var disarm struct {
+		Disarmed bool `json:"disarmed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&disarm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !disarm.Disarmed {
+		t.Fatal("disarm reported false for an armed point")
+	}
+	resp = doJSON(t, http.MethodDelete, base+"/no.such.point", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disarm unknown point: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Disarm-all sweeps whatever is armed.
+	if err := fault.Arm("store.append", fault.Spec{Mode: fault.Error}); err != nil {
+		t.Fatal(err)
+	}
+	resp = doJSON(t, http.MethodDelete, base, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarm-all status %d, want 200", resp.StatusCode)
+	}
+	var all struct {
+		Disarmed int `json:"disarmed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if all.Disarmed < 1 {
+		t.Fatalf("disarm-all swept %d, want >= 1", all.Disarmed)
+	}
+}
+
+// TestSSEHeartbeatFrames pins the heartbeat wire format: a quiet
+// /v1/events stream carries ": ping\n\n" comment frames at the
+// configured interval.
+func TestSSEHeartbeatFrames(t *testing.T) {
+	reg := serve.NewRegistry()
+	reg.Register("ir2vec", servetest.Trained(t))
+	eng := serve.NewEngine(reg, serve.Config{CacheSize: 64})
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandlerOpts(reg, eng, Options{Heartbeat: 30 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	// Nothing is published: the first frames on the wire must be
+	// heartbeat comments, exactly ": ping" + blank line.
+	r := bufio.NewReader(resp.Body)
+	for _, want := range []string{": ping\n", "\n", ": ping\n", "\n"} {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading heartbeat: %v", err)
+		}
+		if line != want {
+			t.Fatalf("SSE frame line %q, want %q", line, want)
+		}
+	}
+}
+
+// TestQueueFullRetryAfterDerived: a saturated job queue answers 429 with
+// a Retry-After derived from the drain estimate (whole seconds, >= 1) —
+// and the transport's fallback constant still guards paths without an
+// estimate.
+func TestQueueFullRetryAfterDerived(t *testing.T) {
+	tools, stall := stallRegistry()
+	srv, _, _ := newServer(t, serve.Config{CacheSize: 64, Tools: tools,
+		JobWorkers: 1, JobQueueDepth: 1})
+	defer close(stall.Gate)
+
+	body := func(name string) string {
+		b, _ := json.Marshal(serve.BatchRequest{Model: "ir2vec", Tools: []string{"stall"},
+			Programs: []serve.Program{{Name: name, IR: servetest.PingpongIR(t, name)}}})
+		return string(b)
+	}
+	// Job 1 runs (and stalls on the gate), job 2 fills the queue.
+	for i, name := range []string{"stall-run", "stall-queued"} {
+		resp := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", body(name))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, want 202", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	<-stall.Stalled()
+
+	// Queue full: 429 queue_full with an integer Retry-After >= 1.
+	resp := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", body("stall-rejected"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", ra)
+	}
+	if code := errorCode(t, resp); code != "queue_full" {
+		t.Fatalf("error code %q, want queue_full", code)
+	}
+}
+
+// TestRecoverPanicsMiddleware: a handler-level panic answers the 500
+// envelope instead of a severed connection, and http.ErrAbortHandler is
+// re-raised untouched.
+func TestRecoverPanicsMiddleware(t *testing.T) {
+	h := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "internal" || !strings.Contains(body.Error.Message, "handler bug") {
+		t.Fatalf("envelope %+v, want internal with panic detail", body.Error)
+	}
+
+	abort := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want re-raised http.ErrAbortHandler", r)
+		}
+	}()
+	abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	t.Fatal("ErrAbortHandler was swallowed")
+}
+
+// TestOverloadedMapsTo503: the engine's shed error leaves as 503
+// "overloaded" with a Retry-After carrying the predicted wait.
+func TestOverloadedMapsTo503(t *testing.T) {
+	rec := httptest.NewRecorder()
+	engineError(rec, &serve.OverloadedError{Wait: 2500 * time.Millisecond})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want 3 (2.5s rounded up)", ra)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "overloaded" {
+		t.Fatalf("code %q, want overloaded", body.Error.Code)
+	}
+}

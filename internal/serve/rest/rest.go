@@ -12,11 +12,15 @@
 //	GET  /v1/jobs/{id}/events    per-job verdict stream (SSE)
 //	GET  /v1/events              engine-wide event stream (SSE)
 //	GET  /v1/healthz             liveness + model count
+//	GET  /v1/readyz              readiness: ok/degraded/draining + detail
 //	GET  /v1/models              registered models
 //	GET  /v1/stats               engine/cache/jobs/events/store counters
 //	POST /v1/admin/snapshot      archive the durable verdict store
 //	GET  /v1/admin/snapshots     list snapshot archives
 //	POST /v1/admin/restore       restore the store from an archive
+//	GET  /v1/admin/faults        list fault-injection points
+//	POST /v1/admin/faults        arm a fault (chaos testing)
+//	DELETE /v1/admin/faults[/{point}]  disarm one point / everything
 //
 // The pre-versioning paths (/classify, /analyze, /healthz, /models,
 // /stats) are served as deprecated aliases: same handlers, plus a
@@ -34,11 +38,14 @@
 package rest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"mpidetect/internal/events"
 	"mpidetect/internal/serve"
@@ -47,9 +54,31 @@ import (
 // maxBodyBytes bounds a request body.
 const maxBodyBytes = 32 << 20
 
-// retryAfterSeconds is the Retry-After hint on 429/503 backpressure
-// responses.
+// retryAfterSeconds is the fallback Retry-After hint on 429/503
+// backpressure responses without a measured estimate; queue-full and
+// overload rejections carry one derived from observed drain rates
+// (see engineError).
 const retryAfterSeconds = 1
+
+// defaultHeartbeat is the SSE keep-alive comment interval. Proxies and
+// load balancers reap idle connections; a periodic ": ping" comment
+// frame keeps a quiet stream alive without fabricating events.
+const defaultHeartbeat = 15 * time.Second
+
+// Options tunes transport behavior; the zero value takes the documented
+// defaults.
+type Options struct {
+	// Heartbeat is the SSE keep-alive interval (default 15s; negative
+	// disables heartbeats).
+	Heartbeat time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Heartbeat == 0 {
+		o.Heartbeat = defaultHeartbeat
+	}
+	return o
+}
 
 // ClassifyRequest is the POST /v1/classify body.
 type ClassifyRequest struct {
@@ -91,9 +120,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		// Keep a measured Retry-After set by the caller; fall back to the
+		// static hint otherwise.
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		}
 	}
 	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// retrySeconds renders a duration as a whole-second Retry-After value,
+// rounding up with a 1s floor.
+func retrySeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // statusClientClosed is the de-facto (nginx) status for client-closed
@@ -120,7 +163,19 @@ func engineError(w http.ResponseWriter, err error) {
 	case errors.Is(err, serve.ErrCanceled):
 		writeError(w, statusClientClosed, "canceled", err.Error())
 	case errors.Is(err, serve.ErrJobQueueFull):
+		// The engine attaches its observed drain estimate: Retry-After
+		// tracks how fast the queue actually moves, not a constant.
+		var qf *serve.QueueFullError
+		if errors.As(err, &qf) {
+			w.Header().Set("Retry-After", fmt.Sprint(retrySeconds(qf.RetryAfter)))
+		}
 		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, serve.ErrOverloaded):
+		var ov *serve.OverloadedError
+		if errors.As(err, &ov) {
+			w.Header().Set("Retry-After", fmt.Sprint(retrySeconds(ov.Wait)))
+		}
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
@@ -145,8 +200,14 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // NewHandler wires the v1 API (plus deprecated unversioned aliases)
-// over the registry and engine.
+// over the registry and engine with default Options.
 func NewHandler(reg *serve.Registry, eng *serve.Engine) http.Handler {
+	return NewHandlerOpts(reg, eng, Options{})
+}
+
+// NewHandlerOpts is NewHandler with explicit transport options.
+func NewHandlerOpts(reg *serve.Registry, eng *serve.Engine, opts Options) http.Handler {
+	opts = opts.withDefaults()
 	mux := http.NewServeMux()
 
 	classify := func(w http.ResponseWriter, r *http.Request) {
@@ -201,14 +262,19 @@ func NewHandler(reg *serve.Registry, eng *serve.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", jobStatusHandler(eng))
 	mux.HandleFunc("GET /v1/jobs/{id}/results", jobResultsHandler(eng))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", jobCancelHandler(eng))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", jobEventsHandler(eng))
-	mux.HandleFunc("GET /v1/events", busEventsHandler(eng))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", jobEventsHandler(eng, opts.Heartbeat))
+	mux.HandleFunc("GET /v1/events", busEventsHandler(eng, opts.Heartbeat))
 	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /v1/readyz", readyzHandler(eng))
 	mux.HandleFunc("GET /v1/models", models)
 	mux.HandleFunc("GET /v1/stats", stats)
 	mux.HandleFunc("POST /v1/admin/snapshot", snapshotHandler(eng))
 	mux.HandleFunc("GET /v1/admin/snapshots", snapshotsHandler(eng))
 	mux.HandleFunc("POST /v1/admin/restore", restoreHandler(eng))
+	mux.HandleFunc("GET /v1/admin/faults", listFaultsHandler())
+	mux.HandleFunc("POST /v1/admin/faults", armFaultHandler())
+	mux.HandleFunc("DELETE /v1/admin/faults/{point}", disarmFaultHandler())
+	mux.HandleFunc("DELETE /v1/admin/faults", disarmAllFaultsHandler())
 
 	// Deprecated unversioned aliases: same behavior, plus deprecation
 	// headers pointing at the successor route.
@@ -217,7 +283,31 @@ func NewHandler(reg *serve.Registry, eng *serve.Engine) http.Handler {
 	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", healthz))
 	mux.HandleFunc("GET /models", deprecated("/v1/models", models))
 	mux.HandleFunc("GET /stats", deprecated("/v1/stats", stats))
-	return mux
+	return recoverPanics(mux)
+}
+
+// recoverPanics is the transport's last line of panic isolation: the
+// pooled goroutines all recover their own panics into structured
+// errors, so anything reaching here is a handler-level bug — answer a
+// 500 envelope (when the response hasn't started) instead of letting
+// net/http sever the connection with no body. http.ErrAbortHandler is
+// re-raised: it is the sanctioned way to abort a response.
+func recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				// Best-effort: if headers are already out this write is a
+				// no-op on the status and the connection still dies, which
+				// is the most net/http allows mid-stream.
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("panic: %v", rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // deprecated wraps a handler with the RFC 9745 Deprecation header and a
@@ -355,10 +445,26 @@ func (s *sseWriter) send(event string, data any) error {
 	return nil
 }
 
+// ping writes one SSE comment frame (": ping") — invisible to
+// EventSource consumers, but traffic enough to keep idle-connection
+// reapers (proxies, LBs) from severing a quiet stream.
+func (s *sseWriter) ping() error {
+	if _, err := fmt.Fprint(s.w, ": ping\n\n"); err != nil {
+		return err
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return nil
+}
+
 // jobEventsHandler streams one job's verdicts as SSE "verdict" events
 // (replaying from the start), closing with a terminal "done" event
-// carrying the job's final snapshot.
-func jobEventsHandler(eng *serve.Engine) http.HandlerFunc {
+// carrying the job's final snapshot. A slow job's quiet stretches are
+// bridged with ": ping" heartbeats: each FollowJob wait is bounded by
+// the heartbeat interval, and an expired wait pings instead of parking
+// the connection silently until some proxy reaps it.
+func jobEventsHandler(eng *serve.Engine, heartbeat time.Duration) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if _, ok := eng.Job(id); !ok {
@@ -368,9 +474,24 @@ func jobEventsHandler(eng *serve.Engine) http.HandlerFunc {
 		sse := newSSE(w)
 		cursor := 0
 		for {
-			results, snap, ok := eng.FollowJob(r.Context(), id, cursor)
+			followCtx, cancel := r.Context(), context.CancelFunc(func() {})
+			if heartbeat > 0 {
+				followCtx, cancel = context.WithTimeout(r.Context(), heartbeat)
+			}
+			results, snap, ok := eng.FollowJob(followCtx, id, cursor)
+			cancel()
 			if !ok {
-				return // client gone or job evicted
+				if r.Context().Err() != nil {
+					return // client gone
+				}
+				if _, live := eng.Job(id); !live {
+					return // job evicted mid-stream
+				}
+				// Heartbeat wait expired with nothing new: ping and re-park.
+				if err := sse.ping(); err != nil {
+					return
+				}
+				continue
 			}
 			for _, ev := range results {
 				if err := sse.send("verdict", ev); err != nil {
@@ -389,8 +510,9 @@ func jobEventsHandler(eng *serve.Engine) http.HandlerFunc {
 // busEventsHandler streams the engine's event bus as SSE, one frame per
 // event with the bus type as the SSE event name. The optional ?types=
 // query (comma-separated) filters event types. A slow client's events
-// are dropped, never buffered unboundedly (the bus contract).
-func busEventsHandler(eng *serve.Engine) http.HandlerFunc {
+// are dropped, never buffered unboundedly (the bus contract); quiet
+// stretches carry ": ping" heartbeat comments.
+func busEventsHandler(eng *serve.Engine, heartbeat time.Duration) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var types []events.Type
 		if q := r.URL.Query().Get("types"); q != "" {
@@ -403,10 +525,20 @@ func busEventsHandler(eng *serve.Engine) http.HandlerFunc {
 		sub := eng.Bus().Subscribe(events.DefaultBuffer, types...)
 		defer sub.Close()
 		sse := newSSE(w)
+		var beat <-chan time.Time
+		if heartbeat > 0 {
+			t := time.NewTicker(heartbeat)
+			defer t.Stop()
+			beat = t.C
+		}
 		for {
 			select {
 			case ev := <-sub.C():
 				if err := sse.send(string(ev.Type), ev); err != nil {
+					return
+				}
+			case <-beat:
+				if err := sse.ping(); err != nil {
 					return
 				}
 			case <-r.Context().Done():

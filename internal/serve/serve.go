@@ -47,6 +47,7 @@ import (
 	"mpidetect/internal/jobs"
 	"mpidetect/internal/mpisim"
 	"mpidetect/internal/passes"
+	"mpidetect/internal/resilience"
 	"mpidetect/internal/store"
 	"mpidetect/internal/verify"
 )
@@ -227,6 +228,13 @@ type Config struct {
 	// StoreQueue bounds each tier's pending write-behind persists
 	// (default 1024); beyond it persists are dropped and counted.
 	StoreQueue int
+
+	// BreakerFailures is the consecutive internal-failure count that
+	// trips a tool or store-tier circuit breaker (default 5);
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// recovery probe (default 30s). See internal/serve/resilience.go.
+	BreakerFailures int
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +276,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Bus == nil {
 		c.Bus = events.NewBus()
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
 	}
 	return c
 }
@@ -356,6 +370,20 @@ type Engine struct {
 
 	batchRequests atomic.Int64
 	batchPrograms atomic.Int64
+
+	// Resilience tier (see resilience.go): lazily-created per-tool
+	// circuit breakers, the process draining flag, panic counters per
+	// pooled subsystem, and the queue-wait EWMA behind admission control.
+	breakerMu sync.Mutex
+	breakers  map[string]*resilience.Breaker
+	draining  atomic.Bool
+
+	classifyPanics   atomic.Int64
+	toolPanics       atomic.Int64
+	batchPanics      atomic.Int64
+	shedRequests     atomic.Int64
+	degradedVerdicts atomic.Int64
+	avgExecNanos     atomic.Int64
 }
 
 // NewEngine starts the worker pool over the registry. When cfg.CacheSize
@@ -366,13 +394,27 @@ type Engine struct {
 func NewEngine(reg *Registry, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), reg: reg}
 	e.bus = e.cfg.Bus
+	e.breakers = map[string]*resilience.Breaker{}
+	// tierOpts threads the breaker sizing into each write-behind tier and
+	// surfaces its degraded-mode changes on the bus.
+	tierOpts := func(ns string, genOf func(string) uint64) store.TierOptions {
+		return store.TierOptions{
+			Queue: e.cfg.StoreQueue, GenOf: genOf,
+			BreakerFailures: e.cfg.BreakerFailures,
+			BreakerCooldown: e.cfg.BreakerCooldown,
+			OnModeChange: func(mode string) {
+				e.bus.Publish(events.BreakerUpdated,
+					BreakerUpdatedData{Scope: "store", Name: ns, To: mode})
+			},
+		}
+	}
 	if e.cfg.CacheSize > 0 {
 		e.cache = cache.New[Result](cache.Config{
 			Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
 		if e.cfg.Store != nil {
 			e.st = e.cfg.Store
 			e.classifyTier = store.NewTier[Result](e.st, "classify",
-				store.TierOptions{Queue: e.cfg.StoreQueue, GenOf: classifyKeyGen})
+				tierOpts("classify", classifyKeyGen))
 			e.cache.SetBacking(e.classifyTier)
 			e.st.OnCompact(func(ci store.CompactionInfo) {
 				e.bus.Publish(events.StoreCompacted, ci)
@@ -399,7 +441,7 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 				Capacity: e.cfg.CacheSize, TTL: e.cfg.CacheTTL})
 			if e.st != nil {
 				e.toolTier = store.NewTier[ToolVerdict](e.st, "tool",
-					store.TierOptions{Queue: e.cfg.StoreQueue})
+					tierOpts("tool", nil))
 				e.toolCache.SetBacking(e.toolTier)
 			}
 			e.tools.OnReplace(func(name string) {
@@ -423,6 +465,10 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		Timeout:     e.cfg.JobTimeout,
 		OnTransition: func(s jobs.Snapshot) {
 			e.bus.Publish(events.JobUpdated, s)
+		},
+		OnPanic: func(id string, v any) {
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "jobs", Detail: id, Panic: fmt.Sprint(v)})
 		},
 	})
 	return e
@@ -490,16 +536,35 @@ func (e *Engine) worker() {
 			e.finish(j, Result{Err: "canceled: " + err.Error()}, err)
 			continue
 		}
-		e.pipelineExecs.Add(1)
-		passes.Optimize(j.mod, j.det.Opt())
-		v, err := j.det.CheckModule(j.mod)
-		if err != nil {
-			e.finish(j, Result{Err: err.Error()}, err)
-			continue
-		}
-		e.finish(j, Result{Incorrect: v.Incorrect,
-			Label: v.Label.String(), Confidence: v.Confidence}, nil)
+		start := time.Now()
+		res, err := e.runPipeline(j)
+		e.observeExec(time.Since(start))
+		e.finish(j, res, err)
 	}
+}
+
+// runPipeline executes the optimise+classify pipeline for one job with
+// panic isolation: a panicking detector fails its own request with a
+// structured internal error (broadcast to coalesced followers, never
+// cached) instead of killing a pool worker and, eventually, the daemon.
+func (e *Engine) runPipeline(j job) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.classifyPanics.Add(1)
+			err = fmt.Errorf("serve: classify panic: %v", r)
+			res = Result{Err: "internal: classify panic: " + fmt.Sprint(r)}
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "classify", Panic: fmt.Sprint(r)})
+		}
+	}()
+	e.pipelineExecs.Add(1)
+	passes.Optimize(j.mod, j.det.Opt())
+	v, err := j.det.CheckModule(j.mod)
+	if err != nil {
+		return Result{Err: err.Error()}, err
+	}
+	return Result{Incorrect: v.Incorrect,
+		Label: v.Label.String(), Confidence: v.Confidence}, nil
 }
 
 // flightWait is one batch item parked on another request's (or an earlier
@@ -529,6 +594,12 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 	// deadline of its own.
 	ctx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
 	defer cancel()
+	// Admission control: shed now if the queue's observed drain rate says
+	// this request would expire while parked behind it.
+	dl, hasDL := ctx.Deadline()
+	if err := e.admit(dl, hasDL); err != nil {
+		return nil, err
+	}
 	e.requests.Add(1)
 	e.programs.Add(int64(len(progs)))
 
@@ -701,15 +772,16 @@ type AnalyzeStats struct {
 // enabled, the verdict-cache, hybrid-analysis, and tool-cache counters,
 // the async-job tier, and the event bus.
 type StatsSnapshot struct {
-	Engine    EngineStats   `json:"engine"`
-	Cache     *cache.Stats  `json:"cache,omitempty"`
-	Analyze   *AnalyzeStats `json:"analyze,omitempty"`
-	ToolCache *cache.Stats  `json:"tool_cache,omitempty"`
-	ProgCache *cache.Stats  `json:"prog_cache,omitempty"`
-	Jobs      *jobs.Stats   `json:"jobs,omitempty"`
-	Events    *events.Stats `json:"events,omitempty"`
-	Store     *StoreStats   `json:"store,omitempty"`
-	Models    int           `json:"models"`
+	Engine     EngineStats      `json:"engine"`
+	Cache      *cache.Stats     `json:"cache,omitempty"`
+	Analyze    *AnalyzeStats    `json:"analyze,omitempty"`
+	ToolCache  *cache.Stats     `json:"tool_cache,omitempty"`
+	ProgCache  *cache.Stats     `json:"prog_cache,omitempty"`
+	Jobs       *jobs.Stats      `json:"jobs,omitempty"`
+	Events     *events.Stats    `json:"events,omitempty"`
+	Store      *StoreStats      `json:"store,omitempty"`
+	Resilience *ResilienceStats `json:"resilience"`
+	Models     int              `json:"models"`
 }
 
 // Stats snapshots the engine (and cache) counters.
@@ -756,5 +828,7 @@ func (e *Engine) Stats() StatsSnapshot {
 	if ss, ok := e.StoreStats(); ok {
 		s.Store = &ss
 	}
+	rs := e.resilienceStats()
+	s.Resilience = &rs
 	return s
 }

@@ -36,6 +36,17 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"mpidetect/internal/fault"
+)
+
+// Fault points of the segment log, armable by tests and the admin API
+// (disarmed they cost one atomic load). FaultAppend fails Put the way a
+// full or failing disk would; FaultOpen fails Open the way a missing or
+// unreadable directory would.
+var (
+	FaultAppend = fault.Register("store.append")
+	FaultOpen   = fault.Register("store.open")
 )
 
 // Segment file layout: an 8-byte magic header followed by records.
@@ -164,6 +175,9 @@ type Store struct {
 // crash mid-append is truncated away; every record before it is
 // recovered.
 func Open(dir string, opts Options) (*Store, error) {
+	if err := fault.Inject(FaultOpen); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
 	s := &Store{dir: dir, opts: opts.withDefaults(), index: map[string]recLoc{}, nextID: 1}
 	if err := os.MkdirAll(s.snapDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
@@ -390,6 +404,9 @@ func (s *Store) appendLocked(rec []byte) (*segment, int64, error) {
 
 // Put appends (or supersedes) key with the given payload and generation.
 func (s *Store) Put(key string, gen uint64, val []byte) error {
+	if err := fault.Inject(FaultAppend); err != nil {
+		return fmt.Errorf("store: appending: %w", err)
+	}
 	rec := appendRecord(nil, key, val, gen, kindPut)
 	s.mu.Lock()
 	defer s.mu.Unlock()

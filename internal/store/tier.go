@@ -13,6 +13,17 @@
 // it returns, no swept entry can be hydrated). Close drains the queue
 // completely — a cleanly shut down server loses no accepted persist.
 //
+// Degraded modes: two circuit breakers guard the store I/O. Consecutive
+// append failures (disk full, injected store.append faults) trip the
+// persist breaker and flip the tier "read-only" — persists are dropped
+// and counted while loads keep serving — with a half-open probe per
+// cooldown to detect recovery. Consecutive load failures (corrupt
+// records, injected cache.backing.load faults) trip the load breaker and
+// flip the tier "disabled": loads answer miss without touching the disk,
+// so the in-memory LRU keeps serving alone. Both recover automatically
+// when a probe succeeds; Mode reports ok / read-only / disabled, and the
+// writer goroutine recovers panics rather than taking down the daemon.
+//
 // Each Tier owns a key namespace inside the store ("classify", "tool"),
 // so several caches share one segment log without key collisions, and
 // payloads are gob-encoded from the cache's value type.
@@ -23,7 +34,16 @@ import (
 	"encoding/gob"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mpidetect/internal/fault"
+	"mpidetect/internal/resilience"
 )
+
+// FaultBackingLoad is the tier's load-path fault point: an armed fault
+// fails Load the way a corrupt or unreadable record would, which is also
+// how tests trip the load breaker into the "disabled" mode.
+var FaultBackingLoad = fault.Register("cache.backing.load")
 
 // NamespaceSep separates the tier namespace from the cache key inside
 // store keys. NUL cannot appear in model names, tool names or hex
@@ -44,19 +64,36 @@ type TierOptions struct {
 	// keys here, so snapshot restores can reject records from model
 	// generations that no longer match the live registry.
 	GenOf func(key string) uint64
+	// BreakerFailures is the consecutive store-I/O failure count that
+	// trips a tier breaker (default 3); BreakerCooldown is the open
+	// period before a recovery probe (default 15s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// OnModeChange, when set, is invoked (off the breaker locks) every
+	// time the tier's degraded mode changes; the serving engine publishes
+	// it on the event bus and folds it into readyz.
+	OnModeChange func(mode string)
 }
 
-// TierStats is a point-in-time snapshot of one tier's counters.
+// TierStats is a point-in-time snapshot of one tier's counters. Mode is
+// the degraded-mode state ("ok", "read-only", "disabled");
+// DegradedDrops counts persists discarded while read-only, LoadErrors
+// counts failed (not missing) loads, and Panics counts writer-goroutine
+// panics recovered without crashing.
 type TierStats struct {
-	Enqueued      int64 `json:"enqueued"`
-	Persisted     int64 `json:"persisted"`
-	Dropped       int64 `json:"dropped"`
-	Loads         int64 `json:"loads"`
-	LoadMisses    int64 `json:"load_misses"`
-	DecodeErrors  int64 `json:"decode_errors"`
-	PersistErrors int64 `json:"persist_errors"`
-	QueueDepth    int   `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
+	Mode          string `json:"mode"`
+	Enqueued      int64  `json:"enqueued"`
+	Persisted     int64  `json:"persisted"`
+	Dropped       int64  `json:"dropped"`
+	DegradedDrops int64  `json:"degraded_drops"`
+	Loads         int64  `json:"loads"`
+	LoadMisses    int64  `json:"load_misses"`
+	LoadErrors    int64  `json:"load_errors"`
+	DecodeErrors  int64  `json:"decode_errors"`
+	PersistErrors int64  `json:"persist_errors"`
+	Panics        int64  `json:"panics"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
 }
 
 // tierOp is one queued operation: a put, a prefix delete, or (neither
@@ -76,6 +113,12 @@ type Tier[V any] struct {
 	ns    string
 	genOf func(string) uint64
 
+	// persistB guards the append path (tripped = read-only); loadB
+	// guards the hydrate path (tripped = disabled).
+	persistB *resilience.Breaker
+	loadB    *resilience.Breaker
+	onMode   func(string)
+
 	mu     sync.RWMutex // guards ch against send-after-close
 	closed bool
 	ch     chan tierOp[V]
@@ -84,10 +127,13 @@ type Tier[V any] struct {
 	enqueued      atomic.Int64
 	persisted     atomic.Int64
 	dropped       atomic.Int64
+	degradedDrops atomic.Int64
 	loads         atomic.Int64
 	loadMisses    atomic.Int64
+	loadErrors    atomic.Int64
 	decodeErrors  atomic.Int64
 	persistErrors atomic.Int64
+	panics        atomic.Int64
 }
 
 // NewTier builds a tier over st with its own key namespace and starts
@@ -96,8 +142,20 @@ func NewTier[V any](st *Store, namespace string, opts TierOptions) *Tier[V] {
 	if opts.Queue <= 0 {
 		opts.Queue = 1024
 	}
-	t := &Tier[V]{st: st, ns: namespace, genOf: opts.GenOf,
+	if opts.BreakerFailures <= 0 {
+		opts.BreakerFailures = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 15 * time.Second
+	}
+	t := &Tier[V]{st: st, ns: namespace, genOf: opts.GenOf, onMode: opts.OnModeChange,
 		ch: make(chan tierOp[V], opts.Queue)}
+	bcfg := resilience.BreakerConfig{
+		Failures: opts.BreakerFailures, Cooldown: opts.BreakerCooldown,
+		OnChange: func(_, _ resilience.BreakerState) { t.modeChanged() },
+	}
+	t.persistB = resilience.NewBreaker(bcfg)
+	t.loadB = resilience.NewBreaker(bcfg)
 	t.wg.Add(1)
 	go t.writer()
 	return t
@@ -108,54 +166,120 @@ func (t *Tier[V]) storeKey(key string) string { return t.ns + nsSep + key }
 // Namespace reports the tier's store-key namespace.
 func (t *Tier[V]) Namespace() string { return t.ns }
 
+// Mode reports the tier's degraded-mode state: "ok" (both breakers
+// closed), "read-only" (append breaker tripped: loads serve, persists
+// drop), or "disabled" (load breaker tripped: the in-memory LRU serves
+// alone).
+func (t *Tier[V]) Mode() string {
+	if t.loadB.State() != resilience.Closed {
+		return "disabled"
+	}
+	if t.persistB.State() != resilience.Closed {
+		return "read-only"
+	}
+	return "ok"
+}
+
+func (t *Tier[V]) modeChanged() {
+	if t.onMode != nil {
+		t.onMode(t.Mode())
+	}
+}
+
 func (t *Tier[V]) writer() {
 	defer t.wg.Done()
 	for op := range t.ch {
-		switch {
-		case op.del:
-			n, _ := t.st.DeletePrefix(t.storeKey(op.key))
-			if op.done != nil {
-				op.done <- n
-			}
-		case op.put:
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(&op.val); err != nil {
-				t.persistErrors.Add(1)
-				continue
-			}
-			gen := uint64(0)
-			if t.genOf != nil {
-				gen = t.genOf(op.key)
-			}
-			if err := t.st.Put(t.storeKey(op.key), gen, buf.Bytes()); err != nil {
-				t.persistErrors.Add(1)
-				continue
-			}
-			t.persisted.Add(1)
-		default: // flush barrier
+		t.apply(op)
+	}
+}
+
+// apply runs one queued operation, recovering panics (a panicking gob
+// encoder or injected fault must not kill the drainer and wedge every
+// DeletePrefix/Flush behind it). The done sends are the last statements
+// of their branches, so a recovered panic can never have half-acked.
+func (t *Tier[V]) apply(op tierOp[V]) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics.Add(1)
 			if op.done != nil {
 				op.done <- 0
 			}
 		}
+	}()
+	switch {
+	case op.del:
+		n, _ := t.st.DeletePrefix(t.storeKey(op.key))
+		if op.done != nil {
+			op.done <- n
+		}
+	case op.put:
+		t.persist(op)
+	default: // flush barrier
+		if op.done != nil {
+			op.done <- 0
+		}
 	}
 }
 
-// Load hydrates key from the store. A missing, corrupt, or undecodable
-// record is a miss — the caller recomputes and the next persist
-// supersedes the bad record.
-func (t *Tier[V]) Load(key string) (V, bool) {
+// persist writes one queued put, recording the outcome on the persist
+// breaker: while it is open the put is dropped and counted (read-only
+// mode), and per cooldown one put probes the store for recovery.
+func (t *Tier[V]) persist(op tierOp[V]) {
+	if !t.persistB.Allow() {
+		t.degradedDrops.Add(1)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&op.val); err != nil {
+		// An unencodable value is a caller bug, not store health: it says
+		// nothing about the disk, so it never trips the breaker.
+		t.persistErrors.Add(1)
+		t.persistB.Skip()
+		return
+	}
+	gen := uint64(0)
+	if t.genOf != nil {
+		gen = t.genOf(op.key)
+	}
+	err := t.st.Put(t.storeKey(op.key), gen, buf.Bytes())
+	t.persistB.Record(err == nil)
+	if err != nil {
+		t.persistErrors.Add(1)
+		return
+	}
+	t.persisted.Add(1)
+}
+
+// Load hydrates key from the store. A missing record is a plain miss;
+// a failed load (injected fault, corrupt record) is a miss with a
+// non-nil error, counted here and on the load breaker — enough
+// consecutive failures disable the tier and Load answers miss without
+// touching the store until a cooldown probe succeeds.
+func (t *Tier[V]) Load(key string) (V, bool, error) {
 	var v V
+	if !t.loadB.Allow() {
+		return v, false, nil
+	}
+	if err := fault.Inject(FaultBackingLoad); err != nil {
+		t.loadErrors.Add(1)
+		t.loadB.Record(false)
+		return v, false, err
+	}
 	raw, _, ok := t.st.Get(t.storeKey(key))
 	if !ok {
 		t.loadMisses.Add(1)
-		return v, false
+		t.loadB.Record(true)
+		return v, false, nil
 	}
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err != nil {
 		t.decodeErrors.Add(1)
-		return v, false
+		t.loadErrors.Add(1)
+		t.loadB.Record(false)
+		return v, false, err
 	}
 	t.loads.Add(1)
-	return v, true
+	t.loadB.Record(true)
+	return v, true, nil
 }
 
 // Store enqueues an asynchronous persist of (key, v). Never blocks: when
@@ -220,16 +344,25 @@ func (t *Tier[V]) Close() {
 	t.wg.Wait()
 }
 
+// BreakerStats snapshots the tier's persist and load breakers.
+func (t *Tier[V]) BreakerStats() (persist, load resilience.BreakerStats) {
+	return t.persistB.Stats(), t.loadB.Stats()
+}
+
 // Stats snapshots the tier counters.
 func (t *Tier[V]) Stats() TierStats {
 	return TierStats{
+		Mode:          t.Mode(),
 		Enqueued:      t.enqueued.Load(),
 		Persisted:     t.persisted.Load(),
 		Dropped:       t.dropped.Load(),
+		DegradedDrops: t.degradedDrops.Load(),
 		Loads:         t.loads.Load(),
 		LoadMisses:    t.loadMisses.Load(),
+		LoadErrors:    t.loadErrors.Load(),
 		DecodeErrors:  t.decodeErrors.Load(),
 		PersistErrors: t.persistErrors.Load(),
+		Panics:        t.panics.Load(),
 		QueueDepth:    len(t.ch),
 		QueueCapacity: cap(t.ch),
 	}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"mpidetect/internal/fault"
 )
 
 type verdict struct {
@@ -24,11 +27,11 @@ func TestTierStoreLoadRoundTrip(t *testing.T) {
 	_, tr := newTierT(t, TierOptions{})
 	tr.Store("m\x1f1\x1fdigest", verdict{Label: "deadlock", Score: 0.93, Ranks: 4})
 	tr.Flush()
-	v, ok := tr.Load("m\x1f1\x1fdigest")
-	if !ok || v.Label != "deadlock" || v.Score != 0.93 || v.Ranks != 4 {
-		t.Fatalf("Load = %+v, %v", v, ok)
+	v, ok, err := tr.Load("m\x1f1\x1fdigest")
+	if err != nil || !ok || v.Label != "deadlock" || v.Score != 0.93 || v.Ranks != 4 {
+		t.Fatalf("Load = %+v, %v, %v", v, ok, err)
 	}
-	if _, ok := tr.Load("absent"); ok {
+	if _, ok, _ := tr.Load("absent"); ok {
 		t.Fatal("hit on absent key")
 	}
 	st := tr.Stats()
@@ -45,10 +48,10 @@ func TestTierNamespaceIsolation(t *testing.T) {
 	defer b.Close()
 	a.Store("same-key", verdict{Label: "from-a"})
 	a.Flush()
-	if _, ok := b.Load("same-key"); ok {
+	if _, ok, _ := b.Load("same-key"); ok {
 		t.Fatal("namespace leak: tier b sees tier a's key")
 	}
-	if v, ok := a.Load("same-key"); !ok || v.Label != "from-a" {
+	if v, ok, _ := a.Load("same-key"); !ok || v.Label != "from-a" {
 		t.Fatal("tier a lost its own key")
 	}
 }
@@ -77,7 +80,7 @@ func TestTierCloseDrainsQueue(t *testing.T) {
 	rt := NewTier[verdict](r, "classify", TierOptions{})
 	defer rt.Close()
 	for i := 0; i < n; i++ {
-		v, ok := rt.Load(fmt.Sprintf("key-%03d", i))
+		v, ok, _ := rt.Load(fmt.Sprintf("key-%03d", i))
 		if !ok || v.Ranks != i {
 			t.Fatalf("key-%03d lost across clean shutdown (%+v, %v)", i, v, ok)
 		}
@@ -119,7 +122,7 @@ func TestTierDeleteOrdersAfterQueuedPuts(t *testing.T) {
 		t.Fatalf("DeletePrefix removed %d, want 100", n)
 	}
 	for i := 0; i < 100; i++ {
-		if _, ok := tr.Load(fmt.Sprintf("modelA\x1f1\x1fd%d", i)); ok {
+		if _, ok, _ := tr.Load(fmt.Sprintf("modelA\x1f1\x1fd%d", i)); ok {
 			t.Fatalf("doomed key d%d resurrected", i)
 		}
 	}
@@ -173,9 +176,139 @@ func TestTierConcurrentStoreLoad(t *testing.T) {
 	tr.Flush()
 	for g := 0; g < 8; g++ {
 		for i := 0; i < 200; i++ {
-			if v, ok := tr.Load(fmt.Sprintf("g%d-k%d", g, i)); !ok || v.Ranks != i {
+			if v, ok, _ := tr.Load(fmt.Sprintf("g%d-k%d", g, i)); !ok || v.Ranks != i {
 				t.Fatalf("g%d-k%d missing after flush", g, i)
 			}
 		}
+	}
+}
+
+// TestTierReadOnlyModeOnAppendFailures: consecutive append failures trip
+// the persist breaker into read-only mode; loads keep serving, persists
+// drop-and-count, and a successful cooldown probe restores full service.
+func TestTierReadOnlyModeOnAppendFailures(t *testing.T) {
+	defer fault.DisarmAll()
+	var modes []string
+	var mu sync.Mutex
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{
+		BreakerFailures: 2,
+		BreakerCooldown: time.Millisecond,
+		OnModeChange: func(m string) {
+			mu.Lock()
+			modes = append(modes, m)
+			mu.Unlock()
+		},
+	})
+	defer tr.Close()
+
+	tr.Store("before", verdict{Label: "kept"})
+	tr.Flush()
+
+	if err := fault.Arm(FaultAppend, fault.Spec{Mode: fault.Error, Message: "disk full"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tr.Store(fmt.Sprintf("failing-%d", i), verdict{})
+	}
+	tr.Flush()
+	if got := tr.Mode(); got != "read-only" {
+		t.Fatalf("mode = %q after append failures, want read-only", got)
+	}
+	// Loads still serve in read-only mode.
+	if v, ok, err := tr.Load("before"); err != nil || !ok || v.Label != "kept" {
+		t.Fatalf("read-only load = %+v, %v, %v", v, ok, err)
+	}
+	// Persists while open are dropped and counted, not attempted.
+	tr.Store("while-open", verdict{})
+	tr.Flush()
+	st := tr.Stats()
+	if st.PersistErrors != 2 || st.DegradedDrops == 0 {
+		t.Fatalf("stats %+v; want 2 persist errors and >0 degraded drops", st)
+	}
+
+	// Recovery: disarm, wait out the cooldown, and a probe put closes it.
+	fault.DisarmAll()
+	time.Sleep(2 * time.Millisecond)
+	tr.Store("probe", verdict{Label: "back"})
+	tr.Flush()
+	if got := tr.Mode(); got != "ok" {
+		t.Fatalf("mode = %q after successful probe, want ok", got)
+	}
+	if v, ok, _ := tr.Load("probe"); !ok || v.Label != "back" {
+		t.Fatal("probe put not persisted after recovery")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(modes) < 2 || modes[len(modes)-1] != "ok" {
+		t.Fatalf("mode changes %v; want trip then recovery", modes)
+	}
+}
+
+// TestTierDisabledModeOnLoadFailures: consecutive load failures trip the
+// load breaker; Load then answers miss without touching the store until
+// a cooldown probe succeeds.
+func TestTierDisabledModeOnLoadFailures(t *testing.T) {
+	defer fault.DisarmAll()
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{
+		BreakerFailures: 2,
+		BreakerCooldown: time.Millisecond,
+	})
+	defer tr.Close()
+	tr.Store("k", verdict{Label: "v"})
+	tr.Flush()
+
+	if err := fault.Arm(FaultBackingLoad, fault.Spec{Mode: fault.Error}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := tr.Load("k"); err == nil {
+			t.Fatal("armed load fault returned no error")
+		}
+	}
+	if got := tr.Mode(); got != "disabled" {
+		t.Fatalf("mode = %q, want disabled", got)
+	}
+	// Open breaker: miss, no error, no injection hit.
+	before := tr.Stats().LoadErrors
+	if _, ok, err := tr.Load("k"); ok || err != nil {
+		t.Fatalf("disabled load = %v, %v; want plain miss", ok, err)
+	}
+	if tr.Stats().LoadErrors != before {
+		t.Fatal("disabled tier still touched the load path")
+	}
+
+	fault.DisarmAll()
+	time.Sleep(2 * time.Millisecond)
+	if v, ok, err := tr.Load("k"); err != nil || !ok || v.Label != "v" {
+		t.Fatalf("probe load = %+v, %v, %v; want recovery", v, ok, err)
+	}
+	if got := tr.Mode(); got != "ok" {
+		t.Fatalf("mode = %q after probe, want ok", got)
+	}
+}
+
+// TestTierWriterPanicRecovered: a panic inside the writer goroutine (an
+// injected panic fault on append) is recovered and counted; the drainer
+// keeps applying later operations, so Flush and Close still return.
+func TestTierWriterPanicRecovered(t *testing.T) {
+	defer fault.DisarmAll()
+	s := openT(t, t.TempDir(), Options{})
+	tr := NewTier[verdict](s, "classify", TierOptions{})
+	defer tr.Close()
+
+	if err := fault.Arm(FaultAppend, fault.Spec{Mode: fault.Panic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Store("boom", verdict{})
+	tr.Store("after", verdict{Label: "alive"})
+	tr.Flush()
+	st := tr.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+	if v, ok, _ := tr.Load("after"); !ok || v.Label != "alive" {
+		t.Fatal("writer dead after recovered panic")
 	}
 }
