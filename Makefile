@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race chaos bench bench-diff clean
+.PHONY: ci fmt-check vet build test race chaos fuzz bench bench-diff clean
 
 # bench-diff both gates regressions and emits the fresh numbers
 # (BENCH_diff.json), so ci does not need a second full benchmark run;
 # `make bench` is the deliberate act of rebaselining BENCH_serve.json.
-ci: fmt-check vet build race chaos bench-diff
+ci: fmt-check vet build race chaos fuzz bench-diff
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -33,6 +33,13 @@ race:
 # defeats test caching — chaos that doesn't run proves nothing.
 chaos:
 	$(GO) test -race -run 'Chaos' -count 1 ./internal/serve/...
+
+# Differential fuzz smoke: 15 seconds of the zero-copy parser against the
+# retained reference parser (identical modules, identical diagnostics,
+# byte for byte). The corpus seeds plus whatever the fuzzer grows locally;
+# a longer soak is `go test -fuzz FuzzParse -fuzztime 10m ./internal/ir/`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 15s ./internal/ir/
 
 # One iteration of every benchmark — catches bit-rot in the bench harness
 # without paying for a full measurement run — and emits machine-readable

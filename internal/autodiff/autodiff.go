@@ -439,6 +439,71 @@ func (t *Tape) MaxRows(a *Node) *Node {
 	return out
 }
 
+// SegmentMaxRows pools an R×C matrix to nSeg×C, taking the columnwise
+// maximum over the rows of each segment — MaxRows applied per segment,
+// with the same comparison loop (strict >, rows in ascending order), so a
+// block-diagonal batch pools each block exactly like a per-graph MaxRows.
+// An empty segment yields a zero row, matching the zero vector the
+// unbatched forward substitutes for an absent node kind.
+func (t *Tape) SegmentMaxRows(a *Node, seg []int, nSeg int) *Node {
+	c := a.Val.C
+	val := t.newMat(nSeg, c, true) // empty segments stay zero
+	bests := t.alloc(nSeg*c, false)
+	for i := range bests {
+		bests[i] = math.Inf(-1)
+	}
+	arg := t.allocInts(nSeg * c)
+	first := t.allocInts(nSeg)
+	for s := range first {
+		first[s] = -1
+	}
+	for i, s := range seg {
+		if first[s] < 0 {
+			first[s] = i
+		}
+		row := a.Val.Row(i)
+		bb := bests[s*c : (s+1)*c]
+		ab := arg[s*c : (s+1)*c]
+		for j, v := range row {
+			if v > bb[j] {
+				bb[j] = v
+				ab[j] = i
+			}
+		}
+	}
+	for s := 0; s < nSeg; s++ {
+		if first[s] < 0 {
+			continue
+		}
+		out := val.Row(s)
+		ab := arg[s*c : (s+1)*c]
+		for j := range out {
+			if bests[s*c+j] == math.Inf(-1) {
+				// No row beat -Inf (all -Inf/NaN): MaxRows reports -Inf with
+				// the first row as argmax.
+				ab[j] = first[s]
+			}
+			out[j] = bests[s*c+j]
+		}
+	}
+	out := t.node(val)
+	if !t.inference {
+		out.back = func() {
+			for s := 0; s < nSeg; s++ {
+				if first[s] < 0 {
+					continue
+				}
+				g := out.Grad.Row(s)
+				ab := arg[s*c : (s+1)*c]
+				for j, i := range ab {
+					a.Grad.Set(i, j, a.Grad.At(i, j)+g[j])
+				}
+			}
+		}
+	}
+	return out
+}
+
 // allocInts hands out the argmax index buffer for MaxRows. It allocates
 // plainly (not from the arena), so the buffer survives Reset; it is one
 // small allocation per MaxRows call.

@@ -416,3 +416,37 @@ func TestELUAddNBitIdentical(t *testing.T) {
 		t.Errorf("single-input ELUAddN %v != ELU %v", l1, l2)
 	}
 }
+
+// TestSegmentMaxRowsMatchesMaxRows pins the segmented pool to a per-segment
+// MaxRows, value and gradient: a block of rows pooled through the batch op
+// must be bit-identical to pooling it alone.
+func TestSegmentMaxRowsMatchesMaxRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randMat(rng, 7, 4)
+	seg := []int{0, 0, 0, 2, 2, 2, 2} // segment 1 deliberately empty
+	tp := NewTape()
+	in := tp.Input(x)
+	out := tp.SegmentMaxRows(in, seg, 3)
+	if out.Val.R != 3 || out.Val.C != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", out.Val.R, out.Val.C)
+	}
+	for j := 0; j < 4; j++ {
+		if out.Val.At(1, j) != 0 {
+			t.Fatalf("empty segment column %d = %v, want 0", j, out.Val.At(1, j))
+		}
+	}
+	for _, blk := range [][2]int{{0, 3}, {3, 7}} {
+		sub := &tensor.Mat{R: blk[1] - blk[0], C: 4, Data: x.Data[blk[0]*4 : blk[1]*4]}
+		tps := NewTape()
+		ref := tps.MaxRows(tps.Input(sub))
+		s := seg[blk[0]]
+		for j := 0; j < 4; j++ {
+			if out.Val.At(s, j) != ref.Val.Data[j] {
+				t.Fatalf("segment %d column %d: %v, want %v", s, j, out.Val.At(s, j), ref.Val.Data[j])
+			}
+		}
+	}
+	checkGrad(t, "segmentmaxrows", x, func(tp *Tape, in *Node) *Node {
+		return sumAll(tp, tp.SegmentMaxRows(in, seg, 3))
+	})
+}

@@ -48,6 +48,16 @@ type Detector interface {
 	Opt() passes.OptLevel
 }
 
+// BatchDetector is implemented by detectors that can classify several
+// already-optimised modules in one fused forward pass. CheckModules must
+// return exactly len(ms) verdicts, each bit-identical to the verdict
+// CheckModule would produce for that module alone; the error return fails
+// the whole batch (callers fall back to per-module CheckModule).
+type BatchDetector interface {
+	Detector
+	CheckModules(ms []*ir.Module) ([]Verdict, error)
+}
+
 // CheckIR parses textual IR, optimises it at the detector's configured
 // level, and classifies it — the one-call entrypoint for clients holding
 // textual IR (the inference server's wire format). The server itself runs
@@ -155,18 +165,37 @@ func TrainIR2Vec(corpus *dataset.Dataset, cfg IR2VecConfig) (*IR2VecDetector, er
 	return det, nil
 }
 
-// CheckModule implements Detector.
-func (d *IR2VecDetector) CheckModule(m *ir.Module) (Verdict, error) {
-	v := d.norm.Apply(d.enc.Encode(m))
-	class := d.tree.Predict(v)
+// verdictOf maps a predicted class id to a Verdict.
+func (d *IR2VecDetector) verdictOf(class int) Verdict {
 	label := d.labels[class]
 	if !d.cfg.MultiClass {
 		if class == 1 {
-			return Verdict{Incorrect: true, Label: dataset.CallOrdering, Confidence: 1}, nil
+			return Verdict{Incorrect: true, Label: dataset.CallOrdering, Confidence: 1}
 		}
-		return Verdict{Label: dataset.Correct, Confidence: 1}, nil
+		return Verdict{Label: dataset.Correct, Confidence: 1}
 	}
-	return Verdict{Incorrect: label != dataset.Correct, Label: label, Confidence: 1}, nil
+	return Verdict{Incorrect: label != dataset.Correct, Label: label, Confidence: 1}
+}
+
+// CheckModule implements Detector.
+func (d *IR2VecDetector) CheckModule(m *ir.Module) (Verdict, error) {
+	v := d.norm.Apply(d.enc.Encode(m))
+	return d.verdictOf(d.tree.Predict(v)), nil
+}
+
+// CheckModules implements BatchDetector: the whole batch is embedded into
+// one flat feature buffer through a single pooled scratch, then normalised
+// and classified per program. Feature arithmetic is EncodeInto's, so every
+// verdict is bit-identical to CheckModule on the same module.
+func (d *IR2VecDetector) CheckModules(ms []*ir.Module) ([]Verdict, error) {
+	feats := d.enc.EncodeBatch(ms)
+	w := 2 * d.enc.Dim
+	out := make([]Verdict, len(ms))
+	for i := range ms {
+		v := d.norm.Apply(feats[i*w : (i+1)*w])
+		out[i] = d.verdictOf(d.tree.Predict(v))
+	}
+	return out, nil
 }
 
 // CheckProgram implements Detector.
@@ -228,14 +257,38 @@ func TrainGNN(corpus *dataset.Dataset, cfg GNNDetectorConfig) (*GNNDetector, err
 	return &GNNDetector{cfg: cfg, model: model}, nil
 }
 
-// CheckModule implements Detector.
-func (d *GNNDetector) CheckModule(m *ir.Module) (Verdict, error) {
-	g := graphs.Build(m)
-	probs := d.model.PredictProbs(g)
+// gnnVerdict maps a binary probability pair to a Verdict.
+func gnnVerdict(probs []float64) Verdict {
 	if probs[1] >= probs[0] {
-		return Verdict{Incorrect: true, Label: dataset.CallOrdering, Confidence: probs[1]}, nil
+		return Verdict{Incorrect: true, Label: dataset.CallOrdering, Confidence: probs[1]}
 	}
-	return Verdict{Label: dataset.Correct, Confidence: probs[0]}, nil
+	return Verdict{Label: dataset.Correct, Confidence: probs[0]}
+}
+
+// CheckModule implements Detector. The graph is built with its tokens
+// pre-resolved against the model vocabulary (graphs.BuildResolved), which
+// skips the per-node token-string round trip; the resulting vocabulary
+// ids — and therefore the prediction — are identical to building with
+// token strings and resolving at prepare time.
+func (d *GNNDetector) CheckModule(m *ir.Module) (Verdict, error) {
+	g := graphs.BuildResolved(m, d.model.Vocab)
+	return gnnVerdict(d.model.PredictProbs(g)), nil
+}
+
+// CheckModules implements BatchDetector: all graphs run through one
+// block-diagonal GNN forward pass (gnn.PredictProbsBatch), whose per-graph
+// results are bit-identical to PredictProbs.
+func (d *GNNDetector) CheckModules(ms []*ir.Module) ([]Verdict, error) {
+	gs := make([]*graphs.Graph, len(ms))
+	for i, m := range ms {
+		gs[i] = graphs.BuildResolved(m, d.model.Vocab)
+	}
+	probs := d.model.PredictProbsBatch(gs)
+	out := make([]Verdict, len(ms))
+	for i := range out {
+		out[i] = gnnVerdict(probs[i])
+	}
+	return out, nil
 }
 
 // CheckProgram implements Detector.

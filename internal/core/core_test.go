@@ -5,6 +5,7 @@ import (
 
 	"mpidetect/internal/dataset"
 	"mpidetect/internal/gnn"
+	"mpidetect/internal/ir"
 	"mpidetect/internal/irgen"
 	"mpidetect/internal/passes"
 )
@@ -98,5 +99,49 @@ func TestCheckModuleDirect(t *testing.T) {
 	passes.Optimize(m, passes.Os)
 	if _, err := det.CheckModule(m); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckModulesMatchesCheckModule pins the batch path of both detector
+// families to the per-module path: same verdicts, bit for bit (labels and
+// confidences included), on a mixed correct/incorrect batch.
+func TestCheckModulesMatchesCheckModule(t *testing.T) {
+	train := trainingSlice(6, 24)
+	irCfg := DefaultIR2VecConfig()
+	irCfg.Dim = 48
+	irDet, err := TrainIR2Vec(train, irCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnnCfg := DefaultGNNConfig()
+	gnnCfg.Model = gnn.Config{EmbedDim: 8, Hidden: []int{12, 8}, LR: 3e-3,
+		Epochs: 2, BatchSize: 8, Seed: 1, Workers: 1}
+	gnnDet, err := TrainGNN(train, gnnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range []BatchDetector{irDet, gnnDet} {
+		var mods []*ir.Module
+		for _, c := range trainingSlice(7, 6).Codes {
+			m := irgen.MustLower(c.Prog)
+			passes.Optimize(m, det.Opt())
+			mods = append(mods, m)
+		}
+		got, err := det.CheckModules(mods)
+		if err != nil {
+			t.Fatalf("%s: CheckModules: %v", det.Name(), err)
+		}
+		if len(got) != len(mods) {
+			t.Fatalf("%s: %d verdicts for %d modules", det.Name(), len(got), len(mods))
+		}
+		for i, m := range mods {
+			want, err := det.CheckModule(m)
+			if err != nil {
+				t.Fatalf("%s module %d: %v", det.Name(), i, err)
+			}
+			if got[i] != want {
+				t.Fatalf("%s module %d: batch %+v, single %+v", det.Name(), i, got[i], want)
+			}
+		}
 	}
 }

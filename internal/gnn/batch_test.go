@@ -1,0 +1,57 @@
+package gnn
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/graphs"
+	"mpidetect/internal/irgen"
+)
+
+// TestPredictBatchBitForBit pins the fused block-diagonal forward pass to
+// the per-graph pass: class, probabilities and argmax must agree exactly
+// for every graph of a heterogeneous batch — including graphs whose
+// tokens are out of vocabulary and graphs missing whole edge relations,
+// where the batched pass adds zero message rows the single pass skips.
+func TestPredictBatchBitForBit(t *testing.T) {
+	train, test, vocab := corpusSample(t, 6)
+	m := NewModel(tinyCfg(), vocab, 2)
+	m.Train(train)
+
+	var gs []*graphs.Graph
+	for _, s := range test {
+		gs = append(gs, s.G)
+	}
+	for _, s := range train[:4] {
+		gs = append(gs, s.G)
+	}
+	// An out-of-distribution graph (different generator seed): OOV tokens
+	// and possibly different relation coverage.
+	d := dataset.GenerateMBI(1)
+	gs = append(gs, graphs.Build(irgen.MustLower(d.Codes[0].Prog)))
+
+	classes := m.PredictBatch(gs)
+	probs := m.PredictProbsBatch(gs)
+	if len(classes) != len(gs) || len(probs) != len(gs) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(classes), len(probs), len(gs))
+	}
+	for i, g := range gs {
+		if want := m.Predict(g); classes[i] != want {
+			t.Fatalf("graph %d: batch class %d, single %d", i, classes[i], want)
+		}
+		want := m.PredictProbs(g)
+		for j := range want {
+			if probs[i][j] != want[j] {
+				t.Fatalf("graph %d class %d: batch prob %v, single %v", i, j, probs[i][j], want[j])
+			}
+		}
+	}
+	// A singleton batch must also match (degenerate fill).
+	one := m.PredictProbsBatch(gs[:1])
+	want := m.PredictProbs(gs[0])
+	for j := range want {
+		if one[0][j] != want[j] {
+			t.Fatalf("singleton batch prob %v, single %v", one[0][j], want[j])
+		}
+	}
+}

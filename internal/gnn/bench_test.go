@@ -1,0 +1,52 @@
+package gnn
+
+import (
+	"testing"
+
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/graphs"
+	"mpidetect/internal/irgen"
+)
+
+// benchModel builds an untrained default-size model plus 8 resolved
+// corpus graphs: prediction cost does not depend on the weights, so
+// skipping training keeps the bench setup cheap while the forward pass
+// is exactly the serving one.
+func benchModel(b *testing.B) (*Model, []*graphs.Graph) {
+	b.Helper()
+	d := dataset.GenerateCorrBench(99, false)
+	var gs []*graphs.Graph
+	for _, c := range d.Codes[:8] {
+		gs = append(gs, graphs.Build(irgen.MustLower(c.Prog)))
+	}
+	m := NewModel(Default(), graphs.BuildVocab(gs), 2)
+	return m, gs
+}
+
+// BenchmarkPredictBatch compares the fused block-diagonal forward pass
+// over 8 graphs against 8 independent single-graph passes — the
+// worker-drain decision the serving engine makes under load. ns/op is
+// per 8-graph round in both modes.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, gs := benchModel(b)
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := m.PredictProbsBatch(gs); len(out) != len(gs) {
+				b.Fatal("short batch")
+			}
+		}
+		b.ReportMetric(float64(len(gs))*float64(b.N)/b.Elapsed().Seconds(), "graphs/s")
+	})
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range gs {
+				if p := m.PredictProbs(g); len(p) != 2 {
+					b.Fatal("bad probs")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(gs))*float64(b.N)/b.Elapsed().Seconds(), "graphs/s")
+	})
+}

@@ -87,12 +87,22 @@ type prepared struct {
 	label  int
 }
 
+// tokenID resolves node i of g to its vocabulary id: the pre-resolved
+// TokID when the graph carries one (graphs.BuildResolved), the token
+// string against the model vocabulary otherwise.
+func (m *Model) tokenID(g *graphs.Graph, i int) int {
+	if g.TokID != nil {
+		return int(g.TokID[i])
+	}
+	return m.Vocab.ID(g.Nodes[i].Token)
+}
+
 func (m *Model) prepare(g *graphs.Graph, label int) *prepared {
 	p := &prepared{label: label, edges: make([][2][]int, len(relations))}
 	local := make([]int, len(g.Nodes))
 	for i, n := range g.Nodes {
 		local[i] = len(p.tokens[n.Kind])
-		p.tokens[n.Kind] = append(p.tokens[n.Kind], m.Vocab.ID(n.Token))
+		p.tokens[n.Kind] = append(p.tokens[n.Kind], m.tokenID(g, i))
 	}
 	for _, e := range g.Edges {
 		sk := g.Nodes[e.Src].Kind
@@ -102,6 +112,47 @@ func (m *Model) prepare(g *graphs.Graph, label int) *prepared {
 				p.edges[ri][0] = append(p.edges[ri][0], local[e.Src])
 				p.edges[ri][1] = append(p.edges[ri][1], local[e.Dst])
 				break
+			}
+		}
+	}
+	return p
+}
+
+// preparedBatch is several graphs fused into one block-diagonal prepared
+// form: per-kind token lists are the per-graph lists concatenated (seg
+// maps each row back to its graph), and per-relation edge lists carry
+// kind-local row indices into the concatenated lists. Because the graphs
+// share no nodes, every segment operation downstream sees exactly the
+// rows and edge order of the corresponding single-graph pass.
+type preparedBatch struct {
+	n      int
+	tokens [graphs.NumNodeKinds][]int
+	seg    [graphs.NumNodeKinds][]int
+	edges  [][2][]int
+}
+
+func (m *Model) prepareBatch(gs []*graphs.Graph) *preparedBatch {
+	p := &preparedBatch{n: len(gs), edges: make([][2][]int, len(relations))}
+	var local []int
+	for gi, g := range gs {
+		if cap(local) < len(g.Nodes) {
+			local = make([]int, len(g.Nodes))
+		}
+		local = local[:len(g.Nodes)]
+		for i, n := range g.Nodes {
+			local[i] = len(p.tokens[n.Kind])
+			p.tokens[n.Kind] = append(p.tokens[n.Kind], m.tokenID(g, i))
+			p.seg[n.Kind] = append(p.seg[n.Kind], gi)
+		}
+		for _, e := range g.Edges {
+			sk := g.Nodes[e.Src].Kind
+			dk := g.Nodes[e.Dst].Kind
+			for ri, rel := range relations {
+				if rel.edge == e.Kind && rel.src == sk && rel.dst == dk {
+					p.edges[ri][0] = append(p.edges[ri][0], local[e.Src])
+					p.edges[ri][1] = append(p.edges[ri][1], local[e.Dst])
+					break
+				}
 			}
 		}
 	}
@@ -271,6 +322,67 @@ func (m *Model) forward(c *nn.Ctx, p *prepared) *autodiff.Node {
 	return m.fc2.Forward(c, hidden)
 }
 
+// forwardBatch computes the [n × classes] logits of a fused batch. The
+// arithmetic per graph is bit-identical to forward: every matrix op is
+// row-independent, segment ops visit rows/edges in the same per-graph
+// order, and a relation that is empty for one graph but present elsewhere
+// in the batch contributes exactly-zero message rows to that graph — an
+// addition the unbatched pass skips, with identical results (+0 added to
+// any accumulator leaves it unchanged).
+func (m *Model) forwardBatch(c *nn.Ctx, p *preparedBatch) *autodiff.Node {
+	var h [graphs.NumNodeKinds]*autodiff.Node
+	for k := graphs.NodeKind(0); k < graphs.NumNodeKinds; k++ {
+		if len(p.tokens[k]) == 0 {
+			continue
+		}
+		h[k] = m.embed.Forward(c, p.tokens[k])
+	}
+	for _, layer := range m.layers {
+		var next [graphs.NumNodeKinds]*autodiff.Node
+		for k := graphs.NodeKind(0); k < graphs.NumNodeKinds; k++ {
+			if h[k] == nil {
+				continue
+			}
+			var terms [maxLayerTerms]*autodiff.Node
+			n := 0
+			terms[n] = layer.self[k].Forward(c, h[k])
+			n++
+			for ri, rel := range relations {
+				if rel.dst != k || h[rel.src] == nil {
+					continue
+				}
+				if len(p.edges[ri][0]) == 0 {
+					continue
+				}
+				terms[n] = layer.convs[ri].Forward(c, h[rel.src], h[k],
+					p.edges[ri][0], p.edges[ri][1], len(p.tokens[k]))
+				n++
+			}
+			next[k] = c.T.ELUAddN(terms[:n]...)
+		}
+		h = next
+	}
+	// Adaptive max pooling per kind and per graph, concatenated into the
+	// [n × 3*last] graph-vector matrix.
+	last := m.Cfg.Hidden[len(m.Cfg.Hidden)-1]
+	var pooled *autodiff.Node
+	for k := graphs.NodeKind(0); k < graphs.NumNodeKinds; k++ {
+		var pk *autodiff.Node
+		if h[k] == nil {
+			pk = c.T.Input(tensor.New(p.n, last))
+		} else {
+			pk = c.T.SegmentMaxRows(h[k], p.seg[k], p.n)
+		}
+		if pooled == nil {
+			pooled = pk
+		} else {
+			pooled = c.T.Concat(pooled, pk)
+		}
+	}
+	hidden := c.T.ReLU(m.fc1.Forward(c, pooled))
+	return m.fc2.Forward(c, hidden)
+}
+
 // Train fits the model on the samples. Each worker owns one reusable
 // context: the tape arena is recycled per sample, so the steady-state
 // training loop performs almost no heap allocation.
@@ -381,6 +493,52 @@ func (m *Model) Predict(g *graphs.Graph) int {
 // PredictProbs returns the softmax class distribution.
 func (m *Model) PredictProbs(g *graphs.Graph) []float64 {
 	return autodiff.Softmax(m.logitsOf(g, nil))
+}
+
+// logitsBatchOf runs one fused forward pass over the graphs, copying the
+// [len(gs) × classes] logits out of the tape arena.
+func (m *Model) logitsBatchOf(gs []*graphs.Graph) []float64 {
+	p := m.prepareBatch(gs)
+	c := m.getCtx()
+	logits := m.forwardBatch(c, p)
+	out := append([]float64(nil), logits.Val.Data...)
+	m.ctxPool.Put(c)
+	return out
+}
+
+// PredictBatch classifies the graphs in one forward pass, returning the
+// argmax class per graph. Per-graph results are bit-identical to Predict.
+func (m *Model) PredictBatch(gs []*graphs.Graph) []int {
+	if len(gs) == 0 {
+		return nil
+	}
+	logits := m.logitsBatchOf(gs)
+	out := make([]int, len(gs))
+	for i := range gs {
+		row := logits[i*m.Classes : (i+1)*m.Classes]
+		best, bi := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// PredictProbsBatch returns the softmax class distribution per graph from
+// one fused forward pass, bit-identical to per-graph PredictProbs.
+func (m *Model) PredictProbsBatch(gs []*graphs.Graph) [][]float64 {
+	if len(gs) == 0 {
+		return nil
+	}
+	logits := m.logitsBatchOf(gs)
+	out := make([][]float64, len(gs))
+	for i := range gs {
+		out[i] = autodiff.Softmax(logits[i*m.Classes : (i+1)*m.Classes])
+	}
+	return out
 }
 
 // NumParams reports the trainable parameter count.

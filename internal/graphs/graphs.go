@@ -8,6 +8,7 @@ package graphs
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"mpidetect/internal/intern"
 	"mpidetect/internal/ir"
@@ -80,6 +81,11 @@ type Edge struct {
 type Graph struct {
 	Nodes []Node
 	Edges []Edge
+	// TokID, when non-nil, holds the vocabulary id of each node, aligned
+	// with Nodes. BuildResolved fills it (resolving tokens against a fixed
+	// vocabulary without materialising the token strings); graphs from
+	// Build leave it nil and consumers resolve Node.Token instead.
+	TokID []int32
 }
 
 // NumByKind counts nodes of each kind.
@@ -171,64 +177,126 @@ func AppendVarToken(dst []byte, t *ir.Type) []byte {
 	return t.AppendString(append(dst, "var:"...))
 }
 
-// Build constructs the program graph of a module.
-func Build(m *ir.Module) *Graph {
-	g := &Graph{}
-	instrNode := map[*ir.Instr]int{}
-	varNode := map[ir.Value]int{}   // instruction results, params, globals
-	constNode := map[string]int{}   // constants deduplicated by token
-	funcEntry := map[*ir.Func]int{} // first instruction node of a function
+// builder is the pooled working state of one graph construction: the
+// node-identity maps and (for resolved builds) the token scratch buffer.
+// Node and edge order is fixed by the two-pass walk in build, identically
+// for Build and BuildResolved.
+type builder struct {
+	g         *Graph
+	vocab     *Vocab // nil: record Token strings; non-nil: record TokID
+	instrNode map[*ir.Instr]int
+	varNode   map[ir.Value]int // instruction results, params, globals
+	constNode map[string]int   // constants deduplicated by bucket token
+	funcEntry map[*ir.Func]int // first instruction node of a function
+	buf       []byte
+}
 
-	addNode := func(n Node) int {
-		g.Nodes = append(g.Nodes, n)
-		return len(g.Nodes) - 1
+var builderPool = sync.Pool{New: func() any {
+	return &builder{
+		instrNode: map[*ir.Instr]int{},
+		varNode:   map[ir.Value]int{},
+		constNode: map[string]int{},
+		funcEntry: map[*ir.Func]int{},
 	}
-	addEdge := func(kind EdgeKind, src, dst int) {
-		g.Edges = append(g.Edges, Edge{Kind: kind, Src: src, Dst: dst})
-	}
+}}
 
-	// varOf returns (creating on demand) the variable/constant node of a
-	// value used as an operand.
-	varOf := func(v ir.Value) (int, bool) {
-		switch x := v.(type) {
-		case *ir.Const:
-			tok := ConstToken(x)
-			if id, ok := constNode[tok]; ok {
-				return id, true
-			}
-			id := addNode(Node{Kind: KindConst, Token: tok})
-			constNode[tok] = id
-			return id, true
-		case *ir.Param, *ir.Global:
-			if id, ok := varNode[v]; ok {
-				return id, true
-			}
-			id := addNode(Node{Kind: KindVar, Token: VarToken(v.Type())})
-			varNode[v] = id
-			return id, true
-		case *ir.Instr:
-			if id, ok := varNode[v]; ok {
-				return id, true
-			}
-			id := addNode(Node{Kind: KindVar, Token: VarToken(x.Type())})
-			varNode[v] = id
+// release drops every module reference before the builder returns to the
+// pool, so an idle pool never pins dead IR. clear() keeps the map buckets.
+func (b *builder) release() {
+	b.g, b.vocab = nil, nil
+	clear(b.instrNode)
+	clear(b.varNode)
+	clear(b.constNode)
+	clear(b.funcEntry)
+	builderPool.Put(b)
+}
+
+// addInstr appends the instruction node of in.
+func (b *builder) addInstr(in *ir.Instr) int {
+	if b.vocab == nil {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindInstr, Token: InstrToken(in)})
+	} else {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindInstr})
+		b.buf = AppendInstrToken(b.buf[:0], in)
+		b.g.TokID = append(b.g.TokID, int32(b.vocab.IDBytes(b.buf)))
+	}
+	return len(b.g.Nodes) - 1
+}
+
+// addVar appends a variable node typed t.
+func (b *builder) addVar(t *ir.Type) int {
+	if b.vocab == nil {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindVar, Token: VarToken(t)})
+	} else {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindVar})
+		b.buf = AppendVarToken(b.buf[:0], t)
+		b.g.TokID = append(b.g.TokID, int32(b.vocab.IDBytes(b.buf)))
+	}
+	return len(b.g.Nodes) - 1
+}
+
+// addConst appends a constant node for the bucket token tok (one of the
+// fixed ConstToken spellings, so recording it costs no allocation even on
+// the resolved path).
+func (b *builder) addConst(tok string) int {
+	if b.vocab == nil {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindConst, Token: tok})
+	} else {
+		b.g.Nodes = append(b.g.Nodes, Node{Kind: KindConst})
+		b.g.TokID = append(b.g.TokID, int32(b.vocab.ID(tok)))
+	}
+	return len(b.g.Nodes) - 1
+}
+
+func (b *builder) addEdge(kind EdgeKind, src, dst int) {
+	b.g.Edges = append(b.g.Edges, Edge{Kind: kind, Src: src, Dst: dst})
+}
+
+// varOf returns (creating on demand) the variable/constant node of a
+// value used as an operand. Constants deduplicate by bucket token — never
+// by vocabulary id, which would merge distinct buckets that all resolve
+// to the out-of-vocabulary slot.
+func (b *builder) varOf(v ir.Value) (int, bool) {
+	switch x := v.(type) {
+	case *ir.Const:
+		tok := ConstToken(x)
+		if id, ok := b.constNode[tok]; ok {
 			return id, true
 		}
-		return 0, false
+		id := b.addConst(tok)
+		b.constNode[tok] = id
+		return id, true
+	case *ir.Param, *ir.Global:
+		if id, ok := b.varNode[v]; ok {
+			return id, true
+		}
+		id := b.addVar(v.Type())
+		b.varNode[v] = id
+		return id, true
+	case *ir.Instr:
+		if id, ok := b.varNode[v]; ok {
+			return id, true
+		}
+		id := b.addVar(x.Type())
+		b.varNode[v] = id
+		return id, true
 	}
+	return 0, false
+}
 
+func (b *builder) build(m *ir.Module) {
 	// Pass 1: instruction nodes.
 	for _, f := range m.Funcs {
 		if f.Decl {
 			continue
 		}
 		first := true
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				id := addNode(Node{Kind: KindInstr, Token: InstrToken(in)})
-				instrNode[in] = id
+		for _, bl := range f.Blocks {
+			for _, in := range bl.Instrs {
+				id := b.addInstr(in)
+				b.instrNode[in] = id
 				if first {
-					funcEntry[f] = id
+					b.funcEntry[f] = id
 					first = false
 				}
 			}
@@ -240,43 +308,70 @@ func Build(m *ir.Module) *Graph {
 		if f.Decl {
 			continue
 		}
-		for _, b := range f.Blocks {
+		for _, bl := range f.Blocks {
 			// Control edges: sequential within a block, terminator to the
 			// first instruction of each successor block.
-			for i := 0; i+1 < len(b.Instrs); i++ {
-				addEdge(EdgeControl, instrNode[b.Instrs[i]], instrNode[b.Instrs[i+1]])
+			for i := 0; i+1 < len(bl.Instrs); i++ {
+				b.addEdge(EdgeControl, b.instrNode[bl.Instrs[i]], b.instrNode[bl.Instrs[i+1]])
 			}
-			if t := b.Term(); t != nil {
+			if t := bl.Term(); t != nil {
 				for _, s := range t.Blocks {
 					if len(s.Instrs) > 0 {
-						addEdge(EdgeControl, instrNode[t], instrNode[s.Instrs[0]])
+						b.addEdge(EdgeControl, b.instrNode[t], b.instrNode[s.Instrs[0]])
 					}
 				}
 			}
-			for _, in := range b.Instrs {
+			for _, in := range bl.Instrs {
 				// Data edges: operand -> instruction; instruction -> its
 				// result variable.
 				for _, a := range in.Args {
-					if src, ok := varOf(a); ok {
-						addEdge(EdgeData, src, instrNode[in])
+					if src, ok := b.varOf(a); ok {
+						b.addEdge(EdgeData, src, b.instrNode[in])
 					}
 				}
 				if in.Name != "" && in.Typ != nil && in.Typ.Kind != ir.KVoid {
-					if dst, ok := varOf(in); ok {
-						addEdge(EdgeData, instrNode[in], dst)
+					if dst, ok := b.varOf(in); ok {
+						b.addEdge(EdgeData, b.instrNode[in], dst)
 					}
 				}
 				// Call edges: call site -> callee entry (defined functions).
 				if in.Op == ir.OpCall {
 					if callee := m.FuncByName(in.Callee); callee != nil && !callee.Decl {
-						if entry, ok := funcEntry[callee]; ok {
-							addEdge(EdgeCall, instrNode[in], entry)
+						if entry, ok := b.funcEntry[callee]; ok {
+							b.addEdge(EdgeCall, b.instrNode[in], entry)
 						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// Build constructs the program graph of a module, with Node.Token filled
+// for vocabulary construction (training) and printing.
+func Build(m *ir.Module) *Graph {
+	b := builderPool.Get().(*builder)
+	b.g, b.vocab = &Graph{}, nil
+	b.build(m)
+	g := b.g
+	b.release()
+	return g
+}
+
+// BuildResolved constructs the program graph of a module with every node
+// token resolved against v into Graph.TokID, skipping the token-string
+// round trip entirely: instruction and variable spellings are assembled in
+// a reusable byte buffer and looked up with the intern table's
+// zero-allocation byte resolver. Node order, edge order and the resulting
+// vocabulary ids are identical to Build followed by per-node Vocab.ID —
+// only Node.Token is left empty, so resolved graphs are for inference, not
+// for BuildVocab.
+func BuildResolved(m *ir.Module, v *Vocab) *Graph {
+	b := builderPool.Get().(*builder)
+	b.g, b.vocab = &Graph{}, v
+	b.build(m)
+	g := b.g
+	b.release()
 	return g
 }
 
@@ -311,6 +406,15 @@ func (v *Vocab) Size() int { return v.Tab.Len() + 1 }
 // ID resolves a token (OOV for unknown).
 func (v *Vocab) ID(tok string) int {
 	if id, ok := v.Tab.Resolve(tok); ok {
+		return int(id) + 1
+	}
+	return v.OOV
+}
+
+// IDBytes resolves a token assembled in a byte buffer without allocating
+// (OOV for unknown).
+func (v *Vocab) IDBytes(tok []byte) int {
+	if id, ok := v.Tab.ResolveBytes(tok); ok {
 		return int(id) + 1
 	}
 	return v.OOV

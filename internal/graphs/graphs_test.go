@@ -192,3 +192,43 @@ func TestVocabFromTokenIDsRejectsCorruptMaps(t *testing.T) {
 		t.Errorf("valid map rejected or ids shuffled: %v", err)
 	}
 }
+
+// TestBuildResolvedMatchesBuild pins BuildResolved to Build: identical node
+// kinds, identical edges, and a TokID per node equal to resolving the
+// Build-side token against the same vocabulary — including out-of-vocabulary
+// tokens, which must stay distinct nodes (dedup is by bucket, never by id).
+func TestBuildResolvedMatchesBuild(t *testing.T) {
+	m := fixtureModule()
+	ref := Build(m)
+	// A vocabulary that deliberately misses some tokens: build it from a
+	// smaller module so the fixture has OOV instruction and const tokens.
+	small := ir.NewModule("small")
+	f := small.AddFunc(&ir.Func{Name: "f", Sig: ir.FuncOf(ir.I32)})
+	b := ir.NewBuilder(f)
+	b.Ret(b.Bin(ir.OpMul, ir.ConstInt(ir.I32, 3), ir.ConstInt(ir.I32, 3)))
+	for _, v := range []*Vocab{BuildVocab([]*Graph{ref}), BuildVocab([]*Graph{Build(small)})} {
+		got := BuildResolved(m, v)
+		if len(got.Nodes) != len(ref.Nodes) {
+			t.Fatalf("node count %d, want %d", len(got.Nodes), len(ref.Nodes))
+		}
+		if len(got.TokID) != len(got.Nodes) {
+			t.Fatalf("TokID length %d, want %d", len(got.TokID), len(got.Nodes))
+		}
+		for i, n := range ref.Nodes {
+			if got.Nodes[i].Kind != n.Kind {
+				t.Fatalf("node %d kind %v, want %v", i, got.Nodes[i].Kind, n.Kind)
+			}
+			if want := v.ID(n.Token); int(got.TokID[i]) != want {
+				t.Fatalf("node %d (%q) TokID %d, want %d", i, n.Token, got.TokID[i], want)
+			}
+		}
+		if len(got.Edges) != len(ref.Edges) {
+			t.Fatalf("edge count %d, want %d", len(got.Edges), len(ref.Edges))
+		}
+		for i, e := range ref.Edges {
+			if got.Edges[i] != e {
+				t.Fatalf("edge %d = %+v, want %+v", i, got.Edges[i], e)
+			}
+		}
+	}
+}

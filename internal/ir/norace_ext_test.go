@@ -1,0 +1,5 @@
+//go:build !race
+
+package ir_test
+
+const raceEnabled = false

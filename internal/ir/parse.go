@@ -4,11 +4,55 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+
+	"mpidetect/internal/intern"
 )
+
+// The parser is the zero-copy rewrite of the original line-slice
+// implementation retained in parse_reference.go. It scans the source string
+// directly (no strings.Split line slice), every token is a substring of the
+// input (no per-token copies), opcode dispatch resolves against an interned
+// keyword table instead of scanning opcodeNames, and instructions, operand
+// slices, constants, and blocks are bump-allocated from pooled per-module
+// arena chunks. Diagnostics — messages and line numbers — are byte-identical
+// to ParseReference; FuzzParse and TestParseMatchesReference enforce that.
+//
+// Tokens (instruction names, callees, block labels) alias the source string,
+// so a parsed module keeps its source text alive. Modules and their sources
+// have the same lifetime everywhere in the pipeline, and the old parser's
+// strings.Split substrings aliased the source just the same.
 
 // Named struct registry: the textual form prints named structs as
 // %struct.NAME, so the parser needs their definitions.
 var namedStructs = map[string]*Type{}
+
+// ptrCache memoises PtrTo for the scalar singletons and registered structs
+// (two levels deep: T* and T**), so parsing the ubiquitous pointer types
+// reuses one shared immutable Type instead of allocating per mention. It is
+// populated at init / RegisterStruct time only and is read-only while
+// parsing, under the same register-before-parse contract as namedStructs.
+var ptrCache = map[*Type]*Type{}
+
+func cachePtrsTo(base *Type) {
+	p1 := PtrTo(base)
+	ptrCache[base] = p1
+	ptrCache[p1] = PtrTo(p1)
+}
+
+func init() {
+	for _, t := range []*Type{Void, I1, I8, I32, I64, F64, LabelTy} {
+		cachePtrsTo(t)
+	}
+}
+
+// ptrTo is PtrTo with the shared-singleton fast path.
+func ptrTo(t *Type) *Type {
+	if p, ok := ptrCache[t]; ok {
+		return p
+	}
+	return PtrTo(t)
+}
 
 // RegisterStruct registers a named struct type for the parser. It returns
 // the registered type so callers can use it directly.
@@ -17,16 +61,43 @@ func RegisterStruct(t *Type) *Type {
 		panic("ir: RegisterStruct requires a named struct")
 	}
 	namedStructs[t.SName] = t
+	cachePtrsTo(t)
 	return t
 }
 
 // StatusType is the modelled MPI_Status struct (source, tag, error).
 var StatusType = RegisterStruct(StructOf("MPI_Status", I32, I32, I32))
 
+// opTab interns every non-special opcode mnemonic (binary arithmetic and
+// conversions); parseInstr's fallback resolves the token with one lookup
+// instead of a linear scan over opcodeNames.
+var (
+	opTab  = intern.New()
+	opByID []Opcode
+)
+
+func init() {
+	for op := OpAdd; op <= OpFDiv; op++ {
+		opTab.Intern(op.String())
+		opByID = append(opByID, op)
+	}
+	for op := OpTrunc; op <= OpIntToPtr; op++ {
+		opTab.Intern(op.String())
+		opByID = append(opByID, op)
+	}
+}
+
 // Parse parses the textual IR syntax produced by Print.
 func Parse(src string) (*Module, error) {
-	p := &parser{lines: strings.Split(src, "\n")}
-	return p.parseModule()
+	p := parserPool.Get().(*parser)
+	p.src = src
+	p.pos = -1
+	m, err := p.parseModule()
+	p.release()
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // MustParse is Parse that panics on error, for tests and fixtures.
@@ -38,10 +109,68 @@ func MustParse(src string) *Module {
 	return m
 }
 
+// Arena chunk sizes: large enough that a typical corpus module allocates a
+// handful of chunks, small enough not to overshoot tiny modules badly.
+const (
+	instrChunk    = 64
+	argChunk      = 128
+	constChunk    = 64
+	blockChunk    = 16
+	blockPtrChunk = 32
+	instrPtrChunk = 128
+	funcChunk     = 8
+	globalChunk   = 8
+	paramChunk    = 32
+	typeChunk     = 16
+)
+
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
 type parser struct {
-	lines []string
-	pos   int
-	mod   *Module
+	// Line scanner state. pos is the index of the line most recently read
+	// (0-based, so errf reports pos+1), matching the line numbering of the
+	// reference parser exactly.
+	src string
+	off int
+	pos int
+	eof bool
+	cur string
+
+	mod *Module
+
+	// Per-function state (reset at each define).
+	curFunc *Func
+	values  map[string]Value
+	pending []pendingRef
+
+	// Pooled scratch reused across parses. Everything that can hold a
+	// source substring is cleared in release so a pooled parser never pins
+	// a caller's input.
+	parts    []string
+	rawLines []string
+	rawLnos  []int32
+	spans    []blockSpan
+
+	// Arena chunks. The module owns pointers into them, so release drops
+	// the references rather than recycling the memory; pooling still wins
+	// by amortising one allocation per chunk instead of one per node.
+	instrs    []Instr
+	args      []Value
+	consts    []Const
+	blocks    []Block
+	blockPtrs []*Block
+	instrPtrs []*Instr
+	funcs     []Func
+	globals   []Global
+	params    []Param
+	paramPtrs []*Param
+	types     []Type
+	typePtrs  []*Type
+}
+
+type blockSpan struct {
+	b     *Block
+	start int
 }
 
 type pendingRef struct {
@@ -50,32 +179,238 @@ type pendingRef struct {
 	typ  *Type
 }
 
+// nextLine advances to the next line, mirroring strings.Split(src, "\n")
+// boundaries (a trailing newline yields a final empty line; empty input is
+// one empty line).
+func (p *parser) nextLine() bool {
+	if p.eof {
+		return false
+	}
+	p.pos++
+	if i := strings.IndexByte(p.src[p.off:], '\n'); i >= 0 {
+		p.cur = p.src[p.off : p.off+i]
+		p.off += i + 1
+	} else {
+		p.cur = p.src[p.off:]
+		p.eof = true
+	}
+	return true
+}
+
+// release returns the parser to the pool with every source reference and
+// module-owned arena chunk dropped.
+func (p *parser) release() {
+	p.src, p.cur = "", ""
+	p.off, p.eof = 0, false
+	p.mod, p.curFunc = nil, nil
+	clear(p.values)
+	for i := range p.pending {
+		p.pending[i] = pendingRef{}
+	}
+	p.pending = p.pending[:0]
+	for i := range p.parts {
+		p.parts[i] = ""
+	}
+	p.parts = p.parts[:0]
+	for i := range p.rawLines {
+		p.rawLines[i] = ""
+	}
+	p.rawLines = p.rawLines[:0]
+	p.rawLnos = p.rawLnos[:0]
+	for i := range p.spans {
+		p.spans[i] = blockSpan{}
+	}
+	p.spans = p.spans[:0]
+	p.instrs, p.args, p.consts = nil, nil, nil
+	p.blocks, p.blockPtrs, p.instrPtrs = nil, nil, nil
+	p.funcs, p.globals, p.params = nil, nil, nil
+	p.paramPtrs, p.types, p.typePtrs = nil, nil, nil
+	parserPool.Put(p)
+}
+
+// split is splitTop into the parser's reused scratch buffer. No production
+// path splits while iterating a previous split's result, so one shared
+// buffer suffices (the reference parser's per-call allocation was the
+// dominant per-instruction cost).
+func (p *parser) split(s string, sep byte) []string {
+	p.parts = appendSplitTop(p.parts[:0], s, sep)
+	return p.parts
+}
+
+// newInstr bump-allocates an instruction from the arena.
+func (p *parser) newInstr() *Instr {
+	if len(p.instrs) == cap(p.instrs) {
+		p.instrs = make([]Instr, 0, instrChunk)
+	}
+	p.instrs = append(p.instrs, Instr{})
+	return &p.instrs[len(p.instrs)-1]
+}
+
+// newArgs carves an exact-cap operand slice out of the arena. The full
+// slice expression pins cap == len so a later append by a pass copies out
+// instead of stomping the neighbouring instruction's operands.
+func (p *parser) newArgs(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if len(p.args)+n > cap(p.args) {
+		c := argChunk
+		if n > c {
+			c = n
+		}
+		p.args = make([]Value, 0, c)
+	}
+	s := len(p.args)
+	p.args = p.args[:s+n]
+	return p.args[s : s+n : s+n]
+}
+
+// newConst bump-allocates a constant from the arena.
+func (p *parser) newConst() *Const {
+	if len(p.consts) == cap(p.consts) {
+		p.consts = make([]Const, 0, constChunk)
+	}
+	p.consts = append(p.consts, Const{})
+	return &p.consts[len(p.consts)-1]
+}
+
+// newBlock bump-allocates a basic block from the arena.
+func (p *parser) newBlock() *Block {
+	if len(p.blocks) == cap(p.blocks) {
+		p.blocks = make([]Block, 0, blockChunk)
+	}
+	p.blocks = append(p.blocks, Block{})
+	return &p.blocks[len(p.blocks)-1]
+}
+
+// newBlockPtrs carves an exact-cap []*Block (phi incoming / branch targets).
+func (p *parser) newBlockPtrs(n int) []*Block {
+	if n == 0 {
+		return nil
+	}
+	if len(p.blockPtrs)+n > cap(p.blockPtrs) {
+		c := blockPtrChunk
+		if n > c {
+			c = n
+		}
+		p.blockPtrs = make([]*Block, 0, c)
+	}
+	s := len(p.blockPtrs)
+	p.blockPtrs = p.blockPtrs[:s+n]
+	return p.blockPtrs[s : s+n : s+n]
+}
+
+// newFunc bump-allocates a function from the arena.
+func (p *parser) newFunc() *Func {
+	if len(p.funcs) == cap(p.funcs) {
+		p.funcs = make([]Func, 0, funcChunk)
+	}
+	p.funcs = append(p.funcs, Func{})
+	return &p.funcs[len(p.funcs)-1]
+}
+
+// newGlobal bump-allocates a global from the arena.
+func (p *parser) newGlobal() *Global {
+	if len(p.globals) == cap(p.globals) {
+		p.globals = make([]Global, 0, globalChunk)
+	}
+	p.globals = append(p.globals, Global{})
+	return &p.globals[len(p.globals)-1]
+}
+
+// newParam bump-allocates a parameter from the arena.
+func (p *parser) newParam() *Param {
+	if len(p.params) == cap(p.params) {
+		p.params = make([]Param, 0, paramChunk)
+	}
+	p.params = append(p.params, Param{})
+	return &p.params[len(p.params)-1]
+}
+
+// newType bump-allocates a type (function signatures) from the arena.
+func (p *parser) newType() *Type {
+	if len(p.types) == cap(p.types) {
+		p.types = make([]Type, 0, typeChunk)
+	}
+	p.types = append(p.types, Type{})
+	return &p.types[len(p.types)-1]
+}
+
+// newParamList carves a zero-length, exact-cap parameter list.
+func (p *parser) newParamList(n int) []*Param {
+	if n == 0 {
+		return nil
+	}
+	if len(p.paramPtrs)+n > cap(p.paramPtrs) {
+		c := paramChunk
+		if n > c {
+			c = n
+		}
+		p.paramPtrs = make([]*Param, 0, c)
+	}
+	s := len(p.paramPtrs)
+	p.paramPtrs = p.paramPtrs[:s+n]
+	return p.paramPtrs[s : s : s+n]
+}
+
+// newTypeList carves a zero-length, exact-cap type list (signature params).
+func (p *parser) newTypeList(n int) []*Type {
+	if n == 0 {
+		return nil
+	}
+	if len(p.typePtrs)+n > cap(p.typePtrs) {
+		c := typeChunk
+		if n > c {
+			c = n
+		}
+		p.typePtrs = make([]*Type, 0, c)
+	}
+	s := len(p.typePtrs)
+	p.typePtrs = p.typePtrs[:s+n]
+	return p.typePtrs[s : s : s+n]
+}
+
+// newInstrList carves a zero-length, exact-cap instruction list for a block
+// whose instruction count is known from the first pass.
+func (p *parser) newInstrList(n int) []*Instr {
+	if n == 0 {
+		return nil
+	}
+	if len(p.instrPtrs)+n > cap(p.instrPtrs) {
+		c := instrPtrChunk
+		if n > c {
+			c = n
+		}
+		p.instrPtrs = make([]*Instr, 0, c)
+	}
+	s := len(p.instrPtrs)
+	p.instrPtrs = p.instrPtrs[:s+n]
+	return p.instrPtrs[s : s : s+n]
+}
+
 func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("ir: parse line %d: %s", p.pos+1, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) parseModule() (*Module, error) {
 	p.mod = NewModule("parsed")
-	for p.pos < len(p.lines) {
-		line := strings.TrimSpace(p.lines[p.pos])
+	for p.nextLine() {
+		line := strings.TrimSpace(p.cur)
 		switch {
 		case line == "" || strings.HasPrefix(line, ";"):
 			if strings.HasPrefix(line, "; module ") {
 				p.mod.Name = strings.TrimSpace(strings.TrimPrefix(line, "; module"))
 			}
-			p.pos++
 		case strings.HasPrefix(line, "@"):
 			if err := p.parseGlobal(line); err != nil {
 				return nil, err
 			}
-			p.pos++
 		case strings.HasPrefix(line, "declare "):
 			if err := p.parseDeclare(line); err != nil {
 				return nil, err
 			}
-			p.pos++
 		case strings.HasPrefix(line, "define "):
-			if err := p.parseDefine(); err != nil {
+			if err := p.parseDefine(line); err != nil {
 				return nil, err
 			}
 		default:
@@ -107,7 +442,8 @@ func (p *parser) parseGlobal(line string) error {
 	if err != nil {
 		return p.errf("global %s: %v", name, err)
 	}
-	g := &Global{Name: name, Elem: typ, Const: isConst}
+	g := p.newGlobal()
+	g.Name, g.Elem, g.Const = name, typ, isConst
 	init := strings.TrimSpace(rest)
 	switch {
 	case init == "" || init == "zeroinitializer":
@@ -119,7 +455,7 @@ func (p *parser) parseGlobal(line string) error {
 		}
 		g.Str = s
 	default:
-		c, err := parseConstToken(typ, init)
+		c, err := p.parseConst(typ, init)
 		if err != nil {
 			return p.errf("global %s init: %v", name, err)
 		}
@@ -146,11 +482,15 @@ func (p *parser) parseHeader(rest string) (*Func, error) {
 		return nil, fmt.Errorf("malformed parameter list in %q", rest)
 	}
 	name := rest[1:open]
-	f := &Func{Name: name}
+	f := p.newFunc()
+	f.Name = name
 	var ptypes []*Type
 	params := strings.TrimSpace(rest[open+1 : close])
 	if params != "" {
-		for _, part := range splitTop(params, ',') {
+		parts := p.split(params, ',')
+		f.Params = p.newParamList(len(parts))
+		ptypes = p.newTypeList(len(parts))
+		for _, part := range parts {
 			part = strings.TrimSpace(part)
 			if part == "..." {
 				f.Variadic = true
@@ -163,12 +503,16 @@ func (p *parser) parseHeader(rest string) (*Func, error) {
 			pname := strings.TrimSpace(prest)
 			pname = strings.TrimPrefix(pname, "%")
 			if pname != "" {
-				f.Params = append(f.Params, &Param{Name: pname, Typ: pt})
+				prm := p.newParam()
+				prm.Name, prm.Typ = pname, pt
+				f.Params = append(f.Params, prm)
 			}
 			ptypes = append(ptypes, pt)
 		}
 	}
-	f.Sig = FuncOf(ret, ptypes...)
+	sig := p.newType()
+	sig.Kind, sig.Ret, sig.Params = KFunc, ret, ptypes
+	f.Sig = sig
 	return f, nil
 }
 
@@ -182,8 +526,7 @@ func (p *parser) parseDeclare(line string) error {
 	return nil
 }
 
-func (p *parser) parseDefine() error {
-	line := strings.TrimSpace(p.lines[p.pos])
+func (p *parser) parseDefine(line string) error {
 	body := strings.TrimPrefix(line, "define ")
 	brace := strings.LastIndex(body, "{")
 	if brace < 0 {
@@ -194,67 +537,72 @@ func (p *parser) parseDefine() error {
 		return p.errf("define: %v", err)
 	}
 	p.mod.AddFunc(f)
-	p.pos++
 
-	// First pass: collect block labels and their instruction lines.
-	type rawBlock struct {
-		b     *Block
-		lines []string
-		lnos  []int
-	}
-	var raws []*rawBlock
-	var cur *rawBlock
-	for p.pos < len(p.lines) {
-		line := strings.TrimSpace(p.lines[p.pos])
+	// First pass: collect block labels and instruction line spans into the
+	// pooled scratch (flat line list, one span per block).
+	p.rawLines = p.rawLines[:0]
+	p.rawLnos = p.rawLnos[:0]
+	p.spans = p.spans[:0]
+	for p.nextLine() {
+		line := strings.TrimSpace(p.cur)
 		if line == "}" {
-			p.pos++
 			break
 		}
 		if line == "" || strings.HasPrefix(line, ";") {
-			p.pos++
 			continue
 		}
 		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
-			b := &Block{Name: strings.TrimSuffix(line, ":"), Parent: f}
+			b := p.newBlock()
+			b.Name = strings.TrimSuffix(line, ":")
+			b.Parent = f
 			f.Blocks = append(f.Blocks, b)
-			cur = &rawBlock{b: b}
-			raws = append(raws, cur)
-			p.pos++
+			p.spans = append(p.spans, blockSpan{b: b, start: len(p.rawLines)})
 			continue
 		}
-		if cur == nil {
+		if len(p.spans) == 0 {
 			return p.errf("instruction before first block label")
 		}
-		cur.lines = append(cur.lines, line)
-		cur.lnos = append(cur.lnos, p.pos)
-		p.pos++
+		p.rawLines = append(p.rawLines, line)
+		p.rawLnos = append(p.rawLnos, int32(p.pos))
 	}
 
 	// Second pass: parse instructions with value resolution. The pass
-	// rewinds p.pos for error reporting, so remember where the function
-	// body ended.
+	// rewinds p.pos per instruction for error reporting, so remember where
+	// the function body ended.
 	endPos := p.pos
-	fp := &funcParser{p: p, f: f, values: map[string]Value{}}
-	for _, prm := range f.Params {
-		fp.values[prm.Name] = prm
+	p.curFunc = f
+	if p.values == nil {
+		p.values = make(map[string]Value, 32)
+	} else {
+		clear(p.values)
 	}
-	for _, rb := range raws {
-		for i, l := range rb.lines {
-			p.pos = rb.lnos[i]
-			in, err := fp.parseInstr(l)
+	p.pending = p.pending[:0]
+	for _, prm := range f.Params {
+		p.values[prm.Name] = prm
+	}
+	for si, sp := range p.spans {
+		end := len(p.rawLines)
+		if si+1 < len(p.spans) {
+			end = p.spans[si+1].start
+		}
+		sp.b.Instrs = p.newInstrList(end - sp.start)
+		for k := sp.start; k < end; k++ {
+			p.pos = int(p.rawLnos[k])
+			in, err := p.parseInstr(p.rawLines[k])
 			if err != nil {
 				return err
 			}
-			rb.b.Append(in)
+			sp.b.Append(in)
 			if in.Name != "" {
-				fp.values[in.Name] = in
+				p.values[in.Name] = in
 			}
 		}
 	}
 	p.pos = endPos
 	// Patch forward references.
-	for _, pr := range fp.pending {
-		v, ok := fp.values[pr.name]
+	for i := range p.pending {
+		pr := &p.pending[i]
+		v, ok := p.values[pr.name]
 		if !ok {
 			return fmt.Errorf("ir: parse: undefined value %%%s in @%s", pr.name, f.Name)
 		}
@@ -263,39 +611,32 @@ func (p *parser) parseDefine() error {
 	return nil
 }
 
-type funcParser struct {
-	p       *parser
-	f       *Func
-	values  map[string]Value
-	pending []pendingRef
-}
-
 // operand resolves a value token of the given type, deferring unknown local
 // names for later patching (needed for phis that reference later defs).
-func (fp *funcParser) operand(typ *Type, tok string, slot *Value) error {
+func (p *parser) operand(typ *Type, tok string, slot *Value) error {
 	tok = strings.TrimSpace(tok)
 	switch {
 	case strings.HasPrefix(tok, "%"):
 		name := tok[1:]
-		if v, ok := fp.values[name]; ok {
+		if v, ok := p.values[name]; ok {
 			*slot = v
 			return nil
 		}
-		fp.pending = append(fp.pending, pendingRef{slot: slot, name: name, typ: typ})
+		p.pending = append(p.pending, pendingRef{slot: slot, name: name, typ: typ})
 		return nil
 	case strings.HasPrefix(tok, "@"):
 		name := tok[1:]
-		if g := fp.p.mod.GlobalByName(name); g != nil {
+		if g := p.mod.GlobalByName(name); g != nil {
 			*slot = g
 			return nil
 		}
-		if f := fp.p.mod.FuncByName(name); f != nil {
+		if f := p.mod.FuncByName(name); f != nil {
 			*slot = f
 			return nil
 		}
 		return fmt.Errorf("undefined global @%s", name)
 	default:
-		c, err := parseConstToken(typ, tok)
+		c, err := p.parseConst(typ, tok)
 		if err != nil {
 			return err
 		}
@@ -313,22 +654,22 @@ func typedOperandTok(s string) (*Type, string, error) {
 	return t, strings.TrimSpace(rest), nil
 }
 
-func (fp *funcParser) block(name string) (*Block, error) {
+func (p *parser) block(name string) (*Block, error) {
 	name = strings.TrimPrefix(strings.TrimSpace(name), "label ")
 	name = strings.TrimPrefix(strings.TrimSpace(name), "%")
-	b := fp.f.BlockByName(name)
+	b := p.curFunc.BlockByName(name)
 	if b == nil {
 		return nil, fmt.Errorf("undefined block %%%s", name)
 	}
 	return b, nil
 }
 
-func (fp *funcParser) parseInstr(line string) (*Instr, error) {
+func (p *parser) parseInstr(line string) (*Instr, error) {
 	name := ""
 	if strings.HasPrefix(line, "%") {
 		eq := strings.Index(line, "=")
 		if eq < 0 {
-			return nil, fp.p.errf("malformed instruction %q", line)
+			return nil, p.errf("malformed instruction %q", line)
 		}
 		name = strings.TrimSpace(line[1:eq])
 		line = strings.TrimSpace(line[eq+1:])
@@ -340,96 +681,97 @@ func (fp *funcParser) parseInstr(line string) (*Instr, error) {
 		op = line[:sp]
 		rest = strings.TrimSpace(line[sp+1:])
 	}
-	in := &Instr{Name: name}
+	in := p.newInstr()
+	in.Name = name
 	var err error
 	switch op {
 	case "alloca":
-		parts := splitTop(rest, ',')
+		parts := p.split(rest, ',')
 		in.Op = OpAlloca
 		in.AllocTy, _, err = parseType(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, fp.p.errf("alloca: %v", err)
+			return nil, p.errf("alloca: %v", err)
 		}
-		in.Typ = PtrTo(in.AllocTy)
+		in.Typ = ptrTo(in.AllocTy)
 		if len(parts) == 2 {
 			ct, cv, err := typedOperandTok(parts[1])
 			if err != nil {
-				return nil, fp.p.errf("alloca count: %v", err)
+				return nil, p.errf("alloca count: %v", err)
 			}
-			in.Args = make([]Value, 1)
-			if err := fp.operand(ct, cv, &in.Args[0]); err != nil {
-				return nil, fp.p.errf("alloca count: %v", err)
+			in.Args = p.newArgs(1)
+			if err := p.operand(ct, cv, &in.Args[0]); err != nil {
+				return nil, p.errf("alloca count: %v", err)
 			}
 		}
 	case "load":
-		parts := splitTop(rest, ',')
+		parts := p.split(rest, ',')
 		if len(parts) != 2 {
-			return nil, fp.p.errf("load wants 2 operands")
+			return nil, p.errf("load wants 2 operands")
 		}
 		in.Op = OpLoad
 		in.Typ, _, err = parseType(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, fp.p.errf("load: %v", err)
+			return nil, p.errf("load: %v", err)
 		}
 		pt, pv, err := typedOperandTok(parts[1])
 		if err != nil {
-			return nil, fp.p.errf("load ptr: %v", err)
+			return nil, p.errf("load ptr: %v", err)
 		}
-		in.Args = make([]Value, 1)
-		if err := fp.operand(pt, pv, &in.Args[0]); err != nil {
-			return nil, fp.p.errf("load ptr: %v", err)
+		in.Args = p.newArgs(1)
+		if err := p.operand(pt, pv, &in.Args[0]); err != nil {
+			return nil, p.errf("load ptr: %v", err)
 		}
 	case "store":
-		parts := splitTop(rest, ',')
+		parts := p.split(rest, ',')
 		if len(parts) != 2 {
-			return nil, fp.p.errf("store wants 2 operands")
+			return nil, p.errf("store wants 2 operands")
 		}
 		in.Op = OpStore
 		in.Typ = Void
-		in.Args = make([]Value, 2)
+		in.Args = p.newArgs(2)
 		vt, vv, err := typedOperandTok(parts[0])
 		if err != nil {
-			return nil, fp.p.errf("store value: %v", err)
+			return nil, p.errf("store value: %v", err)
 		}
-		if err := fp.operand(vt, vv, &in.Args[0]); err != nil {
-			return nil, fp.p.errf("store value: %v", err)
+		if err := p.operand(vt, vv, &in.Args[0]); err != nil {
+			return nil, p.errf("store value: %v", err)
 		}
 		pt, pv, err := typedOperandTok(parts[1])
 		if err != nil {
-			return nil, fp.p.errf("store ptr: %v", err)
+			return nil, p.errf("store ptr: %v", err)
 		}
-		if err := fp.operand(pt, pv, &in.Args[1]); err != nil {
-			return nil, fp.p.errf("store ptr: %v", err)
+		if err := p.operand(pt, pv, &in.Args[1]); err != nil {
+			return nil, p.errf("store ptr: %v", err)
 		}
 	case "getelementptr":
-		parts := splitTop(rest, ',')
+		parts := p.split(rest, ',')
 		if len(parts) < 2 {
-			return nil, fp.p.errf("gep wants >= 2 operands")
+			return nil, p.errf("gep wants >= 2 operands")
 		}
 		in.Op = OpGEP
 		elem, _, err := parseType(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, fp.p.errf("gep: %v", err)
+			return nil, p.errf("gep: %v", err)
 		}
-		in.Typ = PtrTo(elem)
-		in.Args = make([]Value, len(parts)-1)
+		in.Typ = ptrTo(elem)
+		in.Args = p.newArgs(len(parts) - 1)
 		for i, part := range parts[1:] {
 			t, v, err := typedOperandTok(part)
 			if err != nil {
-				return nil, fp.p.errf("gep operand: %v", err)
+				return nil, p.errf("gep operand: %v", err)
 			}
-			if err := fp.operand(t, v, &in.Args[i]); err != nil {
-				return nil, fp.p.errf("gep operand: %v", err)
+			if err := p.operand(t, v, &in.Args[i]); err != nil {
+				return nil, p.errf("gep operand: %v", err)
 			}
 		}
 	case "icmp", "fcmp":
 		sp := strings.IndexByte(rest, ' ')
 		if sp < 0 {
-			return nil, fp.p.errf("%s wants predicate", op)
+			return nil, p.errf("%s wants predicate", op)
 		}
 		pred, ok := ParsePred(rest[:sp])
 		if !ok {
-			return nil, fp.p.errf("bad predicate %q", rest[:sp])
+			return nil, p.errf("bad predicate %q", rest[:sp])
 		}
 		in.Cmp = pred
 		if op == "icmp" {
@@ -438,93 +780,97 @@ func (fp *funcParser) parseInstr(line string) (*Instr, error) {
 			in.Op = OpFCmp
 		}
 		in.Typ = I1
-		parts := splitTop(strings.TrimSpace(rest[sp+1:]), ',')
+		parts := p.split(strings.TrimSpace(rest[sp+1:]), ',')
 		if len(parts) != 2 {
-			return nil, fp.p.errf("%s wants 2 operands", op)
+			return nil, p.errf("%s wants 2 operands", op)
 		}
 		t, v, err := typedOperandTok(parts[0])
 		if err != nil {
-			return nil, fp.p.errf("%s lhs: %v", op, err)
+			return nil, p.errf("%s lhs: %v", op, err)
 		}
-		in.Args = make([]Value, 2)
-		if err := fp.operand(t, v, &in.Args[0]); err != nil {
-			return nil, fp.p.errf("%s lhs: %v", op, err)
+		in.Args = p.newArgs(2)
+		if err := p.operand(t, v, &in.Args[0]); err != nil {
+			return nil, p.errf("%s lhs: %v", op, err)
 		}
-		if err := fp.operand(t, strings.TrimSpace(parts[1]), &in.Args[1]); err != nil {
-			return nil, fp.p.errf("%s rhs: %v", op, err)
+		if err := p.operand(t, strings.TrimSpace(parts[1]), &in.Args[1]); err != nil {
+			return nil, p.errf("%s rhs: %v", op, err)
 		}
 	case "phi":
 		in.Op = OpPhi
 		t, rest2, err := parseType(rest)
 		if err != nil {
-			return nil, fp.p.errf("phi: %v", err)
+			return nil, p.errf("phi: %v", err)
 		}
 		in.Typ = t
-		for _, arm := range splitTop(strings.TrimSpace(rest2), ',') {
+		arms := p.split(strings.TrimSpace(rest2), ',')
+		in.Args = p.newArgs(len(arms))
+		in.Blocks = p.newBlockPtrs(len(arms))
+		for ai, arm := range arms {
 			arm = strings.TrimSpace(arm)
 			arm = strings.TrimPrefix(arm, "[")
 			arm = strings.TrimSuffix(arm, "]")
-			kv := strings.SplitN(arm, ",", 2)
-			if len(kv) != 2 {
-				return nil, fp.p.errf("phi arm %q", arm)
+			// First-comma split, matching strings.SplitN(arm, ",", 2)
+			// without the per-arm slice allocation.
+			ci := strings.IndexByte(arm, ',')
+			if ci < 0 {
+				return nil, p.errf("phi arm %q", arm)
 			}
-			in.Args = append(in.Args, nil)
-			if err := fp.operand(t, strings.TrimSpace(kv[0]), &in.Args[len(in.Args)-1]); err != nil {
-				return nil, fp.p.errf("phi value: %v", err)
+			if err := p.operand(t, strings.TrimSpace(arm[:ci]), &in.Args[ai]); err != nil {
+				return nil, p.errf("phi value: %v", err)
 			}
-			b, err := fp.block(kv[1])
+			b, err := p.block(arm[ci+1:])
 			if err != nil {
-				return nil, fp.p.errf("phi block: %v", err)
+				return nil, p.errf("phi block: %v", err)
 			}
-			in.Blocks = append(in.Blocks, b)
+			in.Blocks[ai] = b
 		}
 	case "select":
 		in.Op = OpSelect
-		parts := splitTop(rest, ',')
+		parts := p.split(rest, ',')
 		if len(parts) != 3 {
-			return nil, fp.p.errf("select wants 3 operands")
+			return nil, p.errf("select wants 3 operands")
 		}
-		in.Args = make([]Value, 3)
+		in.Args = p.newArgs(3)
 		for i, part := range parts {
 			t, v, err := typedOperandTok(part)
 			if err != nil {
-				return nil, fp.p.errf("select: %v", err)
+				return nil, p.errf("select: %v", err)
 			}
 			if i == 1 {
 				in.Typ = t
 			}
-			if err := fp.operand(t, v, &in.Args[i]); err != nil {
-				return nil, fp.p.errf("select: %v", err)
+			if err := p.operand(t, v, &in.Args[i]); err != nil {
+				return nil, p.errf("select: %v", err)
 			}
 		}
 	case "call":
 		in.Op = OpCall
 		t, rest2, err := parseType(rest)
 		if err != nil {
-			return nil, fp.p.errf("call: %v", err)
+			return nil, p.errf("call: %v", err)
 		}
 		in.Typ = t
 		rest2 = strings.TrimSpace(rest2)
 		if !strings.HasPrefix(rest2, "@") {
-			return nil, fp.p.errf("call: expected @callee in %q", rest2)
+			return nil, p.errf("call: expected @callee in %q", rest2)
 		}
 		open := strings.Index(rest2, "(")
 		close := strings.LastIndex(rest2, ")")
 		if open < 0 || close < open {
-			return nil, fp.p.errf("call: malformed args")
+			return nil, p.errf("call: malformed args")
 		}
 		in.Callee = rest2[1:open]
 		args := strings.TrimSpace(rest2[open+1 : close])
 		if args != "" {
-			parts := splitTop(args, ',')
-			in.Args = make([]Value, len(parts))
+			parts := p.split(args, ',')
+			in.Args = p.newArgs(len(parts))
 			for i, part := range parts {
 				t, v, err := typedOperandTok(part)
 				if err != nil {
-					return nil, fp.p.errf("call arg: %v", err)
+					return nil, p.errf("call arg: %v", err)
 				}
-				if err := fp.operand(t, v, &in.Args[i]); err != nil {
-					return nil, fp.p.errf("call arg: %v", err)
+				if err := p.operand(t, v, &in.Args[i]); err != nil {
+					return nil, p.errf("call arg: %v", err)
 				}
 			}
 		}
@@ -532,35 +878,37 @@ func (fp *funcParser) parseInstr(line string) (*Instr, error) {
 		if strings.HasPrefix(rest, "label ") {
 			in.Op = OpBr
 			in.Typ = Void
-			b, err := fp.block(rest)
+			b, err := p.block(rest)
 			if err != nil {
-				return nil, fp.p.errf("br: %v", err)
+				return nil, p.errf("br: %v", err)
 			}
-			in.Blocks = []*Block{b}
+			in.Blocks = p.newBlockPtrs(1)
+			in.Blocks[0] = b
 		} else {
 			in.Op = OpCondBr
 			in.Typ = Void
-			parts := splitTop(rest, ',')
+			parts := p.split(rest, ',')
 			if len(parts) != 3 {
-				return nil, fp.p.errf("condbr wants cond + 2 labels")
+				return nil, p.errf("condbr wants cond + 2 labels")
 			}
 			t, v, err := typedOperandTok(parts[0])
 			if err != nil {
-				return nil, fp.p.errf("condbr cond: %v", err)
+				return nil, p.errf("condbr cond: %v", err)
 			}
-			in.Args = make([]Value, 1)
-			if err := fp.operand(t, v, &in.Args[0]); err != nil {
-				return nil, fp.p.errf("condbr cond: %v", err)
+			in.Args = p.newArgs(1)
+			if err := p.operand(t, v, &in.Args[0]); err != nil {
+				return nil, p.errf("condbr cond: %v", err)
 			}
-			bt, err := fp.block(parts[1])
+			bt, err := p.block(parts[1])
 			if err != nil {
-				return nil, fp.p.errf("condbr: %v", err)
+				return nil, p.errf("condbr: %v", err)
 			}
-			bf, err := fp.block(parts[2])
+			bf, err := p.block(parts[2])
 			if err != nil {
-				return nil, fp.p.errf("condbr: %v", err)
+				return nil, p.errf("condbr: %v", err)
 			}
-			in.Blocks = []*Block{bt, bf}
+			in.Blocks = p.newBlockPtrs(2)
+			in.Blocks[0], in.Blocks[1] = bt, bf
 		}
 	case "ret":
 		in.Op = OpRet
@@ -568,80 +916,71 @@ func (fp *funcParser) parseInstr(line string) (*Instr, error) {
 		if rest != "void" && rest != "" {
 			t, v, err := typedOperandTok(rest)
 			if err != nil {
-				return nil, fp.p.errf("ret: %v", err)
+				return nil, p.errf("ret: %v", err)
 			}
-			in.Args = make([]Value, 1)
-			if err := fp.operand(t, v, &in.Args[0]); err != nil {
-				return nil, fp.p.errf("ret: %v", err)
+			in.Args = p.newArgs(1)
+			if err := p.operand(t, v, &in.Args[0]); err != nil {
+				return nil, p.errf("ret: %v", err)
 			}
 		}
 	case "unreachable":
 		in.Op = OpUnreachable
 		in.Typ = Void
 	default:
-		bop, ok := binOpByName(op)
-		if ok {
-			in.Op = bop
-			parts := splitTop(rest, ',')
+		id, ok := opTab.Resolve(op)
+		if !ok {
+			return nil, p.errf("unknown opcode %q", op)
+		}
+		o := opByID[id]
+		if o.IsBinary() {
+			in.Op = o
+			parts := p.split(rest, ',')
 			if len(parts) != 2 {
-				return nil, fp.p.errf("%s wants 2 operands", op)
+				return nil, p.errf("%s wants 2 operands", op)
 			}
 			t, v, err := typedOperandTok(parts[0])
 			if err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
+				return nil, p.errf("%s: %v", op, err)
 			}
 			in.Typ = t
-			in.Args = make([]Value, 2)
-			if err := fp.operand(t, v, &in.Args[0]); err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
+			in.Args = p.newArgs(2)
+			if err := p.operand(t, v, &in.Args[0]); err != nil {
+				return nil, p.errf("%s: %v", op, err)
 			}
-			if err := fp.operand(t, strings.TrimSpace(parts[1]), &in.Args[1]); err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
-			}
-			break
-		}
-		cop, ok := convOpByName(op)
-		if ok {
-			in.Op = cop
-			toIdx := strings.LastIndex(rest, " to ")
-			if toIdx < 0 {
-				return nil, fp.p.errf("%s wants 'to'", op)
-			}
-			t, v, err := typedOperandTok(rest[:toIdx])
-			if err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
-			}
-			in.Typ, _, err = parseType(strings.TrimSpace(rest[toIdx+4:]))
-			if err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
-			}
-			in.Args = make([]Value, 1)
-			if err := fp.operand(t, v, &in.Args[0]); err != nil {
-				return nil, fp.p.errf("%s: %v", op, err)
+			if err := p.operand(t, strings.TrimSpace(parts[1]), &in.Args[1]); err != nil {
+				return nil, p.errf("%s: %v", op, err)
 			}
 			break
 		}
-		return nil, fp.p.errf("unknown opcode %q", op)
+		// Conversion op.
+		in.Op = o
+		toIdx := strings.LastIndex(rest, " to ")
+		if toIdx < 0 {
+			return nil, p.errf("%s wants 'to'", op)
+		}
+		t, v, err := typedOperandTok(rest[:toIdx])
+		if err != nil {
+			return nil, p.errf("%s: %v", op, err)
+		}
+		in.Typ, _, err = parseType(strings.TrimSpace(rest[toIdx+4:]))
+		if err != nil {
+			return nil, p.errf("%s: %v", op, err)
+		}
+		in.Args = p.newArgs(1)
+		if err := p.operand(t, v, &in.Args[0]); err != nil {
+			return nil, p.errf("%s: %v", op, err)
+		}
 	}
 	return in, nil
 }
 
-func binOpByName(s string) (Opcode, bool) {
-	for op := OpAdd; op <= OpFDiv; op++ {
-		if op.String() == s {
-			return op, true
-		}
+// parseConst is parseConstToken allocating from the parser's arena.
+func (p *parser) parseConst(t *Type, tok string) (*Const, error) {
+	c := p.newConst()
+	if err := fillConst(c, t, tok); err != nil {
+		return nil, err
 	}
-	return OpInvalid, false
-}
-
-func convOpByName(s string) (Opcode, bool) {
-	for op := OpTrunc; op <= OpIntToPtr; op++ {
-		if op.String() == s {
-			return op, true
-		}
-	}
-	return OpInvalid, false
+	return c, nil
 }
 
 // unquoteIRString decodes LLVM's "..." escaping with \xx hex escapes.
@@ -669,30 +1008,45 @@ func unquoteIRString(s string) (string, error) {
 	return sb.String(), nil
 }
 
-// parseConstToken parses an integer/float/null/undef literal of type t.
-func parseConstToken(t *Type, tok string) (*Const, error) {
+// fillConst parses an integer/float/null/undef literal of type t into c.
+func fillConst(c *Const, t *Type, tok string) error {
 	switch tok {
 	case "null":
-		return ConstNull(t), nil
+		*c = Const{Typ: t, IsNull: true}
+		return nil
 	case "undef":
-		return ConstUndef(t), nil
+		*c = Const{Typ: t, IsUndef: true}
+		return nil
 	case "true":
-		return ConstBool(true), nil
+		*c = Const{Typ: I1, Int: 1}
+		return nil
 	case "false":
-		return ConstBool(false), nil
+		*c = Const{Typ: I1, Int: 0}
+		return nil
 	}
 	if t.IsFloat() {
 		f, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad float literal %q", tok)
+			return fmt.Errorf("bad float literal %q", tok)
 		}
-		return ConstFloat(f), nil
+		*c = Const{Typ: F64, Float: f, IsFloat: true}
+		return nil
 	}
 	i, err := strconv.ParseInt(tok, 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("bad int literal %q", tok)
+		return fmt.Errorf("bad int literal %q", tok)
 	}
-	return ConstInt(t, i), nil
+	*c = Const{Typ: t, Int: i}
+	return nil
+}
+
+// parseConstToken parses an integer/float/null/undef literal of type t.
+func parseConstToken(t *Type, tok string) (*Const, error) {
+	c := new(Const)
+	if err := fillConst(c, t, tok); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // parseType parses a leading type from s, returning the remainder.
@@ -753,7 +1107,7 @@ func parseType(s string) (*Type, string, error) {
 		return nil, "", fmt.Errorf("unknown type at %q", s)
 	}
 	for strings.HasPrefix(s, "*") {
-		base = PtrTo(base)
+		base = ptrTo(base)
 		s = s[1:]
 	}
 	return base, s, nil
@@ -781,9 +1135,8 @@ func matchBracket(s string, start int, open, close byte) int {
 	return -1
 }
 
-// splitTop splits s on sep at bracket depth zero ((), [], {}).
-func splitTop(s string, sep byte) []string {
-	var parts []string
+// appendSplitTop is splitTop appending into dst (scratch-buffer form).
+func appendSplitTop(dst []string, s string, sep byte) []string {
 	depth := 0
 	last := 0
 	for i := 0; i < len(s); i++ {
@@ -794,11 +1147,15 @@ func splitTop(s string, sep byte) []string {
 			depth--
 		default:
 			if s[i] == sep && depth == 0 {
-				parts = append(parts, s[last:i])
+				dst = append(dst, s[last:i])
 				last = i + 1
 			}
 		}
 	}
-	parts = append(parts, s[last:])
-	return parts
+	return append(dst, s[last:])
+}
+
+// splitTop splits s on sep at bracket depth zero ((), [], {}).
+func splitTop(s string, sep byte) []string {
+	return appendSplitTop(nil, s, sep)
 }

@@ -1,0 +1,174 @@
+package ir_test
+
+import (
+	"sync"
+	"testing"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+)
+
+// goldenSources lowers the MBI and CorrBench corpora (the same generator
+// seeds the serving tests use) to textual IR once per test binary. Every
+// program in this set is a golden input for the parser pins below.
+var (
+	goldenOnce sync.Once
+	goldenSrcs []string
+)
+
+func goldenSources(tb testing.TB) []string {
+	tb.Helper()
+	goldenOnce.Do(func() {
+		for _, ds := range []*dataset.Dataset{
+			dataset.GenerateCorrBench(7, false),
+			dataset.GenerateMBI(1),
+		} {
+			for _, c := range ds.Codes {
+				goldenSrcs = append(goldenSrcs, ir.Print(irgen.MustLower(c.Prog)))
+			}
+		}
+	})
+	if len(goldenSrcs) == 0 {
+		tb.Fatal("empty golden corpus")
+	}
+	return goldenSrcs
+}
+
+// mutations applies small syntactic corruptions so the differential test
+// covers error paths too, not just the happy path the corpus exercises.
+func mutations(src string) []string {
+	muts := []string{
+		src + "\nbogus top level\n",
+		"; module x\ndefine i32 @f() {\nentry:\n  %a = frob i32 1, 2\n  ret i32 0\n}\n",
+		src + "\ndefine void @trunc() {\n",
+	}
+	if len(src) > 40 {
+		muts = append(muts, src[:len(src)/2], src[len(src)/4:])
+	}
+	return muts
+}
+
+// checkAgainstReference asserts the zero-copy parser and the retained
+// reference parser agree byte-for-byte: same error (or none) and the same
+// printed module.
+func checkAgainstReference(t *testing.T, src string) {
+	t.Helper()
+	m1, err1 := ir.Parse(src)
+	m2, err2 := ir.ParseReference(src)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error disagreement:\n  new: %v\n  ref: %v\nsource:\n%s", err1, err2, src)
+	}
+	if err1 != nil {
+		if err1.Error() != err2.Error() {
+			t.Fatalf("diagnostic drift:\n  new: %v\n  ref: %v\nsource:\n%s", err1, err2, src)
+		}
+		return
+	}
+	p1, p2 := ir.Print(m1), ir.Print(m2)
+	if p1 != p2 {
+		t.Fatalf("module drift:\n--- new ---\n%s\n--- ref ---\n%s", p1, p2)
+	}
+}
+
+func TestParseMatchesReference(t *testing.T) {
+	for _, src := range goldenSources(t) {
+		checkAgainstReference(t, src)
+		for _, mut := range mutations(src) {
+			checkAgainstReference(t, mut)
+		}
+	}
+}
+
+// TestParseRoundTripCorpus pins Parse(Print(m)) == m (via print identity)
+// and digest stability for every golden-corpus program — the drift the
+// verdict goldens cannot see, because a silently lossy parse would still
+// produce *some* verdict.
+func TestParseRoundTripCorpus(t *testing.T) {
+	for i, src := range goldenSources(t) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: Parse: %v", i, err)
+		}
+		printed := ir.Print(m)
+		m2, err := ir.Parse(printed)
+		if err != nil {
+			t.Fatalf("program %d: reparse: %v", i, err)
+		}
+		if reprinted := ir.Print(m2); reprinted != printed {
+			t.Fatalf("program %d: round-trip drift:\n--- first ---\n%s\n--- second ---\n%s",
+				i, printed, reprinted)
+		}
+		d1 := core.DigestIRKeyed("pin", src)
+		d2 := core.DigestIRKeyed("pin", printed)
+		if d1 != d2 {
+			t.Fatalf("program %d: digest drift across round-trip: %s != %s", i, d1, d2)
+		}
+	}
+}
+
+// TestParseAllocs pins the arena/pooled-scratch parse: the line-slice
+// implementation allocated per token group (~230 allocations on a corpus
+// program — the split line slice, a splitTop slice per instruction, one
+// Instr, one operand slice and one Const per mention). The arena path must
+// stay at a few chunk allocations plus the module skeleton, so per-
+// instruction allocation can never quietly come back.
+func TestParseAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector (sync.Pool caching is disabled)")
+	}
+	srcs := goldenSources(t)
+	for _, src := range srcs[:4] {
+		ir.MustParse(src) // warm the parser pool
+		allocs := testing.AllocsPerRun(50, func() { ir.MustParse(src) })
+		if allocs > 32 {
+			t.Fatalf("Parse allocates %v times per call, want <= 32 (module skeleton + arena chunks)", allocs)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	srcs := goldenSources(b)
+	if len(srcs) > 8 {
+		srcs = srcs[:8]
+	}
+	var bytes int64
+	for _, s := range srcs {
+		bytes += int64(len(s))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range srcs {
+			if _, err := ir.Parse(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParseReference prices the retained line-splitting parser on
+// the same corpus, so the zero-copy parser's gain stays measurable in
+// every bench run rather than only in the PR that introduced it.
+func BenchmarkParseReference(b *testing.B) {
+	srcs := goldenSources(b)
+	if len(srcs) > 8 {
+		srcs = srcs[:8]
+	}
+	var bytes int64
+	for _, s := range srcs {
+		bytes += int64(len(s))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range srcs {
+			if _, err := ir.ParseReference(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

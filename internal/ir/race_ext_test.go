@@ -1,0 +1,8 @@
+//go:build race
+
+package ir_test
+
+// raceEnabled skips allocation-count assertions under the race detector,
+// which intentionally defeats sync.Pool caching and adds bookkeeping
+// allocations.
+const raceEnabled = true

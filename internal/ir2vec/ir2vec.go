@@ -589,10 +589,46 @@ func (e *Encoder) EncodeMode(m *ir.Module, mode Encoding) []float64 {
 // vocabulary-fitted corpus; all intermediate state comes from a pooled
 // scratch buffer.
 func (e *Encoder) Encode(m *ir.Module) []float64 {
-	out := make([]float64, 2*e.Dim)
+	return e.EncodeInto(nil, m)
+}
+
+// EncodeInto encodes m into dst (reallocated when too small), returning
+// the 2*Dim feature slice. The arithmetic is exactly Encode's — callers
+// batching many programs into one flat buffer get bit-identical features.
+func (e *Encoder) EncodeInto(dst []float64, m *ir.Module) []float64 {
+	if cap(dst) < 2*e.Dim {
+		dst = make([]float64, 2*e.Dim)
+	} else {
+		dst = dst[:2*e.Dim]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	s := scratchPool.Get().(*scratch)
+	e.encodeInto(dst, m, s)
+	s.release()
+	return dst
+}
+
+// EncodeBatch encodes every module into one flat [len(mods) × 2*Dim]
+// buffer (program i at out[i*2*Dim : (i+1)*2*Dim]), sharing one pooled
+// scratch across the whole batch so n programs cost one scratch checkout
+// and a single output allocation.
+func (e *Encoder) EncodeBatch(mods []*ir.Module) []float64 {
+	out := make([]float64, len(mods)*2*e.Dim)
+	s := scratchPool.Get().(*scratch)
+	for i, m := range mods {
+		e.encodeInto(out[i*2*e.Dim:(i+1)*2*e.Dim], m, s)
+	}
+	s.release()
+	return out
+}
+
+// encodeInto accumulates m's feature vector into the zeroed 2*Dim slice
+// out using the caller's scratch.
+func (e *Encoder) encodeInto(out []float64, m *ir.Module, s *scratch) {
 	sym := out[:e.Dim]
 	flow := out[e.Dim:]
-	s := scratchPool.Get().(*scratch)
 	for _, f := range m.Funcs {
 		if f.Decl {
 			continue
@@ -649,8 +685,6 @@ func (e *Encoder) Encode(m *ir.Module) []float64 {
 			}
 		}
 	}
-	s.release()
-	return out
 }
 
 // Norm selects a feature normalisation strategy (Table IV: none, vector,

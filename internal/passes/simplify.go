@@ -7,9 +7,13 @@ import "mpidetect/internal/ir"
 // (the IR has no volatile); calls, stores and terminators are kept.
 func DCE(f *ir.Func) bool {
 	changedAny := false
+	// One use count, maintained decrementally: removing an instruction
+	// releases its operands' uses, which is exactly what a fresh
+	// CollectUses on the smaller function would report — so the fixed
+	// point is identical without re-collecting every iteration.
+	uses := ir.CollectUses(f)
 	for {
 		changed := false
-		uses := ir.CollectUses(f)
 		for _, b := range f.Blocks {
 			for i := len(b.Instrs) - 1; i >= 0; i-- {
 				in := b.Instrs[i]
@@ -17,6 +21,9 @@ func DCE(f *ir.Func) bool {
 					continue
 				}
 				if uses[in] == 0 {
+					for _, a := range in.Args {
+						uses[a]--
+					}
 					b.RemoveInstr(in)
 					changed = true
 				}

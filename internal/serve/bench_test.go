@@ -237,6 +237,29 @@ func BenchmarkAnalyzeBatchStream(b *testing.B) {
 	}
 }
 
+// BenchmarkClassifyCold is the uncached cold path end to end: every
+// program pays parse → optimise → embed → predict, nothing coalesces.
+// A single worker makes the drain deterministic — the whole 8-program
+// batch backs up behind the first job and classifies through one fused
+// CheckModules pass — so this is the number the zero-copy parser and
+// the batched forward pass move.
+func BenchmarkClassifyCold(b *testing.B) {
+	eng := benchEngine(b, Config{Workers: 1})
+	progs, _ := corpusIR(b, 8)
+	ctx := context.Background()
+	if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(ctx, "ir2vec", progs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(progs))*float64(b.N)/b.Elapsed().Seconds(), "programs/s")
+}
+
 // BenchmarkDigest isolates the per-request cost the cache adds on the hot
 // path: digesting a program's textual IR without parsing it.
 func BenchmarkDigest(b *testing.B) {

@@ -14,7 +14,7 @@
 //	GET  /v1/healthz             liveness + model count
 //	GET  /v1/readyz              readiness: ok/degraded/draining + detail
 //	GET  /v1/models              registered models
-//	GET  /v1/stats               engine/cache/jobs/events/store counters
+//	GET  /v1/stats               engine/pipeline/cache/jobs/events/store counters
 //	POST /v1/admin/snapshot      archive the durable verdict store
 //	GET  /v1/admin/snapshots     list snapshot archives
 //	POST /v1/admin/restore       restore the store from an archive

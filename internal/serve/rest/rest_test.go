@@ -172,6 +172,9 @@ func TestStatsReportsJobsAndEvents(t *testing.T) {
 	if st.Models != 1 {
 		t.Fatalf("stats models %d, want 1", st.Models)
 	}
+	if st.Pipeline.PredictBatch <= 0 {
+		t.Fatalf("stats pipeline section %+v, want positive predict_batch", st.Pipeline)
+	}
 }
 
 // TestLegacyAliasesAreDeprecated pins both route sets: every legacy path

@@ -173,6 +173,13 @@ type Config struct {
 	MaxBatch int           // max programs per request (default 64)
 	Timeout  time.Duration // per-request budget (default 30s)
 
+	// PredictBatch caps how many queued programs one worker turn drains
+	// into a single fused forward pass (default 8). Workers never wait to
+	// fill a batch: an idle queue means singleton batches, a backed-up
+	// queue means full ones, so batching costs no latency when the server
+	// is idle and buys throughput exactly when it is loaded.
+	PredictBatch int
+
 	// CacheSize is the verdict-cache capacity in entries; 0 disables the
 	// cache (every program pays the full pipeline, no coalescing).
 	CacheSize int
@@ -246,6 +253,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.PredictBatch <= 0 {
+		c.PredictBatch = 8
 	}
 	if c.SimWorkers <= 0 {
 		c.SimWorkers = 2
@@ -361,6 +371,17 @@ type Engine struct {
 	programs      atomic.Int64
 	pipelineExecs atomic.Int64
 	parseErrors   atomic.Int64
+
+	// Pipeline observability (see PipelineStats): parse-time EWMA, the
+	// drained-batch fill histogram, and how many predictions went through
+	// the fused batch pass versus one-module CheckModule.
+	avgParseNanos  atomic.Int64
+	batchFill1     atomic.Int64
+	batchFill2to4  atomic.Int64
+	batchFill5to8  atomic.Int64
+	batchFillFull  atomic.Int64
+	batchedPreds   atomic.Int64
+	singletonPreds atomic.Int64
 
 	analyzeRequests atomic.Int64
 	toolRuns        atomic.Int64
@@ -525,22 +546,157 @@ func (e *Engine) finish(j job, res Result, err error) {
 	j.out <- outcome{j.idx, res}
 }
 
+// worker is one pool goroutine. Each turn takes a blocking receive,
+// then greedily drains whatever else is already queued — up to
+// cfg.PredictBatch jobs, never waiting — and classifies the drained
+// batch through one fused forward pass where the detector supports it.
+// An idle queue therefore costs nothing (singleton batches, same path
+// as before), while a backed-up queue amortises the per-prediction
+// model overhead across the whole drain.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	batch := make([]job, 0, e.cfg.PredictBatch)
 	for j := range e.jobs {
-		// A dead context only skips work for uncoalesced jobs: a job that
-		// leads a flight runs to completion regardless, because followers
-		// from other, healthy requests are waiting on its verdict (and the
-		// stored entry serves every future resubmission).
-		if err := j.ctx.Err(); err != nil && j.flight == nil {
-			e.finish(j, Result{Err: "canceled: " + err.Error()}, err)
-			continue
+		batch = e.appendLive(batch[:0], j)
+		// Only a fusable lead job drains followers: a non-batchable
+		// detector gains nothing from the drain, and holding undone jobs
+		// in a worker-local batch would hide them from the queue length
+		// that admission control watches.
+		if _, fused := j.det.(core.BatchDetector); fused {
+		drain:
+			for len(batch) < e.cfg.PredictBatch {
+				select {
+				case j2, ok := <-e.jobs:
+					if !ok {
+						break drain // closed: finish what we hold, then exit via range
+					}
+					batch = e.appendLive(batch, j2)
+				default:
+					break drain
+				}
+			}
 		}
-		start := time.Now()
-		res, err := e.runPipeline(j)
-		e.observeExec(time.Since(start))
-		e.finish(j, res, err)
+		if len(batch) > 0 {
+			e.runDrained(batch)
+		}
 	}
+}
+
+// appendLive applies the dead-context skip while building a batch: a
+// dead context only skips work for uncoalesced jobs. A job that leads a
+// flight runs to completion regardless, because followers from other,
+// healthy requests are waiting on its verdict (and the stored entry
+// serves every future resubmission).
+func (e *Engine) appendLive(batch []job, j job) []job {
+	if err := j.ctx.Err(); err != nil && j.flight == nil {
+		e.finish(j, Result{Err: "canceled: " + err.Error()}, err)
+		return batch
+	}
+	return append(batch, j)
+}
+
+// runDrained classifies one drained batch. Jobs are grouped by detector
+// instance (a batch drained across a model reload, or across requests
+// for different models, holds several) and each group runs fused.
+func (e *Engine) runDrained(batch []job) {
+	e.noteBatchFill(len(batch))
+	for len(batch) > 0 {
+		det := batch[0].det
+		group := make([]job, 0, len(batch))
+		rest := batch[:0]
+		for _, j := range batch {
+			if j.det == det {
+				group = append(group, j)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		e.runGroup(group)
+		batch = rest
+	}
+}
+
+// runGroup classifies jobs sharing one detector. Detectors implementing
+// core.BatchDetector get the two-phase fused path: optimise each member
+// under its own panic isolation, then one CheckModules pass over the
+// survivors. A panic or error in the fused pass falls back to
+// per-member CheckModule — without re-optimising — so one poisoned
+// module fails its own request, not its batch neighbours.
+func (e *Engine) runGroup(group []job) {
+	bd, fused := group[0].det.(core.BatchDetector)
+	if !fused || len(group) == 1 {
+		for _, j := range group {
+			start := time.Now()
+			res, err := e.runPipeline(j)
+			e.observeExec(time.Since(start))
+			e.finish(j, res, err)
+		}
+		return
+	}
+	start := time.Now()
+	live := make([]job, 0, len(group))
+	for _, j := range group {
+		if e.optimizeJob(j) {
+			live = append(live, j)
+		}
+	}
+	if len(live) > 0 {
+		mods := make([]*ir.Module, len(live))
+		for i, j := range live {
+			mods[i] = j.mod
+		}
+		if vs, err := e.checkBatch(bd, mods); err == nil {
+			e.batchedPreds.Add(int64(len(live)))
+			for i, j := range live {
+				e.finish(j, resultOf(vs[i]), nil)
+			}
+		} else {
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "classify", Detail: "batched predict; retrying per program",
+				Panic: err.Error()})
+			for _, j := range live {
+				res, jerr := e.classifyJob(j)
+				e.finish(j, res, jerr)
+			}
+		}
+	}
+	// Admission control wants per-program drain cost: fold the batch's
+	// wall time divided evenly across its members.
+	e.observeExec(time.Since(start) / time.Duration(len(group)))
+}
+
+// observeParse folds one front-door parse's wall time into the pipeline
+// parse EWMA (same plain load/compute/store as observeExec: a lost
+// update costs one sample).
+func (e *Engine) observeParse(d time.Duration) {
+	const alpha = 0.3
+	prev := e.avgParseNanos.Load()
+	if prev == 0 {
+		e.avgParseNanos.Store(int64(d))
+		return
+	}
+	e.avgParseNanos.Store(int64(alpha*float64(d) + (1-alpha)*float64(prev)))
+}
+
+// noteBatchFill buckets one drained batch's size into the fill
+// histogram ("full" means the configured PredictBatch, whatever it is).
+func (e *Engine) noteBatchFill(n int) {
+	switch {
+	case n >= e.cfg.PredictBatch:
+		e.batchFillFull.Add(1)
+	case n <= 1:
+		e.batchFill1.Add(1)
+	case n <= 4:
+		e.batchFill2to4.Add(1)
+	default:
+		e.batchFill5to8.Add(1)
+	}
+}
+
+// resultOf renders a detector verdict as a wire Result.
+func resultOf(v core.Verdict) Result {
+	return Result{Incorrect: v.Incorrect,
+		Label: v.Label.String(), Confidence: v.Confidence}
 }
 
 // runPipeline executes the optimise+classify pipeline for one job with
@@ -559,12 +715,62 @@ func (e *Engine) runPipeline(j job) (res Result, err error) {
 	}()
 	e.pipelineExecs.Add(1)
 	passes.Optimize(j.mod, j.det.Opt())
+	e.singletonPreds.Add(1)
 	v, err := j.det.CheckModule(j.mod)
 	if err != nil {
 		return Result{Err: err.Error()}, err
 	}
-	return Result{Incorrect: v.Incorrect,
-		Label: v.Label.String(), Confidence: v.Confidence}, nil
+	return resultOf(v), nil
+}
+
+// optimizeJob is phase one of the fused path: run the optimisation
+// passes for one batch member under the same panic isolation as
+// runPipeline. A panicking pass fails (and finishes) only this member;
+// the return reports whether it survived into the predict phase.
+func (e *Engine) optimizeJob(j job) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.classifyPanics.Add(1)
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "classify", Panic: fmt.Sprint(r)})
+			e.finish(j, Result{Err: "internal: classify panic: " + fmt.Sprint(r)},
+				fmt.Errorf("serve: classify panic: %v", r))
+		}
+	}()
+	e.pipelineExecs.Add(1)
+	passes.Optimize(j.mod, j.det.Opt())
+	return true
+}
+
+// checkBatch runs the fused forward pass with panic containment; a
+// panic converts to an error so runGroup can fall back per member.
+func (e *Engine) checkBatch(bd core.BatchDetector, mods []*ir.Module) (vs []core.Verdict, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: batch classify panic: %v", r)
+		}
+	}()
+	return bd.CheckModules(mods)
+}
+
+// classifyJob is the fallback predict for one already-optimised member
+// after a failed fused pass, with per-member panic isolation.
+func (e *Engine) classifyJob(j job) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.classifyPanics.Add(1)
+			err = fmt.Errorf("serve: classify panic: %v", r)
+			res = Result{Err: "internal: classify panic: " + fmt.Sprint(r)}
+			e.bus.Publish(events.FaultRecovered, FaultRecoveredData{
+				Subsystem: "classify", Panic: fmt.Sprint(r)})
+		}
+	}()
+	e.singletonPreds.Add(1)
+	v, err := j.det.CheckModule(j.mod)
+	if err != nil {
+		return Result{Err: err.Error()}, err
+	}
+	return resultOf(v), nil
 }
 
 // flightWait is one batch item parked on another request's (or an earlier
@@ -631,7 +837,9 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 			flight = f // cache.Lead: this item executes for everyone waiting
 		}
 
+		pstart := time.Now()
 		m, err := ir.Parse(p.IR)
+		e.observeParse(time.Since(pstart))
 		if err != nil {
 			e.parseErrors.Add(1)
 			results[i].Err = "parse: " + err.Error()
@@ -692,7 +900,9 @@ func (e *Engine) Classify(ctx context.Context, model string, progs []Program) ([
 		}
 	}
 	for _, i := range retry {
+		pstart := time.Now()
 		m, err := ir.Parse(progs[i].IR)
+		e.observeParse(time.Since(pstart))
 		if err != nil {
 			e.parseErrors.Add(1)
 			results[i] = Result{Err: "parse: " + err.Error()}
@@ -744,6 +954,28 @@ type EngineStats struct {
 	MaxBatch      int   `json:"max_batch"`
 }
 
+// PipelineStats is the cold-path half of GET /stats: how the parse →
+// optimise → predict pipeline is actually behaving. AvgParseNanos is an
+// EWMA of front-door ir.Parse wall time. The BatchFill counters
+// histogram the sizes of worker-drained batches (1 / 2–4 / 5–8 / full,
+// where full is the configured PredictBatch) — all-singleton fills mean
+// the queue never backs up and batching is idle, full fills mean the
+// fused pass is carrying the load. BatchedPredictions counts programs
+// classified through a fused CheckModules pass; SingletonPredictions
+// counts programs classified one CheckModule at a time (idle queue,
+// non-batchable detector, or per-member fallback after a failed fused
+// pass).
+type PipelineStats struct {
+	PredictBatch         int   `json:"predict_batch"`
+	AvgParseNanos        int64 `json:"avg_parse_ns"`
+	BatchFill1           int64 `json:"batch_fill_1"`
+	BatchFill2to4        int64 `json:"batch_fill_2_4"`
+	BatchFill5to8        int64 `json:"batch_fill_5_8"`
+	BatchFillFull        int64 `json:"batch_fill_full"`
+	BatchedPredictions   int64 `json:"batched_predictions"`
+	SingletonPredictions int64 `json:"singleton_predictions"`
+}
+
 // AnalyzeStats is the hybrid-analysis half of GET /stats. SimExecs
 // counts actual simulator executions — a warm /analyze repeat leaves it
 // untouched, which is the observable cache contract of the endpoint.
@@ -773,6 +1005,7 @@ type AnalyzeStats struct {
 // the async-job tier, and the event bus.
 type StatsSnapshot struct {
 	Engine     EngineStats      `json:"engine"`
+	Pipeline   PipelineStats    `json:"pipeline"`
 	Cache      *cache.Stats     `json:"cache,omitempty"`
 	Analyze    *AnalyzeStats    `json:"analyze,omitempty"`
 	ToolCache  *cache.Stats     `json:"tool_cache,omitempty"`
@@ -794,6 +1027,16 @@ func (e *Engine) Stats() StatsSnapshot {
 			ParseErrors:   e.parseErrors.Load(),
 			Workers:       e.cfg.Workers,
 			MaxBatch:      e.cfg.MaxBatch,
+		},
+		Pipeline: PipelineStats{
+			PredictBatch:         e.cfg.PredictBatch,
+			AvgParseNanos:        e.avgParseNanos.Load(),
+			BatchFill1:           e.batchFill1.Load(),
+			BatchFill2to4:        e.batchFill2to4.Load(),
+			BatchFill5to8:        e.batchFill5to8.Load(),
+			BatchFillFull:        e.batchFillFull.Load(),
+			BatchedPredictions:   e.batchedPreds.Load(),
+			SingletonPredictions: e.singletonPreds.Load(),
 		},
 		Models: len(e.reg.Names()),
 	}
