@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race chaos fuzz bench bench-diff clean
+.PHONY: ci fmt-check vet build test race router-test chaos fuzz bench bench-diff clean
 
 # bench-diff both gates regressions and emits the fresh numbers
 # (BENCH_diff.json), so ci does not need a second full benchmark run;
 # `make bench` is the deliberate act of rebaselining BENCH_serve.json.
-ci: fmt-check vet build race chaos fuzz bench-diff
+ci: fmt-check vet build race router-test chaos fuzz bench-diff
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -28,11 +28,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Router failover suite under the race detector: the ring/retry/hedge
+# unit tests plus the three-backend kill/restart integration test
+# (skipped under -short, so it only runs here and in `make ci`).
+# -count 1 because the suite's whole point is re-proving failover.
+router-test:
+	$(GO) test -race -count 1 ./internal/router/...
+
 # Chaos suite: every registered fault point fired against a mixed
-# classify/analyze/jobs workload under the race detector. -count 1
-# defeats test caching — chaos that doesn't run proves nothing.
+# classify/analyze/jobs workload under the race detector — including the
+# router's proxy/health fault points and its hard-killed-backend drill.
+# -count 1 defeats test caching — chaos that doesn't run proves nothing.
 chaos:
-	$(GO) test -race -run 'Chaos' -count 1 ./internal/serve/...
+	$(GO) test -race -run 'Chaos' -count 1 ./internal/serve/... ./internal/router/...
 
 # Differential fuzz smoke: 15 seconds of the zero-copy parser against the
 # retained reference parser (identical modules, identical diagnostics,

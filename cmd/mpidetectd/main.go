@@ -99,6 +99,8 @@ var (
 	breakerFailures = flag.Int("breaker-failures", 5, "consecutive internal failures that trip a tool or store circuit breaker")
 	breakerCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "open period before a tripped breaker probes for recovery")
 
+	readHeaderTimeout = flag.Duration("read-header-timeout", rest.DefaultReadHeaderTimeout, "time a client may take to send its request headers before the connection is dropped")
+
 	models modelFlags
 )
 
@@ -194,7 +196,7 @@ func main() {
 		fmt.Println("hybrid analysis: disabled")
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: rest.NewHandler(reg, eng)}
+	srv := rest.NewServer(*addr, rest.NewHandler(reg, eng), *readHeaderTimeout)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,121 @@
+// Command mpidetectrouter is the front tier of a horizontally scaled
+// mpidetect deployment: a fault-tolerant reverse proxy that shards
+// classify/analyze traffic across N mpidetectd backends by consistent
+// hashing on program content digests. Each backend's verdict cache and
+// durable store hold a disjoint slice of the corpus, so aggregate warm
+// capacity grows linearly with the fleet.
+//
+// Usage:
+//
+//	mpidetectd -model ir2vec=mbi.bin -addr :9081 -store-dir /var/lib/mpidetect/a &
+//	mpidetectd -model ir2vec=mbi.bin -addr :9082 -store-dir /var/lib/mpidetect/b &
+//	mpidetectd -model ir2vec=mbi.bin -addr :9083 -store-dir /var/lib/mpidetect/c &
+//	mpidetectrouter -addr :8080 \
+//	  -backend 127.0.0.1:9081 -backend 127.0.0.1:9082 -backend 127.0.0.1:9083
+//
+// Clients speak to the router exactly as they would to a single
+// mpidetectd: POST /v1/classify, /v1/analyze and /v1/analyze/batch are
+// sharded; GET /v1/stats fans in every backend's counters plus the
+// router's own section; /v1/healthz, /v1/readyz and /v1/models behave
+// as on a backend.
+//
+// Failure handling: active /v1/readyz probes feed a circuit breaker per
+// backend — a dead, erroring, or draining backend is ejected from the
+// hash ring (its keys remap to their next ring replica; everyone else's
+// keys stay put) and re-admitted by a half-open probe once it answers
+// again. Failed proxy attempts retry on the next replica with jittered
+// backoff, and slow classify sub-requests are hedged against the next
+// replica once they overstay the router's observed latency band.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpidetect/internal/router"
+	"mpidetect/internal/serve/rest"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address")
+	replicas = flag.Int("replicas", 0, "virtual nodes per backend on the hash ring (0 = default)")
+
+	checkInterval = flag.Duration("check-interval", 500*time.Millisecond, "active health-check period")
+	checkTimeout  = flag.Duration("check-timeout", 2*time.Second, "budget of one health probe")
+
+	breakerFailures = flag.Int("breaker-failures", 3, "consecutive probe/proxy failures that eject a backend from the ring")
+	breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "ejection period before a half-open probe may re-admit a backend")
+
+	maxAttempts  = flag.Int("max-attempts", 3, "ring replicas one shard of work may try, first attempt included")
+	retryBackoff = flag.Duration("retry-backoff", 10*time.Millisecond, "base of the jittered exponential backoff between attempts")
+	hedgeAfter   = flag.Duration("hedge-after", 0, "fixed classify hedging delay (0 adapts to observed latency, negative disables hedging)")
+
+	readHeaderTimeout = flag.Duration("read-header-timeout", rest.DefaultReadHeaderTimeout, "time a client may take to send its request headers before the connection is dropped")
+
+	backends backendFlags
+)
+
+// backendFlags collects repeated -backend specs.
+type backendFlags []string
+
+func (b *backendFlags) String() string { return strings.Join(*b, ",") }
+func (b *backendFlags) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+func main() {
+	flag.Var(&backends, "backend", "backend base URL, e.g. 127.0.0.1:9081 (repeatable)")
+	flag.Parse()
+	if len(backends) == 0 {
+		log.Fatal("mpidetectrouter: at least one -backend is required")
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:        backends,
+		Replicas:        *replicas,
+		CheckInterval:   *checkInterval,
+		CheckTimeout:    *checkTimeout,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		HedgeAfter:      *hedgeAfter,
+	})
+	if err != nil {
+		log.Fatalf("mpidetectrouter: %v", err)
+	}
+
+	srv := rest.NewServer(*addr, rt.Handler(), *readHeaderTimeout)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("shutting down...")
+		// Flip our own readyz to draining first so the tier above ejects
+		// this router while srv.Shutdown drains in-flight requests.
+		rt.StartDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("mpidetectrouter: shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("mpidetectrouter listening on %s (%d backends)\n", *addr, len(backends))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("mpidetectrouter: %v", err)
+	}
+	<-done
+	rt.Close()
+}

@@ -1,0 +1,217 @@
+// Example router: horizontal scale and failover end to end. Three
+// mpidetectd backends are booted in-process, each with its own engine
+// and verdict cache, and a digest-sharding router is put in front:
+//
+//  1. A classify workload flows through the router; consistent hashing
+//     on the program digests splits it into disjoint per-backend cache
+//     slices (the fleet's aggregate capacity is the sum of its parts).
+//  2. One backend is hard-killed mid-workload — listener and every open
+//     connection severed, no graceful anything. The workload keeps
+//     running; retries walk the ring to the next replica, so not one
+//     request fails while the health probes notice and eject the corpse.
+//  3. The backend comes back on its old address. The half-open probe
+//     re-admits it, and consistent hashing hands it back exactly the
+//     keys it owned before.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"mpidetect/internal/core"
+	"mpidetect/internal/dataset"
+	"mpidetect/internal/ir"
+	"mpidetect/internal/irgen"
+	"mpidetect/internal/router"
+	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
+)
+
+// backendProc is one in-process mpidetectd: engine, REST transport, and
+// a real TCP listener that can be severed and rebound.
+type backendProc struct {
+	addr    string
+	handler http.Handler
+	srv     *http.Server
+}
+
+func (b *backendProc) serve() {
+	ln, err := listenRetry(b.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.addr = ln.Addr().String()
+	b.srv = &http.Server{Handler: b.handler}
+	go b.srv.Serve(ln)
+}
+
+// kill severs the listener and every open connection immediately — the
+// router sees the same thing it would see from a SIGKILLed process.
+func (b *backendProc) kill() { b.srv.Close() }
+
+func listenRetry(addr string) (net.Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		var ln net.Listener
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, err
+}
+
+func main() {
+	cfg := core.DefaultIR2VecConfig()
+	cfg.Dim = 32
+	det, err := core.TrainIR2Vec(dataset.GenerateCorrBench(1, false), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three backends, each with its own engine and cache slice.
+	backends := make([]*backendProc, 3)
+	addrs := make([]string, len(backends))
+	for i := range backends {
+		reg := serve.NewRegistry()
+		reg.Register("ir2vec", det)
+		eng := serve.NewEngine(reg, serve.Config{CacheSize: 1024})
+		defer eng.Close()
+		backends[i] = &backendProc{handler: rest.NewHandler(reg, eng)}
+		backends[i].serve()
+		addrs[i] = backends[i].addr
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:        addrs,
+		CheckInterval:   100 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 500 * time.Millisecond,
+		MaxAttempts:     3,
+		RetryBackoff:    5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	fmt.Printf("router on %s fronting %d backends\n\n", front.URL, len(backends))
+
+	held := dataset.GenerateCorrBench(6, false)
+	n := len(held.Codes)
+	if n > 12 {
+		n = 12
+	}
+	progs := make([]serve.Program, n)
+	for i := 0; i < n; i++ {
+		progs[i] = serve.Program{Name: held.Codes[i].Name,
+			IR: ir.Print(irgen.MustLower(held.Codes[i].Prog))}
+	}
+
+	fmt.Println("== full fleet: the batch shards across disjoint cache slices ==")
+	classify(front.URL, progs)
+	showRouter(front.URL)
+
+	fmt.Println("\n== hard-kill one backend mid-workload ==")
+	victim := backends[1]
+	victim.kill()
+	failed := 0
+	for round := 0; round < 5; round++ {
+		if !classify(front.URL, progs) {
+			failed++
+		}
+	}
+	fmt.Printf("5 post-kill rounds, %d failed requests (retries rerouted the corpse's keys)\n", failed)
+	waitHealthy(front.URL, 2)
+	showRouter(front.URL)
+
+	fmt.Println("\n== restart the backend on its old address ==")
+	victim.serve()
+	waitHealthy(front.URL, 3)
+	classify(front.URL, progs)
+	fmt.Println("re-admitted via half-open probe; consistent hashing returned its old keys")
+	showRouter(front.URL)
+}
+
+// classify pushes the corpus through the router and reports whether
+// every program came back with a verdict.
+func classify(base string, progs []serve.Program) bool {
+	body, _ := json.Marshal(rest.ClassifyRequest{Model: "ir2vec", Programs: progs})
+	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Printf("  classify: %v\n", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		fmt.Printf("  classify: HTTP %d: %s\n", resp.StatusCode, payload)
+		return false
+	}
+	var out rest.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Printf("  classify: %v\n", err)
+		return false
+	}
+	for _, r := range out.Results {
+		if r.Err != "" || r.Label == "" {
+			fmt.Printf("  %s: no verdict (%s)\n", r.Name, r.Err)
+			return false
+		}
+	}
+	fmt.Printf("  %d/%d programs answered with verdicts\n", len(out.Results), len(progs))
+	return true
+}
+
+// showRouter prints the router section of the fan-in stats: fleet
+// health, retry/ejection counters, and the per-backend request split.
+func showRouter(base string) {
+	var stats struct {
+		Router router.Stats `json:"router"`
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	s := stats.Router
+	fmt.Printf("  fleet %d/%d healthy; retries=%d remaps=%d ejections=%d readmissions=%d\n",
+		s.HealthyBackends, len(s.Backends), s.Retries, s.Remaps, s.Ejections, s.Readmissions)
+	for _, b := range s.Backends {
+		fmt.Printf("    %-28s healthy=%-5v requests=%d\n", b.Name, b.Healthy, b.Requests)
+	}
+}
+
+// waitHealthy blocks until the router reports exactly n healthy
+// backends.
+func waitHealthy(base string, n int) {
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		var stats struct {
+			Router router.Stats `json:"router"`
+		}
+		resp, err := http.Get(base + "/v1/stats")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&stats)
+			resp.Body.Close()
+		}
+		if err == nil && stats.Router.HealthyBackends == n {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	log.Fatalf("fleet never reached %d healthy backends", n)
+}

@@ -50,6 +50,13 @@ const (
 	// BreakerUpdated fires on every circuit-breaker state transition
 	// (a tool breaker tripping or closing, the store tier changing mode).
 	BreakerUpdated Type = "breaker.updated"
+	// RouterEjected fires when the front-tier router ejects a backend
+	// from its hash ring (health probes or proxy failures tripped the
+	// backend's breaker).
+	RouterEjected Type = "router.ejected"
+	// RouterReadmitted fires when an ejected backend passes its half-open
+	// probe and rejoins the router's hash ring.
+	RouterReadmitted Type = "router.readmitted"
 )
 
 // Event is one published occurrence. Seq is a bus-wide monotonically

@@ -197,6 +197,38 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// Snapshot is a typed point-in-time view of a breaker for pollers: the
+// state as a BreakerState (not the wire string of BreakerStats), the
+// failure streak, and when an open breaker opened. Pollers that rebuild
+// derived state from many breakers — the router's hash-ring membership,
+// for one — read Snapshot on their own cadence instead of mutating
+// shared state from OnChange, which runs on whatever goroutine drove
+// the transition.
+type Snapshot struct {
+	State       BreakerState
+	Consecutive int
+	OpenedAt    time.Time // zero unless State is Open
+	Failures    int64
+	Trips       int64
+	Rejected    int64
+}
+
+// Snapshot captures the breaker's current position and counters under
+// one lock acquisition, so state and streak can never straddle a
+// transition.
+func (b *Breaker) Snapshot() Snapshot {
+	b.mu.Lock()
+	s := Snapshot{State: b.state, Consecutive: b.consecutive}
+	if b.state == Open {
+		s.OpenedAt = b.openedAt
+	}
+	b.mu.Unlock()
+	s.Failures = b.failures.Load()
+	s.Trips = b.trips.Load()
+	s.Rejected = b.rejected.Load()
+	return s
+}
+
 // Stats snapshots the breaker counters.
 func (b *Breaker) Stats() BreakerStats {
 	b.mu.Lock()

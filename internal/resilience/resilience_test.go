@@ -191,3 +191,59 @@ func TestBreakerStateStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerSnapshotConcurrent pins the contract the router's ring
+// builder relies on: Snapshot can be polled from any goroutine while
+// other goroutines drive Allow/Record/Skip transitions, with no data
+// race (the -race run is the assertion) and no torn state — a snapshot
+// claiming Open carries a non-zero OpenedAt, and any other state a zero
+// one.
+func TestBreakerSnapshotConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Microsecond})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			ok := seed%2 == 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if b.Allow() {
+					if seed == 3 {
+						b.Skip()
+					} else {
+						b.Record(ok)
+					}
+				}
+				ok = !ok
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := b.Snapshot()
+		if s.State == Open && s.OpenedAt.IsZero() {
+			t.Error("open snapshot with zero OpenedAt")
+			break
+		}
+		if s.State != Open && !s.OpenedAt.IsZero() {
+			t.Errorf("%v snapshot with OpenedAt set", s.State)
+			break
+		}
+		if s.Failures < 0 || s.Trips < 0 || s.Consecutive < 0 {
+			t.Errorf("negative counters in snapshot: %+v", s)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The snapshot agrees with the string-shaped Stats view.
+	if got, want := b.Snapshot().State.String(), b.Stats().State; got != want {
+		t.Fatalf("Snapshot().State = %s, Stats().State = %s", got, want)
+	}
+}

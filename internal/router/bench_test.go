@@ -1,0 +1,95 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
+	"mpidetect/internal/serve/servetest"
+)
+
+// BenchmarkRouterOverhead prices the router's cut on the warm classify
+// path: one real backend (engine + REST transport) on loopback HTTP,
+// the same pre-warmed 64-program batch (a CI-sweep-sized request) sent
+// direct vs through a single-backend router. The acceptance bar is
+// <= 10% ns/op overhead. A single-backend ring takes the transparent
+// proxy path — no JSON parse, no digests — so the whole cut is one
+// extra loopback hop, which the batch's real per-program work must
+// amortize; anything above the bar means the router grew per-request
+// or per-byte work it shouldn't have.
+func BenchmarkRouterOverhead(b *testing.B) {
+	reg := serve.NewRegistry()
+	reg.Register("ir2vec", servetest.Trained(b))
+	eng := serve.NewEngine(reg, serve.Config{CacheSize: 4096, CacheTTL: time.Hour})
+	b.Cleanup(eng.Close)
+	backend := httptest.NewServer(rest.NewHandler(reg, eng))
+	b.Cleanup(backend.Close)
+
+	rt, err := New(Config{
+		Backends:      []string{backend.URL},
+		CheckInterval: 50 * time.Millisecond,
+		HedgeAfter:    -1, // one backend; a hedge could only duplicate work
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+
+	progs := make([]serve.Program, 64)
+	for i := range progs {
+		name := fmt.Sprintf("bench-%d", i)
+		progs[i] = serve.Program{Name: name, IR: servetest.PingpongIR(b, name)}
+	}
+	body, err := json.Marshal(rest.ClassifyRequest{Model: "ir2vec", Programs: progs})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(url string) {
+		res, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", res.StatusCode, payload)
+		}
+		var resp rest.ClassifyResponse
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Results) != len(progs) {
+			b.Fatalf("%d results for %d programs", len(resp.Results), len(progs))
+		}
+	}
+
+	// Warm the verdict cache so both paths measure pure serving overhead.
+	post(backend.URL)
+
+	for _, mode := range []struct {
+		name string
+		url  string
+	}{
+		{"direct", backend.URL},
+		{"routed", front.URL},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			post(mode.url) // per-path warmup (connection reuse, routed merge path)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(mode.url)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpidetect/internal/fault"
+	"mpidetect/internal/serve"
+	"mpidetect/internal/serve/rest"
+)
+
+// chaosRound drives classify requests through the router and fails the
+// test on any outcome that is neither a verdict nor a structured error:
+// a 200 whose every result carries a label or a per-program error, or a
+// non-2xx JSON envelope with a machine-readable code.
+func chaosRound(t *testing.T, h http.Handler, salt string) {
+	t.Helper()
+	var progs []serve.Program
+	for i := 0; i < 4; i++ {
+		progs = append(progs, serve.Program{Name: fmt.Sprintf("chaos-%s-%d", salt, i),
+			IR: fmt.Sprintf("chaos %s %d\n", salt, i)})
+	}
+	w, resp := classifyVia(t, h, "m", progs...)
+	switch {
+	case w.Code == http.StatusOK:
+		if len(resp.Results) != len(progs) {
+			t.Fatalf("[%s] %d results for %d programs", salt, len(resp.Results), len(progs))
+		}
+		for i, r := range resp.Results {
+			if r.Label == "" && r.Err == "" {
+				t.Fatalf("[%s] result %d has neither verdict nor error: %+v", salt, i, r)
+			}
+		}
+	default:
+		var envelope rest.ErrorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &envelope); err != nil || envelope.Error.Code == "" {
+			t.Fatalf("[%s] HTTP %d without a structured envelope: %s", salt, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestChaosRouterFaultPoints arms the router's fault points — proxy
+// errors, proxy latency, health-probe failures — and hard-kills a live
+// backend, against a continuous classify workload. Every request must
+// end in a verdict or a structured error, the ring must eject and
+// re-admit as the faults come and go, and the goroutine population must
+// return to its pre-chaos baseline.
+func TestChaosRouterFaultPoints(t *testing.T) {
+	defer fault.DisarmAll()
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{
+		BreakerFailures: 3,
+		RetryBackoff:    time.Millisecond,
+	}, a, b)
+	h := rt.Handler()
+
+	chaosRound(t, h, "warmup")
+	baseline := runtime.NumGoroutine()
+
+	// router.proxy error mode: every proxied sub-request dies at the
+	// injection point. Requests must fail structured (no_backend after
+	// exhausted replicas), and the proxy failures trip both breakers.
+	if err := fault.Arm("router.proxy", fault.Spec{Mode: fault.Error, Message: "chaos"}); err != nil {
+		t.Fatal(err)
+	}
+	chaosRound(t, h, "proxy-err")
+	fault.Disarm("router.proxy")
+	waitFor(t, 5*time.Second, "fleet recovery after proxy faults", func() bool {
+		return rt.Stats().HealthyBackends == 2
+	})
+	chaosRound(t, h, "proxy-err-recovered")
+
+	// router.proxy latency mode: delayed, not deadlocked.
+	if err := fault.Arm("router.proxy", fault.Spec{Mode: fault.Latency,
+		Delay: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	chaosRound(t, h, "proxy-lat")
+	fault.Disarm("router.proxy")
+
+	// router.health error mode: active probes fail, ejecting the whole
+	// fleet; requests answer structured envelopes, never hang. Disarming
+	// re-admits everyone via half-open probes.
+	if err := fault.Arm("router.health", fault.Spec{Mode: fault.Error, Message: "chaos"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "health-fault ejections", func() bool {
+		return rt.Stats().HealthyBackends == 0
+	})
+	chaosRound(t, h, "health-err")
+	fault.Disarm("router.health")
+	waitFor(t, 5*time.Second, "readmission after health faults", func() bool {
+		s := rt.Stats()
+		return s.HealthyBackends == 2 && s.Readmissions >= 2
+	})
+	chaosRound(t, h, "health-recovered")
+
+	// Hard-kill one backend: listener and every live connection die
+	// instantly (no graceful drain). Requests keyed to the corpse must
+	// still answer VERDICTS — the retry path reroutes to the survivor —
+	// and the health loop ejects it.
+	ejectionsBefore := rt.Stats().Ejections
+	a.srv.CloseClientConnections()
+	a.srv.Listener.Close()
+	for round := 0; round < 5; round++ {
+		w, resp := classifyVia(t, h, "m",
+			serve.Program{Name: fmt.Sprintf("postkill-%d", round),
+				IR: fmt.Sprintf("postkill %d\n", round)})
+		if w.Code != http.StatusOK {
+			t.Fatalf("kill round %d: HTTP %d: %s", round, w.Code, w.Body.String())
+		}
+		if r := resp.Results[0]; r.Err != "" || r.Label != "fake-b" {
+			t.Fatalf("kill round %d: %+v, want a verdict from the survivor", round, r)
+		}
+	}
+	waitFor(t, 5*time.Second, "corpse ejection", func() bool {
+		s := rt.Stats()
+		return s.HealthyBackends == 1 && s.Ejections > ejectionsBefore
+	})
+
+	// Calm after the storm: goroutines drain back to baseline.
+	fault.DisarmAll()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines did not return to baseline (%d now, %d before):\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	s := rt.Stats()
+	if s.Retries == 0 || s.Ejections == 0 || s.Readmissions == 0 {
+		t.Fatalf("chaos ran but the resilience paths went unexercised: %+v", s)
+	}
+}
+
+// TestChaosRouterFaultPointsRegistered pins that the router's fault
+// points are visible to the admin fault surface (fault.List), so the
+// backends' chaos tooling can arm them by name.
+func TestChaosRouterFaultPointsRegistered(t *testing.T) {
+	want := map[string]bool{"router.proxy": false, "router.health": false}
+	for _, info := range fault.List() {
+		if _, ok := want[info.Point]; ok {
+			want[info.Point] = true
+		}
+	}
+	for point, found := range want {
+		if !found {
+			t.Fatalf("fault point %s not registered (have %v)", point, fault.List())
+		}
+	}
+}

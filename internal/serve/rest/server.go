@@ -1,0 +1,38 @@
+// Hardened http.Server construction, shared by every binary that
+// mounts this stack's API (mpidetectd, mpidetectrouter).
+package rest
+
+import (
+	"net/http"
+	"time"
+)
+
+// Server timeout defaults. ReadHeaderTimeout is the one that matters
+// for robustness: without it, a client that opens a connection and
+// never finishes its request line parks a goroutine and a file
+// descriptor forever (slow-loris). IdleTimeout reaps keep-alive
+// connections that went quiet.
+//
+// Deliberately absent: ReadTimeout and WriteTimeout. The API streams —
+// NDJSON batch verdicts, SSE event feeds — are long-lived by design,
+// and a whole-request deadline would sever them mid-stream. Body-read
+// abuse is bounded instead by MaxBytesReader on every decoded body and
+// per-request engine budgets.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// NewServer builds an http.Server with the stack's hardening defaults.
+// readHeaderTimeout <= 0 takes DefaultReadHeaderTimeout.
+func NewServer(addr string, h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
